@@ -1,0 +1,76 @@
+//! Criterion benches: one per paper table/figure, exercising the same
+//! code paths as the `repro` binary at test scale. These double as
+//! regression tracking for the simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvc_bench::figures::*;
+use gvc_workloads::Scale;
+
+fn scale() -> Scale {
+    // Measure real simulation work on every iteration.
+    gvc_bench::runner::set_memoization(false);
+    Scale::test()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_config", |b| b.iter(table1::collect));
+    c.bench_function("table2_designs", |b| b.iter(table2::collect));
+}
+
+fn bench_fig2_tlb_miss_breakdown(c: &mut Criterion) {
+    c.bench_function("fig2_tlb_miss_breakdown", |b| b.iter(|| fig2::collect(scale(), 1)));
+}
+
+fn bench_fig3_iommu_access_rate(c: &mut Criterion) {
+    c.bench_function("fig3_iommu_access_rate", |b| b.iter(|| fig3::collect(scale(), 1)));
+}
+
+fn bench_fig4_translation_overhead(c: &mut Criterion) {
+    c.bench_function("fig4_translation_overhead", |b| b.iter(|| fig4::collect(scale(), 1)));
+}
+
+fn bench_fig5_bandwidth_sweep(c: &mut Criterion) {
+    c.bench_function("fig5_bandwidth_sweep", |b| b.iter(|| fig5::collect(scale(), 1)));
+}
+
+fn bench_fig8_filtering(c: &mut Criterion) {
+    c.bench_function("fig8_filtering", |b| b.iter(|| fig8::collect(scale(), 1)));
+}
+
+fn bench_fig9_speedup(c: &mut Criterion) {
+    c.bench_function("fig9_speedup", |b| b.iter(|| fig9::collect(scale(), 1)));
+}
+
+fn bench_fig10_vs_large_tlbs(c: &mut Criterion) {
+    c.bench_function("fig10_vs_large_tlbs", |b| b.iter(|| fig10::collect(scale(), 1)));
+}
+
+fn bench_fig11_l1only(c: &mut Criterion) {
+    c.bench_function("fig11_l1only", |b| b.iter(|| fig11::collect(scale(), 1)));
+}
+
+fn bench_fig12_lifetime(c: &mut Criterion) {
+    c.bench_function("fig12_lifetime", |b| b.iter(|| fig12::collect(scale(), 1)));
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablations", |b| b.iter(|| ablations::collect(scale(), 1)));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_tables,
+        bench_fig2_tlb_miss_breakdown,
+        bench_fig3_iommu_access_rate,
+        bench_fig4_translation_overhead,
+        bench_fig5_bandwidth_sweep,
+        bench_fig8_filtering,
+        bench_fig9_speedup,
+        bench_fig10_vs_large_tlbs,
+        bench_fig11_l1only,
+        bench_fig12_lifetime,
+        bench_ablations,
+}
+criterion_main!(figures);

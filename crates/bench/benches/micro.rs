@@ -1,0 +1,129 @@
+//! Component microbenchmarks: throughput of the hot structures every
+//! simulated cycle flows through.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvc::fbt::{Fbt, FbtConfig};
+use gvc::{LineAccess, MemorySystem, SystemConfig};
+use gvc_cache::{CacheConfig, LineKey, SetAssocCache};
+use gvc_engine::{Cycle, EventQueue, ThroughputPort};
+use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn};
+use gvc_tlb::tlb::{Tlb, TlbConfig, TlbKey};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine_event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at(Cycle::new((i * 7919) % 4096), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_throughput_port(c: &mut Criterion) {
+    c.bench_function("engine_port_reserve_1k", |b| {
+        b.iter(|| {
+            let mut p = ThroughputPort::per_cycle(1);
+            let mut last = Cycle::ZERO;
+            for i in 0..1000u64 {
+                last = p.reserve(Cycle::new(i / 3));
+            }
+            last
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_32fa_lookup_insert_1k", |b| {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(32));
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                let key = TlbKey::new(Asid(0), Vpn::new(i % 64));
+                if tlb.lookup(key, Cycle::new(i)).is_some() {
+                    hits += 1;
+                } else {
+                    tlb.insert(key, Ppn::new(i), Perms::READ_WRITE, Cycle::new(i));
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1_cache_lookup_insert_1k", |b| {
+        let mut l1 = SetAssocCache::new(CacheConfig::gpu_l1());
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                let key = LineKey::new(Asid(0), i % 512);
+                if l1.lookup(key, Cycle::new(i)).is_some() {
+                    hits += 1;
+                } else {
+                    l1.insert(key, Perms::READ_WRITE, false, Cycle::new(i));
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_fbt(c: &mut Criterion) {
+    c.bench_function("fbt_insert_lookup_1k", |b| {
+        b.iter(|| {
+            let mut fbt = Fbt::new(FbtConfig::default().with_entries(2048));
+            for i in 0..1000u64 {
+                fbt.insert(Ppn::new(i), Asid(0), Vpn::new(10_000 + i), Perms::READ_WRITE);
+            }
+            let mut found = 0;
+            for i in 0..1000u64 {
+                if fbt.lookup_ppn(Ppn::new(i)).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut os = OsLite::new(64 << 20);
+    let pid = os.create_process();
+    let buf = os.mmap(pid, 4 << 20, Perms::READ_WRITE).expect("fits");
+    c.bench_function("memory_system_vc_access_1k", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+            let mut t = Cycle::ZERO;
+            for i in 0..1000u64 {
+                let a = LineAccess {
+                    cu: (i % 16) as usize,
+                    asid: pid.asid(),
+                    vaddr: buf.addr_at((i * 12_347) % (4 << 20) & !127),
+                    is_write: false,
+                    at: t,
+                };
+                t = mem.access(a, &os).done_at;
+            }
+            t
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_event_queue,
+        bench_throughput_port,
+        bench_tlb,
+        bench_cache,
+        bench_fbt,
+        bench_memory_system,
+}
+criterion_main!(micro);

@@ -1,0 +1,125 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p gvc-bench --bin repro -- all
+//! cargo run --release -p gvc-bench --bin repro -- fig9 --scale quick
+//! cargo run --release -p gvc-bench --bin repro -- fig2 fig8 --json out/
+//! ```
+
+use gvc_bench::figures::*;
+use gvc_workloads::Scale;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [table1|table2|fig2|fig3|fig4|fig5|fig8|fig9|fig10|fig11|fig12|ablations|energy|all]... \
+         [--scale paper|quick|test] [--seed N] [--json DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale = Scale::paper();
+    let mut seed = 42u64;
+    let mut json_dir: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().as_deref() {
+                    Some("paper") => Scale::paper(),
+                    Some("quick") => Scale::quick(),
+                    Some("test") => Scale::test(),
+                    _ => usage(),
+                }
+            }
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => json_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "ablations", "energy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let emit = |name: &str, text: String, json: String| {
+        println!("{text}");
+        println!("{}", "-".repeat(72));
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            std::fs::write(format!("{dir}/{name}.json"), json).expect("write json");
+        }
+    };
+
+    for t in &targets {
+        let t0 = Instant::now();
+        match t.as_str() {
+            "table1" => {
+                let d = table1::collect();
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "table2" => {
+                let d = table2::collect();
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig2" => {
+                let d = fig2::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig3" => {
+                let d = fig3::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig4" => {
+                let d = fig4::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig5" => {
+                let d = fig5::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig8" => {
+                let d = fig8::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig9" => {
+                let d = fig9::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig10" => {
+                let d = fig10::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig11" => {
+                let d = fig11::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "fig12" => {
+                let d = fig12::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "ablations" => {
+                let d = ablations::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            "energy" => {
+                let d = energy::collect(scale, seed);
+                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+            }
+            _ => usage(),
+        }
+        eprintln!("[{t} took {:.1?}]", t0.elapsed());
+    }
+}

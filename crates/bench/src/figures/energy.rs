@@ -1,0 +1,85 @@
+//! Takeaway 3 (§5.3), quantified: estimated energy of the baseline vs
+//! the virtual hierarchy, using the nominal per-event model of
+//! [`gvc::EnergyModel`].
+
+use crate::runner::run;
+use gvc::{EnergyModel, SystemConfig};
+use gvc_workloads::{Scale, WorkloadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One workload's energy comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline translation energy (nJ).
+    pub base_translation_nj: f64,
+    /// VC translation energy (nJ).
+    pub vc_translation_nj: f64,
+    /// Baseline total memory-system energy (nJ).
+    pub base_total_nj: f64,
+    /// VC total energy (nJ).
+    pub vc_total_nj: f64,
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Energy {
+    /// Per-workload rows.
+    pub rows: Vec<Row>,
+    /// Aggregate translation-energy ratio (sum VC / sum baseline).
+    pub avg_translation_ratio: f64,
+    /// Aggregate total-energy ratio.
+    pub avg_total_ratio: f64,
+}
+
+/// Runs the comparison.
+pub fn collect(scale: Scale, seed: u64) -> Energy {
+    let model = EnergyModel::default();
+    let mut rows = Vec::new();
+    for id in WorkloadId::all() {
+        let base = model.estimate(&run(id, SystemConfig::baseline_512(), scale, seed).mem);
+        let vc = model.estimate(&run(id, SystemConfig::vc_with_opt(), scale, seed).mem);
+        rows.push(Row {
+            workload: id.name().to_string(),
+            base_translation_nj: base.translation_nj(),
+            vc_translation_nj: vc.translation_nj(),
+            base_total_nj: base.total_nj(),
+            vc_total_nj: vc.total_nj(),
+        });
+    }
+    // Aggregate (sum-over-workloads) ratios: an arithmetic mean of
+    // per-workload ratios would let the small streaming workloads'
+    // increases swamp the graph workloads' order-of-magnitude savings.
+    let sum = |f: &dyn Fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>().max(1e-9);
+    Energy {
+        avg_translation_ratio: sum(&|r| r.vc_translation_nj) / sum(&|r| r.base_translation_nj),
+        avg_total_ratio: sum(&|r| r.vc_total_nj) / sum(&|r| r.base_total_nj),
+        rows,
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Energy (Takeaway 3, quantified with nominal per-event costs)")?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>13} {:>13} {:>12}",
+            "workload", "xlat base nJ", "xlat VC nJ", "total base", "total VC"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>14.0} {:>13.0} {:>13.0} {:>12.0}",
+                r.workload, r.base_translation_nj, r.vc_translation_nj, r.base_total_nj, r.vc_total_nj
+            )?;
+        }
+        writeln!(
+            f,
+            "aggregate: VC spends {:.0}% of the baseline's translation energy and {:.0}% of its total memory-system energy",
+            self.avg_translation_ratio * 100.0,
+            self.avg_total_ratio * 100.0
+        )
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — simulation configuration |
+//! | [`fig2`] | Figure 2 — per-CU TLB miss breakdown vs TLB size |
+//! | [`fig3`] | Figure 3 — IOMMU TLB access rate |
+//! | [`fig4`] | Figure 4 — translation overhead (IDEAL / small / large) |
+//! | [`fig5`] | Figure 5 — serialization vs IOMMU port bandwidth |
+//! | [`table2`] | Table 2 — evaluated MMU designs |
+//! | [`fig8`] | Figure 8 — bandwidth filtering by the virtual hierarchy |
+//! | [`fig9`] | Figure 9 — performance vs the IDEAL MMU |
+//! | [`fig10`] | Figure 10 — VC vs large per-CU TLBs |
+//! | [`fig11`] | Figure 11 — L1-only vs whole-hierarchy virtual caches |
+//! | [`fig12`] | Figure 12 (appendix) — TLB-entry vs cache-line lifetimes |
+//! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
+//! | [`energy`] | §5.3 Takeaway 3 — energy comparison (extension) |
+
+pub mod ablations;
+pub mod energy;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

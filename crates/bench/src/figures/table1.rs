@@ -1,0 +1,67 @@
+//! Table 1: the simulated machine configuration.
+
+use gvc::SystemConfig;
+use gvc_gpu::GpuConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The rendered configuration table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// The memory-system configuration the rows were read from.
+    pub system: SystemConfig,
+    /// The GPU front-end configuration.
+    pub gpu: GpuConfig,
+}
+
+/// Collects the default (paper) configuration.
+pub fn collect() -> Table1 {
+    Table1 {
+        system: SystemConfig::baseline_512(),
+        gpu: GpuConfig::default(),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.system;
+        writeln!(f, "Table 1: simulation configuration")?;
+        writeln!(
+            f,
+            "  GPU          : {} CUs, 32 lanes/CU, 700 MHz, {} resident waves/CU, {} outstanding reqs/CU",
+            s.n_cus, self.gpu.max_waves_per_cu, self.gpu.max_outstanding_per_cu
+        )?;
+        writeln!(
+            f,
+            "  L1 GPU cache : per-CU {} KB, {}-way, write-through no-allocate, 128 B lines",
+            s.l1.bytes >> 10,
+            s.l1.ways
+        )?;
+        writeln!(
+            f,
+            "  L2 GPU cache : shared {} MB, {} banks, {}-way, write-back, 128 B lines",
+            (s.l2_bank.bytes * s.l2_banks as u64) >> 20,
+            s.l2_banks,
+            s.l2_bank.ways
+        )?;
+        writeln!(f, "  per-CU TLB   : {:?} (4 KB pages)", s.per_cu_tlb.organization)?;
+        writeln!(
+            f,
+            "  IOMMU        : shared TLB {:?}, port {:?}/cycle, {} walkers, {} B PWC",
+            s.iommu.tlb.organization,
+            s.iommu.port_width,
+            s.iommu.walkers,
+            s.iommu.pwc.entries * 8
+        )?;
+        writeln!(
+            f,
+            "  FBT          : {} entries, {}-way, {}-cycle lookup",
+            s.fbt.entries, s.fbt.ways, s.fbt.lookup_latency
+        )?;
+        writeln!(
+            f,
+            "  DRAM / NoC   : {} B/cycle (~192 GB/s), {} cycle latency; CU-L2 {}, L2-IOMMU {}, CU-IOMMU {} cycles",
+            s.dram.bytes_per_cycle, s.dram.latency, s.noc.cu_to_l2, s.noc.l2_to_iommu, s.noc.cu_to_iommu
+        )
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 2: the evaluated MMU design configurations.
+
+use gvc::SystemConfig;
+use gvc_tlb::tlb::TlbOrganization;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One design row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Design name.
+    pub design: String,
+    /// Per-CU TLB description.
+    pub per_cu_tlb: String,
+    /// IOMMU TLB description.
+    pub iommu_tlb: String,
+    /// Bandwidth limit description.
+    pub bandwidth: String,
+}
+
+/// The rendered table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// All design rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+fn tlb_desc(org: TlbOrganization) -> String {
+    match org {
+        TlbOrganization::FullyAssociative { entries } => format!("{entries}-entry"),
+        TlbOrganization::SetAssociative { entries, .. } => format!("{entries}-entry"),
+        TlbOrganization::Infinite => "Infinite size".to_string(),
+    }
+}
+
+fn row(name: &str, cfg: &SystemConfig, per_cu: Option<String>) -> Row {
+    Row {
+        design: name.to_string(),
+        per_cu_tlb: per_cu.unwrap_or_else(|| tlb_desc(cfg.per_cu_tlb.organization)),
+        iommu_tlb: match cfg.design {
+            gvc::MmuDesign::VirtualHierarchy { fbt_as_second_level: true } => {
+                format!("{} (+{}-entry FBT)", tlb_desc(cfg.iommu.tlb.organization), cfg.fbt.entries)
+            }
+            _ => tlb_desc(cfg.iommu.tlb.organization),
+        },
+        bandwidth: match cfg.iommu.port_width {
+            Some(w) => format!("{w} access/cycle"),
+            None => "Infinite".to_string(),
+        },
+    }
+}
+
+/// Collects the table.
+pub fn collect() -> Table2 {
+    Table2 {
+        rows: vec![
+            row("IDEAL MMU", &SystemConfig::ideal_mmu(), None),
+            row("Baseline 512", &SystemConfig::baseline_512(), None),
+            row("Baseline 16K", &SystemConfig::baseline_16k(), None),
+            row("VC W/O OPT", &SystemConfig::vc_without_opt(), Some("-".to_string())),
+            row("VC With OPT", &SystemConfig::vc_with_opt(), Some("-".to_string())),
+        ],
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: evaluated MMU design configurations")?;
+        writeln!(f, "{:<14} {:>14} {:>26} {:>16}", "Design", "Per-CU TLB", "IOMMU TLB", "B/W Limit")?;
+        for r in &self.rows {
+            writeln!(f, "{:<14} {:>14} {:>26} {:>16}", r.design, r.per_cu_tlb, r.iommu_tlb, r.bandwidth)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation from the `gvc` simulator.
+//!
+//! Each figure module produces a serializable data structure plus a
+//! text rendering that mirrors the paper's presentation. The `repro`
+//! binary drives them (`cargo run --release -p gvc-bench --bin repro
+//! -- all`); the Criterion benches exercise the same code paths at
+//! test scale.
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{run, RunKey};

@@ -1,0 +1,118 @@
+//! Shared run machinery with memoization.
+//!
+//! Several figures reuse the same (workload, design) runs — Figure 4's
+//! baselines are Figure 9's baselines, for example. A process-wide
+//! cache keyed by the run's full configuration avoids recomputing
+//! them within one `repro` invocation.
+
+use gvc::SystemConfig;
+use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc_workloads::{Scale, WorkloadId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Whether [`run`] memoizes results (default). The Criterion benches
+/// disable it so every iteration measures real simulation work.
+static MEMOIZE: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables run memoization (see [`run`]).
+pub fn set_memoization(enabled: bool) {
+    MEMOIZE.store(enabled, Ordering::SeqCst);
+}
+
+/// Identifies a memoizable run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunKey {
+    /// The workload.
+    pub workload: WorkloadId,
+    /// The full memory-system configuration.
+    pub config: SystemConfig,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+fn cache() -> &'static Mutex<Vec<(String, RunReport)>> {
+    static CACHE: std::sync::OnceLock<Mutex<Vec<(String, RunReport)>>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn key_string(key: &RunKey) -> String {
+    // SystemConfig and Scale are serializable; serde_json gives a
+    // stable, collision-free key.
+    format!(
+        "{}|{}|{}|{}",
+        key.workload.name(),
+        serde_json::to_string(&key.config).expect("config serializes"),
+        serde_json::to_string(&key.scale).expect("scale serializes"),
+        key.seed
+    )
+}
+
+/// Runs (or retrieves) one simulation.
+pub fn run(workload: WorkloadId, config: SystemConfig, scale: Scale, seed: u64) -> RunReport {
+    let memoize = MEMOIZE.load(Ordering::SeqCst);
+    let key = key_string(&RunKey { workload, config, scale, seed });
+    if memoize {
+        if let Some((_, rep)) = cache().lock().expect("cache lock").iter().find(|(k, _)| *k == key) {
+            return rep.clone();
+        }
+    }
+    let mut w = gvc_workloads::build(workload, scale, seed);
+    let report = GpuSim::new(GpuConfig::default(), config).run(&mut *w.source, &w.os);
+    if memoize {
+        cache().lock().expect("cache lock").push((key, report.clone()));
+    }
+    report
+}
+
+/// Geometric-mean helper used by several figures.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Table-of-workloads run over one design, producing `(id, report)`
+/// pairs in the paper's workload order.
+pub fn run_all(config: SystemConfig, scale: Scale, seed: u64) -> Vec<(WorkloadId, RunReport)> {
+    WorkloadId::all()
+        .into_iter()
+        .map(|id| (id, run(id, config, scale, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_identical_reports() {
+        let scale = Scale::test();
+        let a = run(WorkloadId::Pathfinder, SystemConfig::baseline_512(), scale, 1);
+        let b = run(WorkloadId::Pathfinder, SystemConfig::baseline_512(), scale, 1);
+        assert_eq!(a.cycles, b.cycles);
+        // Different design: distinct run.
+        let c = run(WorkloadId::Pathfinder, SystemConfig::ideal_mmu(), scale, 1);
+        assert!(c.cycles != 0);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

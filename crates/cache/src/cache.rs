@@ -1,0 +1,592 @@
+//! Set-associative tag-store cache with LRU replacement and MSHRs.
+
+use gvc_engine::time::Cycle;
+use gvc_engine::Counter;
+use gvc_mem::{Asid, Perms, LINE_BYTES, LINES_PER_PAGE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a cached line: an address space plus a global line index
+/// (`address / 128`). For physical caches the ASID is
+/// [`Asid::default`] and the index is physical; for virtual caches the
+/// index is virtual and the ASID disambiguates homonyms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineKey {
+    /// Address space (always default for physical caches).
+    pub asid: Asid,
+    /// Global line index: byte address / line size.
+    pub line: u64,
+}
+
+impl LineKey {
+    /// Builds a key.
+    pub fn new(asid: Asid, line: u64) -> Self {
+        LineKey { asid, line }
+    }
+
+    /// The page index this line belongs to (line / lines-per-page).
+    pub fn page(&self) -> u64 {
+        self.line / LINES_PER_PAGE
+    }
+
+    /// The line's index within its page (0..=31).
+    pub fn line_in_page(&self) -> u32 {
+        (self.line % LINES_PER_PAGE) as u32
+    }
+}
+
+/// Write-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// GPU L1: writes go through; misses do not allocate; lines are
+    /// never dirty.
+    WriteThroughNoAllocate,
+    /// GPU L2: writes allocate and mark the line dirty; dirty victims
+    /// write back.
+    WriteBackAllocate,
+}
+
+/// Cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Write policy.
+    pub policy: WritePolicy,
+    /// Low line-index bits to skip when computing the set index. A
+    /// bank of an N-bank interleaved cache must set this to log2(N):
+    /// the skipped bits selected the bank and are constant within it,
+    /// so indexing on them would alias every line into a fraction of
+    /// the sets.
+    pub index_shift: u32,
+}
+
+impl CacheConfig {
+    /// The paper's per-CU L1: 32 KB, 4-way, write-through no-allocate.
+    pub fn gpu_l1() -> Self {
+        CacheConfig {
+            bytes: 32 << 10,
+            ways: 4,
+            policy: WritePolicy::WriteThroughNoAllocate,
+            index_shift: 0,
+        }
+    }
+
+    /// One bank of the paper's shared L2: 2 MB / 8 banks = 256 KB,
+    /// 16-way, write-back.
+    pub fn gpu_l2_bank() -> Self {
+        CacheConfig {
+            bytes: (2 << 20) / 8,
+            ways: 16,
+            policy: WritePolicy::WriteBackAllocate,
+            index_shift: 3, // 8-bank interleaving
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        (self.bytes / LINE_BYTES) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.lines() / self.ways
+    }
+}
+
+/// A resident cache line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// The line's key.
+    pub key: LineKey,
+    /// Page permissions carried with the line (virtual caches check
+    /// permissions here instead of at a TLB).
+    pub perms: Perms,
+    /// Whether the line holds unwritten-back data.
+    pub dirty: bool,
+    /// When the line was filled.
+    pub inserted_at: Cycle,
+    /// When the line was last accessed (for "active lifetime").
+    pub last_access: Cycle,
+}
+
+impl CacheLine {
+    /// The line's active lifetime: cached-to-last-access, the Figure 12
+    /// metric.
+    pub fn active_lifetime(&self) -> u64 {
+        self.last_access.raw().saturating_sub(self.inserted_at.raw())
+    }
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub lookups: Counter,
+    /// Hits.
+    pub hits: Counter,
+    /// Misses.
+    pub misses: Counter,
+    /// Capacity/conflict evictions.
+    pub evictions: Counter,
+    /// Dirty evictions (write-backs).
+    pub writebacks: Counter,
+    /// Lines removed by invalidation.
+    pub invalidations: Counter,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0.0 if none).
+    pub fn hit_ratio(&self) -> f64 {
+        self.hits.ratio_of(self.lookups.get())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: CacheLine,
+    last_use: u64,
+}
+
+/// A set-associative cache tag store with true LRU.
+///
+/// ```
+/// use gvc_cache::{CacheConfig, LineKey, SetAssocCache};
+/// use gvc_engine::Cycle;
+/// use gvc_mem::{Asid, Perms};
+///
+/// let mut l1 = SetAssocCache::new(CacheConfig::gpu_l1());
+/// let key = LineKey::new(Asid(0), 42);
+/// assert!(l1.lookup(key, Cycle::new(0)).is_none());
+/// l1.insert(key, Perms::READ_WRITE, false, Cycle::new(5));
+/// assert!(l1.lookup(key, Cycle::new(6)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Slot>>,
+    use_clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero lines, or ways that
+    /// do not divide the line count).
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = config.lines();
+        assert!(lines > 0, "cache must hold at least one line");
+        assert!(
+            config.ways > 0 && lines % config.ways == 0,
+            "ways must divide line count"
+        );
+        SetAssocCache {
+            sets: vec![Vec::new(); config.sets()],
+            config,
+            use_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_index(&self, key: LineKey) -> usize {
+        (((key.line >> self.config.index_shift) ^ ((key.asid.0 as u64) << 13))
+            % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a line; a hit updates recency and `last_access`.
+    pub fn lookup(&mut self, key: LineKey, now: Cycle) -> Option<CacheLine> {
+        self.stats.lookups.inc();
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_index(key);
+        let hit = self.sets[set].iter_mut().find(|s| s.line.key == key).map(|s| {
+            s.last_use = clock;
+            s.line.last_access = now;
+            s.line
+        });
+        if hit.is_some() {
+            self.stats.hits.inc();
+        } else {
+            self.stats.misses.inc();
+        }
+        hit
+    }
+
+    /// Peeks without touching recency or statistics.
+    pub fn peek(&self, key: LineKey) -> Option<CacheLine> {
+        let set = self.set_index(key);
+        self.sets[set].iter().find(|s| s.line.key == key).map(|s| s.line)
+    }
+
+    /// Marks a resident line dirty (write hit under write-back);
+    /// returns whether the line was present.
+    pub fn mark_dirty(&mut self, key: LineKey) -> bool {
+        let set = self.set_index(key);
+        if let Some(s) = self.sets[set].iter_mut().find(|s| s.line.key == key) {
+            s.line.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line, returning the victim it displaced (if any).
+    /// Reinsertion of a resident key updates it in place.
+    pub fn insert(&mut self, key: LineKey, perms: Perms, dirty: bool, now: Cycle) -> Option<CacheLine> {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_index(key);
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.line.key == key) {
+            s.line.perms = perms;
+            s.line.dirty |= dirty;
+            s.line.last_access = now;
+            s.last_use = clock;
+            return None;
+        }
+        let mut victim = None;
+        if slots.len() >= self.config.ways {
+            let idx = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let v = slots.swap_remove(idx).line;
+            self.stats.evictions.inc();
+            if v.dirty {
+                self.stats.writebacks.inc();
+            }
+            victim = Some(v);
+        }
+        slots.push(Slot {
+            line: CacheLine {
+                key,
+                perms,
+                dirty,
+                inserted_at: now,
+                last_access: now,
+            },
+            last_use: clock,
+        });
+        victim
+    }
+
+    /// Invalidates one line, returning it if it was present.
+    pub fn invalidate(&mut self, key: LineKey) -> Option<CacheLine> {
+        let set = self.set_index(key);
+        let idx = self.sets[set].iter().position(|s| s.line.key == key)?;
+        self.stats.invalidations.inc();
+        Some(self.sets[set].swap_remove(idx).line)
+    }
+
+    /// Invalidates every resident line of a virtual/physical page,
+    /// returning the removed lines.
+    pub fn invalidate_page(&mut self, asid: Asid, page: u64) -> Vec<CacheLine> {
+        let mut removed = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                let l = &set[i].line;
+                if l.key.asid == asid && l.key.page() == page {
+                    removed.push(set.swap_remove(i).line);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.stats.invalidations.add(removed.len() as u64);
+        removed
+    }
+
+    /// Invalidates everything, returning the removed lines (an
+    /// all-entry flush).
+    pub fn flush(&mut self) -> Vec<CacheLine> {
+        let mut removed = Vec::new();
+        for set in &mut self.sets {
+            removed.extend(set.drain(..).map(|s| s.line));
+        }
+        self.stats.invalidations.add(removed.len() as u64);
+        removed
+    }
+
+    /// Iterates over resident lines (diagnostics and invariants).
+    pub fn iter(&self) -> impl Iterator<Item = CacheLine> + '_ {
+        self.sets.iter().flatten().map(|s| s.line)
+    }
+}
+
+/// Outcome of consulting the MSHR file on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The line is already being fetched; this request completes with
+    /// the in-flight fill.
+    Merged {
+        /// When the in-flight fill completes.
+        fill_done: Cycle,
+    },
+    /// No in-flight fetch; the caller must issue one and then call
+    /// [`MshrFile::register`].
+    Primary,
+}
+
+/// Miss-status holding registers: merges concurrent misses to the same
+/// line so only one fill is outstanding per line.
+///
+/// ```
+/// use gvc_cache::{LineKey, MshrFile};
+/// use gvc_engine::Cycle;
+/// use gvc_mem::Asid;
+///
+/// let mut mshr = MshrFile::new();
+/// let key = LineKey::new(Asid(0), 7);
+/// assert!(matches!(mshr.check(key, Cycle::new(0)), gvc_cache::cache::MshrOutcome::Primary));
+/// mshr.register(key, Cycle::new(200));
+/// // A second miss to the same line merges.
+/// match mshr.check(key, Cycle::new(50)) {
+///     gvc_cache::cache::MshrOutcome::Merged { fill_done } => assert_eq!(fill_done, Cycle::new(200)),
+///     other => panic!("expected merge, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct MshrFile {
+    inflight: HashMap<LineKey, Cycle>,
+    merges: Counter,
+    primaries: Counter,
+}
+
+impl MshrFile {
+    /// Creates an empty MSHR file.
+    pub fn new() -> Self {
+        MshrFile::default()
+    }
+
+    /// Checks for an in-flight fill of `key` at time `now`. Stale
+    /// entries (fills that completed in the past) are pruned lazily.
+    pub fn check(&mut self, key: LineKey, now: Cycle) -> MshrOutcome {
+        if let Some(&done) = self.inflight.get(&key) {
+            if done > now {
+                self.merges.inc();
+                return MshrOutcome::Merged { fill_done: done };
+            }
+            self.inflight.remove(&key);
+        }
+        self.primaries.inc();
+        MshrOutcome::Primary
+    }
+
+    /// The pending fill completion for `key`, if one is still in
+    /// flight at `now`. Unlike [`MshrFile::check`], this neither
+    /// counts statistics nor prunes — use it to delay *hits* on lines
+    /// whose fill has not landed yet.
+    pub fn pending(&self, key: LineKey, now: Cycle) -> Option<Cycle> {
+        self.inflight.get(&key).copied().filter(|&done| done > now)
+    }
+
+    /// Registers a primary miss's fill completion time.
+    pub fn register(&mut self, key: LineKey, fill_done: Cycle) {
+        self.inflight.insert(key, fill_done);
+        // Opportunistic pruning keeps the map small.
+        if self.inflight.len() > 4096 {
+            self.inflight.retain(|_, &mut done| done > fill_done);
+        }
+    }
+
+    /// Number of merged (secondary) misses so far.
+    pub fn merges(&self) -> u64 {
+        self.merges.get()
+    }
+
+    /// Number of primary misses so far.
+    pub fn primaries(&self) -> u64 {
+        self.primaries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(line: u64) -> LineKey {
+        LineKey::new(Asid(0), line)
+    }
+
+    #[test]
+    fn geometry_matches_table1() {
+        let l1 = CacheConfig::gpu_l1();
+        assert_eq!(l1.lines(), 256);
+        assert_eq!(l1.sets(), 64);
+        let l2b = CacheConfig::gpu_l2_bank();
+        assert_eq!(l2b.lines(), 2048);
+        assert_eq!(l2b.sets(), 128);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        assert!(c.lookup(key(1), Cycle::new(0)).is_none());
+        c.insert(key(1), Perms::READ_WRITE, false, Cycle::new(1));
+        let hit = c.lookup(key(1), Cycle::new(9)).expect("hit");
+        assert_eq!(hit.key, key(1));
+        assert_eq!(hit.last_access, Cycle::new(9));
+        assert_eq!(c.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn capacity_never_exceeded_and_lru_respected() {
+        let cfg = CacheConfig {
+            bytes: 4 * LINE_BYTES,
+            ways: 4,
+            policy: WritePolicy::WriteBackAllocate,
+            index_shift: 0,
+        };
+        let mut c = SetAssocCache::new(cfg);
+        for i in 0..4 {
+            assert!(c.insert(key(i), Perms::READ_WRITE, false, Cycle::new(i)).is_none());
+        }
+        c.lookup(key(0), Cycle::new(10)); // 0 becomes MRU; 1 is LRU
+        let victim = c.insert(key(9), Perms::READ_WRITE, false, Cycle::new(11)).expect("eviction");
+        assert_eq!(victim.key, key(1));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let cfg = CacheConfig {
+            bytes: LINE_BYTES,
+            ways: 1,
+            policy: WritePolicy::WriteBackAllocate,
+            index_shift: 0,
+        };
+        let mut c = SetAssocCache::new(cfg);
+        c.insert(key(1), Perms::READ_WRITE, true, Cycle::new(0));
+        let v = c.insert(key(2), Perms::READ_WRITE, false, Cycle::new(1)).unwrap();
+        assert!(v.dirty);
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn mark_dirty_on_resident_line() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l2_bank());
+        c.insert(key(5), Perms::READ_WRITE, false, Cycle::new(0));
+        assert!(c.mark_dirty(key(5)));
+        assert!(c.peek(key(5)).unwrap().dirty);
+        assert!(!c.mark_dirty(key(6)));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        c.insert(key(3), Perms::READ_ONLY, false, Cycle::new(0));
+        assert!(c.insert(key(3), Perms::READ_WRITE, true, Cycle::new(5)).is_none());
+        assert_eq!(c.len(), 1);
+        let l = c.peek(key(3)).unwrap();
+        assert_eq!(l.perms, Perms::READ_WRITE);
+        assert!(l.dirty);
+        assert_eq!(l.inserted_at, Cycle::new(0), "insert time is preserved");
+    }
+
+    #[test]
+    fn page_invalidation_removes_exactly_that_page() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l2_bank());
+        // Lines 0..32 are page 0; 32..64 are page 1.
+        for i in 0..64 {
+            c.insert(key(i), Perms::READ_WRITE, false, Cycle::new(i));
+        }
+        let removed = c.invalidate_page(Asid(0), 0);
+        assert_eq!(removed.len(), 32);
+        assert!(removed.iter().all(|l| l.key.page() == 0));
+        assert_eq!(c.len(), 32);
+        assert!(c.iter().all(|l| l.key.page() == 1));
+    }
+
+    #[test]
+    fn asid_disambiguates_same_line_index() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        let ka = LineKey::new(Asid(1), 7);
+        let kb = LineKey::new(Asid(2), 7);
+        c.insert(ka, Perms::READ_ONLY, false, Cycle::new(0));
+        c.insert(kb, Perms::READ_WRITE, false, Cycle::new(0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(ka).unwrap().perms, Perms::READ_ONLY);
+        assert_eq!(c.peek(kb).unwrap().perms, Perms::READ_WRITE);
+    }
+
+    #[test]
+    fn active_lifetime_measures_last_touch() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        c.insert(key(1), Perms::READ_WRITE, false, Cycle::new(100));
+        c.lookup(key(1), Cycle::new(400));
+        let l = c.invalidate(key(1)).unwrap();
+        assert_eq!(l.active_lifetime(), 300);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        for i in 0..10 {
+            c.insert(key(i), Perms::READ_WRITE, false, Cycle::new(i));
+        }
+        let removed = c.flush();
+        assert_eq!(removed.len(), 10);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations.get(), 10);
+    }
+
+    #[test]
+    fn line_key_page_math() {
+        let k = LineKey::new(Asid(0), 33);
+        assert_eq!(k.page(), 1);
+        assert_eq!(k.line_in_page(), 1);
+        assert_eq!(LineKey::new(Asid(0), 31).page(), 0);
+    }
+
+    #[test]
+    fn mshr_merges_until_fill_completes() {
+        let mut m = MshrFile::new();
+        let k = key(9);
+        assert_eq!(m.check(k, Cycle::new(0)), MshrOutcome::Primary);
+        m.register(k, Cycle::new(100));
+        assert_eq!(m.check(k, Cycle::new(99)), MshrOutcome::Merged { fill_done: Cycle::new(100) });
+        // After the fill lands, the next miss is primary again.
+        assert_eq!(m.check(k, Cycle::new(100)), MshrOutcome::Primary);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.primaries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocCache::new(CacheConfig {
+            bytes: 3 * LINE_BYTES,
+            ways: 2,
+            policy: WritePolicy::WriteBackAllocate,
+            index_shift: 0,
+        });
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-page line-presence tracking for backward-table entries.
+//!
+//! Each BT entry records which of its physical page's 32 cache lines
+//! (4 KB / 128 B) currently reside in the shared L2, enabling
+//! *selective* invalidation on FBT eviction or shootdown (§4.1). For
+//! large pages a bit vector is impractical (a 2 MB page would need
+//! 16,384 bits), so §4.3 proposes an associated *counter* instead;
+//! [`Presence`] supports both modes.
+
+use gvc_mem::LINES_PER_PAGE;
+use serde::{Deserialize, Serialize};
+
+/// Tracks which lines of a page are cached: exactly (bit vector, base
+/// pages) or approximately (counter, large pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Presence {
+    /// One bit per line; permits selective invalidation.
+    Bits(
+        /// Bit `i` set = line `i` of the page is cached in the L2.
+        u32,
+    ),
+    /// Only a population count; invalidation must walk the cache.
+    Counter(
+        /// Number of cached lines from the page.
+        u32,
+    ),
+}
+
+impl Presence {
+    /// An empty bit-vector presence (base pages).
+    pub fn new_bits() -> Self {
+        Presence::Bits(0)
+    }
+
+    /// An empty counter presence (large pages, §4.3).
+    pub fn new_counter() -> Self {
+        Presence::Counter(0)
+    }
+
+    /// Marks line `line` present. In counter mode the count increments
+    /// only if the caller says the line was newly cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line >= 32` in bits mode.
+    pub fn set(&mut self, line: u32) {
+        match self {
+            Presence::Bits(b) => {
+                debug_assert!((line as u64) < LINES_PER_PAGE);
+                *b |= 1 << line;
+            }
+            Presence::Counter(c) => *c += 1,
+        }
+    }
+
+    /// Marks line `line` absent.
+    pub fn clear(&mut self, line: u32) {
+        match self {
+            Presence::Bits(b) => {
+                debug_assert!((line as u64) < LINES_PER_PAGE);
+                *b &= !(1 << line);
+            }
+            Presence::Counter(c) => *c = c.saturating_sub(1),
+        }
+    }
+
+    /// Whether line `line` is (possibly) present. Counter mode cannot
+    /// answer per-line, so any nonzero count reports `true` —
+    /// conservative, like the paper's walk-based invalidation.
+    pub fn test(&self, line: u32) -> bool {
+        match self {
+            Presence::Bits(b) => b & (1 << line) != 0,
+            Presence::Counter(c) => *c > 0,
+        }
+    }
+
+    /// Number of lines recorded present.
+    pub fn count(&self) -> u32 {
+        match self {
+            Presence::Bits(b) => b.count_ones(),
+            Presence::Counter(c) => *c,
+        }
+    }
+
+    /// Whether no lines are present.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Whether this presence can enumerate its lines exactly
+    /// (selective invalidation possible).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Presence::Bits(_))
+    }
+
+    /// Iterates over present line indices (bits mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called in counter mode; callers must check
+    /// [`Presence::is_exact`] and fall back to a cache walk.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        match self {
+            Presence::Bits(b) => {
+                let bits = *b;
+                (0..LINES_PER_PAGE as u32).filter(move |i| bits & (1 << i) != 0)
+            }
+            Presence::Counter(_) => panic!("counter presence cannot enumerate lines"),
+        }
+    }
+}
+
+impl Default for Presence {
+    fn default() -> Self {
+        Presence::new_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_set_clear_test() {
+        let mut p = Presence::new_bits();
+        assert!(p.is_empty());
+        p.set(0);
+        p.set(31);
+        assert!(p.test(0) && p.test(31) && !p.test(15));
+        assert_eq!(p.count(), 2);
+        p.clear(0);
+        assert!(!p.test(0));
+        assert_eq!(p.count(), 1);
+        assert!(p.is_exact());
+    }
+
+    #[test]
+    fn bits_iteration_enumerates_exactly() {
+        let mut p = Presence::new_bits();
+        for i in [3u32, 7, 20] {
+            p.set(i);
+        }
+        let set: Vec<u32> = p.iter_set().collect();
+        assert_eq!(set, vec![3, 7, 20]);
+    }
+
+    #[test]
+    fn set_is_idempotent_in_bits_mode() {
+        let mut p = Presence::new_bits();
+        p.set(5);
+        p.set(5);
+        assert_eq!(p.count(), 1, "bit vectors cannot double-count");
+    }
+
+    #[test]
+    fn counter_mode_is_conservative() {
+        let mut p = Presence::new_counter();
+        assert!(!p.is_exact());
+        p.set(3);
+        p.set(9);
+        assert_eq!(p.count(), 2);
+        assert!(p.test(25), "any line may be present while count > 0");
+        p.clear(3);
+        p.clear(9);
+        assert!(!p.test(25));
+        p.clear(0);
+        assert_eq!(p.count(), 0, "clear saturates at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enumerate")]
+    fn counter_iteration_panics() {
+        let p = Presence::new_counter();
+        let _ = p.iter_set().count();
+    }
+}

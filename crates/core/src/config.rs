@@ -1,0 +1,310 @@
+//! System configuration and the paper's MMU design presets (Table 2).
+
+use crate::fbt::FbtConfig;
+use crate::remap::RemapConfig;
+use gvc_cache::CacheConfig;
+use gvc_soc::{DramConfig, NocConfig};
+use gvc_tlb::iommu::IommuConfig;
+use gvc_tlb::tlb::TlbConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which memory-system organization to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmuDesign {
+    /// Physical caches with per-CU TLBs and a shared IOMMU TLB
+    /// (Figure 1). The IDEAL MMU is this design with infinite TLBs and
+    /// unlimited IOMMU bandwidth.
+    Baseline,
+    /// The paper's proposal: the whole GPU hierarchy (L1s + L2) is
+    /// virtual; translation happens only on L2 misses, checked against
+    /// the FBT (Figure 6).
+    VirtualHierarchy {
+        /// Use the FBT as a second-level TLB on shared-TLB misses
+        /// ("VC With OPT").
+        fbt_as_second_level: bool,
+    },
+    /// Virtual L1s over a physical L2 with per-CU TLBs consulted after
+    /// L1 misses — the prior-work CPU-style design of §5.4.
+    L1OnlyVirtual,
+}
+
+/// What to do when a synonym access hits a page with read-write
+/// aliasing (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SynonymPolicy {
+    /// The paper's design: conservatively fault (GPUs lack precise
+    /// recovery).
+    FaultOnReadWrite,
+    /// Future hardware with replay support: replay through the leading
+    /// virtual address instead of faulting.
+    ReplayAlways,
+}
+
+/// Fixed component latencies, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// L1 tag+data access.
+    pub l1_hit: u64,
+    /// L2 bank access (after the NoC hop).
+    pub l2_hit: u64,
+    /// Per-CU TLB lookup.
+    pub per_cu_tlb: u64,
+    /// Posted-write acknowledge at the CU.
+    pub write_ack: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            l1_hit: 4,
+            l2_hit: 20,
+            per_cu_tlb: 1,
+            write_ack: 1,
+        }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Compute units sharing the hierarchy (Table 1: 16).
+    pub n_cus: usize,
+    /// Organization under test.
+    pub design: MmuDesign,
+    /// Per-CU TLB (baseline and L1-only designs; ignored by the full
+    /// virtual hierarchy, which removes per-CU TLBs entirely).
+    pub per_cu_tlb: TlbConfig,
+    /// The shared IOMMU front end.
+    pub iommu: IommuConfig,
+    /// The forward–backward table (virtual designs).
+    pub fbt: FbtConfig,
+    /// Per-CU L1 geometry.
+    pub l1: CacheConfig,
+    /// One L2 bank's geometry.
+    pub l2_bank: CacheConfig,
+    /// Number of L2 banks.
+    pub l2_banks: usize,
+    /// Per-bank L2 port width (accesses/cycle).
+    pub l2_port_width: u32,
+    /// Interconnect latencies.
+    pub noc: NocConfig,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Fixed latencies.
+    pub lat: Latencies,
+    /// Synonym handling policy.
+    pub synonym_policy: SynonymPolicy,
+    /// Record TLB-entry and cache-line lifetimes (Figure 12); costs
+    /// memory proportional to evictions.
+    pub track_lifetimes: bool,
+    /// Merge concurrent per-CU TLB misses to the same page into one
+    /// IOMMU request (MSHR coalescing, default). Disabling it sends
+    /// every per-CU TLB miss to the IOMMU — an upper bound used by the
+    /// ablation bench.
+    pub merge_tlb_misses: bool,
+    /// Use the per-L1 invalidation filters (§4.2). Disabling them
+    /// makes every page invalidation flush every L1 — the ablation
+    /// quantifies how much the filters save.
+    pub use_inval_filter: bool,
+    /// Enable §4.3's dynamic synonym remapping: per-CU tables remap
+    /// known non-leading virtual pages to their leading pages before
+    /// the L1 lookup, eliminating the per-access replay cost.
+    pub dynamic_synonym_remapping: bool,
+    /// Per-CU synonym remapping table geometry.
+    pub remap: RemapConfig,
+}
+
+impl SystemConfig {
+    fn base(design: MmuDesign) -> Self {
+        SystemConfig {
+            n_cus: 16,
+            design,
+            per_cu_tlb: TlbConfig::per_cu(32),
+            iommu: IommuConfig::small(),
+            fbt: FbtConfig::default(),
+            l1: CacheConfig::gpu_l1(),
+            l2_bank: CacheConfig::gpu_l2_bank(),
+            l2_banks: 8,
+            l2_port_width: 1,
+            noc: NocConfig::default(),
+            dram: DramConfig::default(),
+            lat: Latencies::default(),
+            synonym_policy: SynonymPolicy::FaultOnReadWrite,
+            track_lifetimes: false,
+            merge_tlb_misses: true,
+            use_inval_filter: true,
+            dynamic_synonym_remapping: false,
+            remap: RemapConfig::default(),
+        }
+    }
+
+    /// Table 2 "IDEAL MMU": infinite per-CU and IOMMU TLBs, minimal
+    /// latency, unlimited IOMMU bandwidth.
+    pub fn ideal_mmu() -> Self {
+        SystemConfig {
+            per_cu_tlb: TlbConfig::infinite(),
+            iommu: IommuConfig::ideal(),
+            lat: Latencies { per_cu_tlb: 0, ..Latencies::default() },
+            ..Self::base(MmuDesign::Baseline)
+        }
+    }
+
+    /// Table 2 "Baseline 512": 32-entry per-CU TLBs, 512-entry IOMMU
+    /// TLB, 1 access/cycle.
+    pub fn baseline_512() -> Self {
+        Self::base(MmuDesign::Baseline)
+    }
+
+    /// Table 2 "Baseline 16K": 32-entry per-CU TLBs, 16K-entry IOMMU
+    /// TLB, 1 access/cycle.
+    pub fn baseline_16k() -> Self {
+        SystemConfig {
+            iommu: IommuConfig::large(),
+            ..Self::base(MmuDesign::Baseline)
+        }
+    }
+
+    /// The Figure 10 comparator: large (128-entry) per-CU TLBs with a
+    /// 16K-entry IOMMU TLB.
+    pub fn baseline_large_per_cu_tlbs() -> Self {
+        SystemConfig {
+            per_cu_tlb: TlbConfig::per_cu(128),
+            iommu: IommuConfig::large(),
+            ..Self::base(MmuDesign::Baseline)
+        }
+    }
+
+    /// Baseline with an unlimited-bandwidth IOMMU port — the Figure 3
+    /// measurement configuration (access demand without serialization).
+    pub fn baseline_infinite_bandwidth() -> Self {
+        let mut iommu = IommuConfig::large();
+        iommu.port_width = None;
+        SystemConfig {
+            iommu,
+            ..Self::base(MmuDesign::Baseline)
+        }
+    }
+
+    /// Table 2 "VC W/O OPT": full virtual hierarchy, 512-entry IOMMU
+    /// TLB, no FBT second-level lookup.
+    pub fn vc_without_opt() -> Self {
+        Self::base(MmuDesign::VirtualHierarchy { fbt_as_second_level: false })
+    }
+
+    /// Table 2 "VC With OPT": full virtual hierarchy with the FBT as a
+    /// 16K-entry second-level TLB behind the 512-entry shared TLB.
+    pub fn vc_with_opt() -> Self {
+        Self::base(MmuDesign::VirtualHierarchy { fbt_as_second_level: true })
+    }
+
+    /// §5.4 "L1-Only VC (32)": virtual L1s, physical L2, 32-entry
+    /// per-CU TLBs, 16K-entry IOMMU TLB.
+    pub fn l1_only_vc_32() -> Self {
+        SystemConfig {
+            iommu: IommuConfig::large(),
+            ..Self::base(MmuDesign::L1OnlyVirtual)
+        }
+    }
+
+    /// §5.4 "L1-Only VC (128)": as above with 128-entry per-CU TLBs.
+    pub fn l1_only_vc_128() -> Self {
+        SystemConfig {
+            per_cu_tlb: TlbConfig::per_cu(128),
+            iommu: IommuConfig::large(),
+            ..Self::base(MmuDesign::L1OnlyVirtual)
+        }
+    }
+
+    /// Sets the per-CU TLB entry count (Figure 2 sweep); `None` means
+    /// infinite.
+    pub fn with_per_cu_tlb_entries(mut self, entries: Option<usize>) -> Self {
+        self.per_cu_tlb = match entries {
+            Some(n) => TlbConfig::per_cu(n),
+            None => TlbConfig::infinite(),
+        };
+        self
+    }
+
+    /// Sets the IOMMU port width (Figure 5 sweep).
+    pub fn with_iommu_port_width(mut self, width: u32) -> Self {
+        self.iommu.port_width = Some(width);
+        self
+    }
+
+    /// Enables lifetime tracking (Figure 12).
+    pub fn with_lifetimes(mut self) -> Self {
+        self.track_lifetimes = true;
+        self
+    }
+
+    /// Short design label for reports.
+    pub fn label(&self) -> &'static str {
+        match self.design {
+            MmuDesign::Baseline => {
+                if matches!(self.iommu.tlb.organization, gvc_tlb::tlb::TlbOrganization::Infinite) {
+                    "IDEAL MMU"
+                } else {
+                    "Baseline"
+                }
+            }
+            MmuDesign::VirtualHierarchy { fbt_as_second_level: true } => "VC With OPT",
+            MmuDesign::VirtualHierarchy { fbt_as_second_level: false } => "VC W/O OPT",
+            MmuDesign::L1OnlyVirtual => "L1-Only VC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_tlb::tlb::TlbOrganization;
+
+    #[test]
+    fn table2_presets_match_paper() {
+        let b512 = SystemConfig::baseline_512();
+        assert_eq!(b512.per_cu_tlb, TlbConfig::per_cu(32));
+        assert_eq!(b512.iommu.tlb, TlbConfig::shared(512));
+        assert_eq!(b512.iommu.port_width, Some(1));
+
+        let b16k = SystemConfig::baseline_16k();
+        assert_eq!(b16k.iommu.tlb, TlbConfig::shared(16 * 1024));
+        assert_eq!(b16k.iommu.port_width, Some(1));
+
+        let ideal = SystemConfig::ideal_mmu();
+        assert_eq!(ideal.per_cu_tlb, TlbConfig::infinite());
+        assert_eq!(ideal.iommu.port_width, None);
+        assert_eq!(ideal.label(), "IDEAL MMU");
+
+        let vc = SystemConfig::vc_with_opt();
+        assert_eq!(vc.iommu.tlb, TlbConfig::shared(512));
+        assert!(matches!(vc.design, MmuDesign::VirtualHierarchy { fbt_as_second_level: true }));
+        assert_eq!(vc.fbt.entries, 16 * 1024);
+        assert_eq!(vc.label(), "VC With OPT");
+        assert_eq!(SystemConfig::vc_without_opt().label(), "VC W/O OPT");
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let c = SystemConfig::baseline_512().with_per_cu_tlb_entries(None);
+        assert!(matches!(c.per_cu_tlb.organization, TlbOrganization::Infinite));
+        let c = SystemConfig::baseline_16k().with_iommu_port_width(4);
+        assert_eq!(c.iommu.port_width, Some(4));
+        assert!(SystemConfig::baseline_512().with_lifetimes().track_lifetimes);
+    }
+
+    #[test]
+    fn table1_geometry() {
+        let c = SystemConfig::baseline_512();
+        assert_eq!(c.n_cus, 16);
+        assert_eq!(c.l1.bytes, 32 << 10);
+        assert_eq!(c.l2_bank.bytes * c.l2_banks as u64, 2 << 20);
+        assert_eq!(c.l2_banks, 8);
+    }
+
+    #[test]
+    fn l1_only_presets() {
+        assert_eq!(SystemConfig::l1_only_vc_32().per_cu_tlb, TlbConfig::per_cu(32));
+        assert_eq!(SystemConfig::l1_only_vc_128().per_cu_tlb, TlbConfig::per_cu(128));
+        assert_eq!(SystemConfig::l1_only_vc_32().label(), "L1-Only VC");
+    }
+}

@@ -1,0 +1,328 @@
+//! TLB shootdowns and CPU coherence probes for every design (§4.1).
+//!
+//! * **Shootdowns** — in the baseline they invalidate per-CU TLBs and
+//!   the shared IOMMU TLB. In the virtual designs they must also
+//!   remove cached data whose virtual page died: the FT filters pages
+//!   with no cached data; hits lock the BT entry, selectively
+//!   invalidate its L2 lines via the bit vector, and broadcast to the
+//!   per-CU L1 invalidation filters.
+//! * **Probes** — CPU-side coherence requests carry physical
+//!   addresses. The baseline indexes its physical L2 directly. The
+//!   virtual hierarchy reverse-translates through the backward table,
+//!   which doubles as a *coherence filter*: probes to lines the GPU
+//!   does not cache are answered at the IOMMU without touching the
+//!   GPU at all (like the region buffer of heterogeneous system
+//!   coherence).
+
+use super::{MemorySystem, PHYS};
+use crate::config::MmuDesign;
+use gvc_cache::LineKey;
+use gvc_engine::time::{Cycle, Duration};
+use gvc_mem::{Shootdown, Vpn, LINES_PER_PAGE};
+use gvc_soc::{Probe, ProbeKind};
+
+/// The GPU's answer to a coherence probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResponse {
+    /// When the response leaves the GPU/IOMMU boundary.
+    pub done_at: Cycle,
+    /// Whether the BT filtered the probe (virtual designs only).
+    pub filtered: bool,
+    /// Whether a cached line was invalidated.
+    pub invalidated: bool,
+}
+
+impl MemorySystem {
+    /// Applies an OS TLB shootdown at `now`; returns when the
+    /// acknowledge would be sent.
+    pub fn apply_shootdown(&mut self, sd: &Shootdown, now: Cycle) -> Cycle {
+        match sd {
+            Shootdown::Pages { asid, vpns } => {
+                let mut t = now;
+                for vpn in vpns {
+                    self.counters.shootdown_pages.inc();
+                    t = self.shootdown_one(*asid, *vpn, t);
+                }
+                t
+            }
+            Shootdown::AllOf { asid } => {
+                self.iommu.shootdown_asid(*asid);
+                for tlb in &mut self.tlbs {
+                    tlb.invalidate_asid(*asid);
+                }
+                match self.cfg.design {
+                    MmuDesign::Baseline => {}
+                    MmuDesign::L1OnlyVirtual => {
+                        // Virtual L1s may hold the dead space's lines.
+                        for cu in 0..self.cfg.n_cus {
+                            self.l1[cu].flush();
+                            self.filters[cu].clear();
+                            self.counters.l1_flushes.inc();
+                        }
+                    }
+                    MmuDesign::VirtualHierarchy { .. } => {
+                        for srt in &mut self.srt {
+                            srt.flush();
+                        }
+                        // All-entry shootdown: cache flush (§4.1).
+                        let victims = self.fbt.remove_asid(*asid);
+                        for v in victims {
+                            self.invalidate_fbt_victim(&v, now);
+                        }
+                    }
+                }
+                now + Duration::new(200)
+            }
+        }
+    }
+
+    fn shootdown_one(&mut self, asid: gvc_mem::Asid, vpn: Vpn, now: Cycle) -> Cycle {
+        self.iommu.shootdown_page(asid, vpn);
+        for tlb in &mut self.tlbs {
+            tlb.invalidate(gvc_tlb::tlb::TlbKey::new(asid, vpn));
+        }
+        self.tlb_inflight.iter_mut().for_each(|m| {
+            m.remove(&gvc_tlb::tlb::TlbKey::new(asid, vpn));
+        });
+        match self.cfg.design {
+            MmuDesign::Baseline => now + Duration::new(50),
+            MmuDesign::L1OnlyVirtual => {
+                // Flush virtual L1s that may hold the page.
+                for cu in 0..self.cfg.n_cus {
+                    if self.filters[cu].must_flush(asid, vpn) {
+                        self.l1[cu].flush();
+                        self.filters[cu].clear();
+                        self.counters.l1_flushes.inc();
+                    } else {
+                        self.counters.l1_inval_filtered.inc();
+                    }
+                }
+                now + Duration::new(100)
+            }
+            MmuDesign::VirtualHierarchy { .. } => {
+                for srt in &mut self.srt {
+                    srt.flush();
+                }
+                // The FT filters shootdowns for uncached pages (§4.1).
+                if let Some(idx) = self.fbt.lookup_va(asid, vpn) {
+                    // Lock, invalidate, release (atomic between
+                    // accesses in this timing model).
+                    self.fbt.entry_mut(idx).locked = true;
+                    let victim = self.fbt.remove(idx);
+                    self.invalidate_fbt_victim(&victim, now);
+                    now + Duration::new(200)
+                } else {
+                    self.counters.shootdown_filtered.inc();
+                    now + Duration::new(self.cfg.fbt.lookup_latency)
+                }
+            }
+        }
+    }
+
+    /// Handles a CPU coherence probe.
+    pub fn handle_probe(&mut self, probe: Probe) -> ProbeResponse {
+        self.counters.probes.inc();
+        let arrive = probe.at + self.noc.dir_to_gpu();
+        match self.cfg.design {
+            MmuDesign::Baseline | MmuDesign::L1OnlyVirtual => {
+                let key = LineKey::new(PHYS, probe.paddr.line_index());
+                let mut invalidated = false;
+                if probe.kind == ProbeKind::Invalidate {
+                    if let Some(line) = self.l2.invalidate(key) {
+                        if line.dirty {
+                            self.dram.write_line(arrive);
+                        }
+                        self.counters.probe_invals.inc();
+                        invalidated = true;
+                    }
+                }
+                ProbeResponse {
+                    done_at: arrive + Duration::new(self.cfg.lat.l2_hit) + self.noc.dir_to_gpu(),
+                    filtered: false,
+                    invalidated,
+                }
+            }
+            MmuDesign::VirtualHierarchy { .. } => {
+                // Reverse translation via the BT; the BT is inclusive,
+                // so a miss means the GPU holds nothing (§4.1).
+                let t_bt = arrive + Duration::new(self.cfg.fbt.lookup_latency);
+                let Some(idx) = self.fbt.lookup_ppn(probe.paddr.ppn()) else {
+                    self.counters.probes_filtered.inc();
+                    return ProbeResponse { done_at: t_bt, filtered: true, invalidated: false };
+                };
+                let line = probe.paddr.line_in_page();
+                let e = *self.fbt.entry(idx);
+                let mut invalidated = false;
+                if e.presence.test(line) && probe.kind == ProbeKind::Invalidate {
+                    let lkey = LineKey::new(
+                        e.leading.asid,
+                        e.leading.vpn.raw() * LINES_PER_PAGE + line as u64,
+                    );
+                    if let Some(l) = self.l2.invalidate(lkey) {
+                        if l.dirty {
+                            // Respond with data: forward translation via
+                            // the FT provides the physical address.
+                            self.dram.write_line(t_bt);
+                        }
+                        self.fbt.entry_mut(idx).presence.clear(line);
+                        self.counters.probe_invals.inc();
+                        invalidated = true;
+                    }
+                }
+                ProbeResponse {
+                    done_at: t_bt
+                        + self.noc.l2_to_iommu_round_trip()
+                        + Duration::new(self.cfg.lat.l2_hit),
+                    filtered: false,
+                    invalidated,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::hierarchy::LineAccess;
+    use gvc_mem::{Asid, OsLite, Perms, ProcessId, VRange, PAGE_BYTES};
+
+    fn setup(pages: u64) -> (OsLite, ProcessId, VRange) {
+        let mut os = OsLite::new(256 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        (os, pid, r)
+    }
+
+    fn read(r: &VRange, off: u64, cu: usize, at: u64) -> LineAccess {
+        LineAccess {
+            cu,
+            asid: Asid(0),
+            vaddr: r.addr_at(off),
+            is_write: false,
+            at: Cycle::new(at),
+        }
+    }
+
+    #[test]
+    fn virtual_shootdown_removes_page_everywhere() {
+        let (mut os, pid, r) = setup(2);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = 0;
+        for line in 0..4u64 {
+            t = mem.access(read(&r, line * 128, 0, t), &os).done_at.raw();
+        }
+        let key = MemorySystem::virt_key(Asid(0), r.start());
+        assert!(mem.l2.peek(key).is_some());
+        let sd = os
+            .munmap(pid, gvc_mem::VRange::new(r.start(), PAGE_BYTES))
+            .unwrap();
+        mem.apply_shootdown(&sd, Cycle::new(t));
+        assert!(mem.l2.peek(key).is_none(), "shot-down page left the L2");
+        // The L1 of CU 0 was flushed via its filter.
+        assert!(mem.counters().l1_flushes.get() >= 1);
+        mem.check_virtual_invariants();
+        // Re-accessing faults: the page is gone.
+        let res = mem.access(read(&r, 0, 0, t + 10_000), &os);
+        assert_eq!(res.fault, Some(super::super::AccessFault::PageFault));
+    }
+
+    #[test]
+    fn virtual_shootdown_is_filtered_for_uncached_pages() {
+        let (mut os, pid, _r) = setup(1);
+        let other = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        // Nothing cached; unmapping `other` must be FT-filtered.
+        let sd = os.munmap(pid, other).unwrap();
+        mem.apply_shootdown(&sd, Cycle::new(0));
+        assert_eq!(mem.counters().shootdown_filtered.get(), 1);
+        assert_eq!(mem.counters().l1_flushes.get(), 0);
+    }
+
+    #[test]
+    fn baseline_shootdown_clears_tlbs() {
+        let (mut os, pid, r) = setup(2);
+        let mut mem = MemorySystem::new(SystemConfig::baseline_512());
+        let a = mem.access(read(&r, 0, 0, 0), &os);
+        assert_eq!(mem.per_cu_tlb_stats().misses.get(), 1);
+        let sd = os
+            .munmap(pid, gvc_mem::VRange::new(r.start(), PAGE_BYTES))
+            .unwrap();
+        mem.apply_shootdown(&sd, a.done_at);
+        // Remap so a re-access is legal, then confirm the TLB re-misses.
+        let r2 = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let b = mem.access(read(&r2, 0, 0, a.done_at.raw() + 10_000), &os);
+        assert!(b.fault.is_none());
+        assert_eq!(mem.per_cu_tlb_stats().misses.get(), 2);
+    }
+
+    #[test]
+    fn bt_filters_probes_to_uncached_lines() {
+        let (os, pid, r) = setup(2);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
+        // Probe a *different* (uncached) physical page.
+        let (pa_other, _) = os.translate(pid, r.addr_at(PAGE_BYTES)).unwrap();
+        let resp = mem.handle_probe(Probe {
+            paddr: pa_other,
+            kind: ProbeKind::Invalidate,
+            at: t,
+        });
+        assert!(resp.filtered);
+        assert!(!resp.invalidated);
+        assert_eq!(mem.counters().probes_filtered.get(), 1);
+    }
+
+    #[test]
+    fn probe_invalidates_through_reverse_translation() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Invalidate, at: t });
+        assert!(!resp.filtered);
+        assert!(resp.invalidated);
+        let key = MemorySystem::virt_key(Asid(0), r.start());
+        assert!(mem.l2.peek(key).is_none());
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn downgrade_probe_leaves_line_cached() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Downgrade, at: t });
+        assert!(!resp.invalidated);
+        let key = MemorySystem::virt_key(Asid(0), r.start());
+        assert!(mem.l2.peek(key).is_some());
+    }
+
+    #[test]
+    fn baseline_probe_hits_physical_l2() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::baseline_512());
+        let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Invalidate, at: t });
+        assert!(resp.invalidated);
+        assert_eq!(mem.counters().probe_invals.get(), 1);
+    }
+
+    #[test]
+    fn all_entry_shootdown_flushes_address_space() {
+        let (os, pid, r) = setup(4);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = 0;
+        for p in 0..4u64 {
+            t = mem.access(read(&r, p * PAGE_BYTES, 0, t), &os).done_at.raw();
+        }
+        assert!(mem.l2.len() >= 4);
+        mem.apply_shootdown(&Shootdown::AllOf { asid: pid.asid() }, Cycle::new(t));
+        assert_eq!(mem.l2.len(), 0);
+        assert_eq!(mem.fbt.occupancy(), 0);
+        mem.check_virtual_invariants();
+    }
+}

@@ -1,0 +1,173 @@
+//! The L1-only virtual cache design (§5.4): virtual per-CU L1s over a
+//! *physical* shared L2, with per-CU TLBs consulted only after an L1
+//! miss. This mirrors prior CPU virtual-cache proposals and is the
+//! paper's comparison point — it filters TLB *lookups* at the L1, but
+//! every L1 miss still needs a translation, so the shared IOMMU TLB
+//! sees far more traffic than with the full virtual hierarchy.
+
+use super::{AccessFault, AccessResult, LineAccess, MemorySystem};
+use gvc_cache::cache::MshrOutcome;
+use gvc_engine::time::Duration;
+use gvc_mem::{OsLite, Perms};
+
+impl MemorySystem {
+    pub(super) fn access_l1only(&mut self, a: LineAccess, os: &OsLite) -> AccessResult {
+        let vkey = Self::virt_key(a.asid, a.vaddr);
+        let l1_done = a.at + Duration::new(self.cfg.lat.l1_hit);
+
+        if a.is_write {
+            let ack = a.at + Duration::new(self.cfg.lat.write_ack);
+            // Write-through virtual L1: update in place if present.
+            if let Some(line) = self.l1[a.cu].lookup(vkey, a.at) {
+                if !line.perms.covers(Perms::WRITE) {
+                    self.counters.perm_faults.inc();
+                    return AccessResult::fault(ack, AccessFault::PermissionDenied);
+                }
+            }
+            // Writes always go below: translate, then write the
+            // physical L2.
+            let (ppn, perms, ready, _miss) =
+                match self.translate_per_cu(a.cu, a.asid, a.vaddr.vpn(), l1_done, os) {
+                    Ok(ok) => ok,
+                    Err((done, fault)) => return AccessResult::fault(done, fault),
+                };
+            if !perms.covers(Perms::WRITE) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(ready, AccessFault::PermissionDenied);
+            }
+            let pkey = Self::phys_key(ppn, a.vaddr);
+            self.write_physical(a.cu, pkey, ready);
+            return AccessResult::ok(ack);
+        }
+
+        // Read: virtual L1 first — a hit filters the TLB lookup.
+        if let Some(line) = self.l1[a.cu].lookup(vkey, a.at) {
+            if !line.perms.covers(Perms::READ) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
+            }
+            self.counters.filtered_at_l1.inc();
+            let ready = match self.l1_mshr[a.cu].pending(vkey, a.at) {
+                Some(d) => d.max(l1_done),
+                None => l1_done,
+            };
+            return AccessResult::ok(ready);
+        }
+        if let MshrOutcome::Merged { fill_done } = self.l1_mshr[a.cu].check(vkey, a.at) {
+            self.counters.filtered_at_l1.inc();
+            return AccessResult::ok(fill_done);
+        }
+
+        // L1 miss: per-CU TLB, then the physical L2.
+        let (ppn, perms, ready, _miss) =
+            match self.translate_per_cu(a.cu, a.asid, a.vaddr.vpn(), l1_done, os) {
+                Ok(ok) => ok,
+                Err((done, fault)) => return AccessResult::fault(done, fault),
+            };
+        if !perms.covers(Perms::READ) {
+            self.counters.perm_faults.inc();
+            return AccessResult::fault(ready, AccessFault::PermissionDenied);
+        }
+        let pkey = Self::phys_key(ppn, a.vaddr);
+        // `read_physical` skips the L1 lookup when the fill key differs
+        // from the L2 key (the virtual-L1 case) — the miss already
+        // happened above.
+        let done = self.read_physical(a.cu, pkey, ready, perms, vkey);
+        AccessResult::ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use gvc_engine::time::Cycle;
+    use gvc_mem::{Asid, OsLite, ProcessId, VRange, PAGE_BYTES};
+
+    fn setup(pages: u64) -> (OsLite, ProcessId, VRange) {
+        let mut os = OsLite::new(256 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        (os, pid, r)
+    }
+
+    fn read(r: &VRange, off: u64, cu: usize, at: u64) -> LineAccess {
+        LineAccess {
+            cu,
+            asid: Asid(0),
+            vaddr: r.addr_at(off),
+            is_write: false,
+            at: Cycle::new(at),
+        }
+    }
+
+    #[test]
+    fn l1_hits_filter_tlb_lookups() {
+        let (os, _pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
+        let cold = mem.access(read(&r, 0, 0, 0), &os);
+        let tlb_lookups = mem.per_cu_tlb_stats().lookups.get();
+        assert_eq!(tlb_lookups, 1);
+        let warm = mem.access(read(&r, 0, 0, cold.done_at.raw()), &os);
+        assert!(warm.fault.is_none());
+        assert_eq!(
+            mem.per_cu_tlb_stats().lookups.get(),
+            tlb_lookups,
+            "virtual L1 hit must not consult the TLB"
+        );
+        assert_eq!(mem.counters().filtered_at_l1.get(), 1);
+    }
+
+    #[test]
+    fn l1_miss_translates_and_fills_both_levels() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
+        let cold = mem.access(read(&r, 0, 0, 0), &os);
+        assert!(cold.fault.is_none());
+        // L1 holds the line under its virtual key.
+        let vkey = MemorySystem::virt_key(Asid(0), r.start());
+        assert!(mem.l1[0].peek(vkey).is_some());
+        // L2 holds it under the physical key.
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let pkey = MemorySystem::phys_key(pa.ppn(), r.start());
+        assert!(mem.l2.peek(pkey).is_some());
+        assert!(mem.l2.peek(vkey).is_none(), "L2 is physical in this design");
+    }
+
+    #[test]
+    fn second_cu_misses_l1_but_hits_shared_physical_l2() {
+        let (os, _pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
+        let a = mem.access(read(&r, 0, 0, 0), &os);
+        let iommu_before = mem.iommu.stats().requests.get();
+        let b = mem.access(read(&r, 0, 1, a.done_at.raw()), &os);
+        assert!(b.fault.is_none());
+        // CU 1's TLB missed: the IOMMU was consulted again (the L1-only
+        // design's weakness versus the full hierarchy).
+        assert_eq!(mem.iommu.stats().requests.get(), iommu_before + 1);
+        assert!(b.done_at < a.done_at + Duration::new(400), "L2 hit, not DRAM");
+    }
+
+    #[test]
+    fn writes_are_posted_and_reach_physical_l2() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
+        let w = mem.access(LineAccess { is_write: true, ..read(&r, 0, 0, 0) }, &os);
+        assert_eq!(w.done_at, Cycle::new(1));
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let pkey = MemorySystem::phys_key(pa.ppn(), r.start());
+        assert!(mem.l2.peek(pkey).unwrap().dirty);
+    }
+
+    #[test]
+    fn filter_counts_match_l1_hits() {
+        let (os, _pid, r) = setup(2);
+        let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
+        let mut t = 0;
+        for _ in 0..5 {
+            t = mem.access(read(&r, 0, 0, t), &os).done_at.raw();
+        }
+        assert_eq!(mem.counters().filtered_at_l1.get(), 4);
+        assert_eq!(mem.counters().filtered_at_l2.get(), 0, "physical L2 filters nothing");
+    }
+}

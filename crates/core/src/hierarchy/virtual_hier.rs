@@ -1,0 +1,678 @@
+//! The proposed GPU virtual cache hierarchy (Figure 6, §4).
+//!
+//! There are no per-CU TLBs: lane requests go straight to the virtual
+//! L1, then the virtual L2. Address translation happens *only* on L2
+//! misses — at the shared IOMMU TLB, optionally backed by the FBT as a
+//! second-level TLB ("VC With OPT") — and the resulting physical page
+//! is checked against the backward table:
+//!
+//! * **BT hit, same leading VA** — the page is known; fetch the line
+//!   from memory, set its presence bit, cache it under the leading VA.
+//! * **BT hit, different leading VA** — a *synonym* access. Read-write
+//!   synonyms fault (the paper's conservative policy); read-only
+//!   synonyms replay through the leading virtual address: present
+//!   lines hit the L2 under the leading name, absent lines are fetched
+//!   and cached under the leading name.
+//! * **BT miss** — the accessed virtual page becomes the physical
+//!   page's leading VA; a new BT/FT entry is allocated (possibly
+//!   evicting a victim whose cached lines are invalidated selectively
+//!   via its bit vector, with the L1 invalidation filters deciding
+//!   which L1s must flush).
+
+use super::{AccessFault, AccessResult, LineAccess, MemorySystem};
+use crate::config::SynonymPolicy;
+use crate::fbt::{BtEntry, BtIndex};
+use gvc_cache::cache::MshrOutcome;
+use gvc_cache::LineKey;
+use gvc_engine::time::{Cycle, Duration};
+use gvc_mem::{OsLite, Perms, Vpn, LINES_PER_PAGE};
+
+/// Outcome of the translation + backward-table resolution that follows
+/// a virtual L2 miss.
+enum Resolution {
+    /// Translation or synonym policy failed.
+    Fault(Cycle, AccessFault),
+    /// The line may already be cached under the leading VA (synonym
+    /// replay, or a presence bit raced): access the L2 again at `lkey`.
+    Replay {
+        lkey: LineKey,
+        idx: BtIndex,
+        t: Cycle,
+    },
+    /// The line is not cached anywhere: fetch from memory and fill
+    /// under the leading VA.
+    Fetch {
+        lkey: LineKey,
+        idx: BtIndex,
+        perms: Perms,
+        t: Cycle,
+    },
+}
+
+impl MemorySystem {
+    pub(super) fn access_virtual(
+        &mut self,
+        mut a: LineAccess,
+        os: &OsLite,
+        use_fbt_tlb: bool,
+    ) -> AccessResult {
+        // Dynamic synonym remapping (§4.3): known non-leading pages
+        // are rewritten to their leading names before the L1 lookup,
+        // so repeated synonym accesses become ordinary virtual hits.
+        // Stale mappings are impossible across unmaps because every
+        // unmap's shootdown flushes the tables.
+        if self.cfg.dynamic_synonym_remapping {
+            if let Some(leading) = self.srt[a.cu].remap(a.asid, a.vaddr.vpn()) {
+                a.asid = leading.asid;
+                a.vaddr = leading.vpn.with_offset_of(a.vaddr);
+                self.counters.synonym_remaps.inc();
+            }
+        }
+        if a.is_write {
+            self.write_virtual(a, os, use_fbt_tlb)
+        } else {
+            self.read_virtual(a, os, use_fbt_tlb)
+        }
+    }
+
+    fn read_virtual(&mut self, a: LineAccess, os: &OsLite, use_fbt_tlb: bool) -> AccessResult {
+        let key = Self::virt_key(a.asid, a.vaddr);
+        let l1_done = a.at + Duration::new(self.cfg.lat.l1_hit);
+        if let Some(line) = self.l1[a.cu].lookup(key, a.at) {
+            if !line.perms.covers(Perms::READ) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
+            }
+            self.counters.filtered_at_l1.inc();
+            let ready = match self.l1_mshr[a.cu].pending(key, a.at) {
+                Some(d) => d.max(l1_done),
+                None => l1_done,
+            };
+            return AccessResult::ok(ready);
+        }
+        if let MshrOutcome::Merged { fill_done } = self.l1_mshr[a.cu].check(key, a.at) {
+            self.counters.filtered_at_l1.inc();
+            return AccessResult::ok(fill_done);
+        }
+
+        // Virtual L2.
+        let l2_arrival = l1_done + self.noc.cu_to_l2();
+        let service = self.l2.reserve_port(key, l2_arrival);
+        let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
+        if let Some(line) = self.l2.lookup(key, service) {
+            if !line.perms.covers(Perms::READ) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(l2_done, AccessFault::PermissionDenied);
+            }
+            self.counters.filtered_at_l2.inc();
+            let ready = match self.l2_mshr.pending(key, service) {
+                Some(d) => d.max(l2_done),
+                None => l2_done,
+            };
+            let at_cu = ready + self.noc.cu_to_l2();
+            self.insert_l1(a.cu, key, line.perms, at_cu, true);
+            self.l1_mshr[a.cu].register(key, at_cu);
+            return AccessResult::ok(at_cu);
+        }
+        if let MshrOutcome::Merged { fill_done } = self.l2_mshr.check(key, service) {
+            self.counters.filtered_at_l2.inc();
+            let at_cu = fill_done + self.noc.cu_to_l2();
+            if let Some(line) = self.l2.peek(key) {
+                self.insert_l1(a.cu, key, line.perms, at_cu, true);
+                self.l1_mshr[a.cu].register(key, at_cu);
+            }
+            return AccessResult::ok(at_cu);
+        }
+
+        // Primary L2 miss: translate and resolve against the BT.
+        match self.resolve_translation(&a, l2_done, use_fbt_tlb, os) {
+            Resolution::Fault(at, f) => AccessResult::fault(at, f),
+            Resolution::Replay { lkey, idx, t } => {
+                AccessResult::ok(self.finish_replay(lkey, idx, t, false))
+            }
+            Resolution::Fetch { lkey, idx, perms, t } => {
+                let filled = self.fetch_line(t);
+                self.fbt.entry_mut(idx).presence.set(a.vaddr.line_in_page());
+                self.insert_l2_virtual(lkey, perms, false, filled);
+                self.l2_mshr.register(lkey, filled);
+                let at_cu = filled + self.noc.cu_to_l2();
+                if lkey == key {
+                    self.insert_l1(a.cu, key, perms, at_cu, true);
+                    self.l1_mshr[a.cu].register(key, at_cu);
+                }
+                AccessResult::ok(at_cu)
+            }
+        }
+    }
+
+    fn write_virtual(&mut self, a: LineAccess, os: &OsLite, use_fbt_tlb: bool) -> AccessResult {
+        let key = Self::virt_key(a.asid, a.vaddr);
+        let ack = a.at + Duration::new(self.cfg.lat.write_ack);
+        // Write-through, no-allocate virtual L1: update in place.
+        if let Some(line) = self.l1[a.cu].lookup(key, a.at) {
+            if !line.perms.covers(Perms::WRITE) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(ack, AccessFault::PermissionDenied);
+            }
+        }
+        let l2_arrival = a.at + Duration::new(self.cfg.lat.l1_hit) + self.noc.cu_to_l2();
+        let service = self.l2.reserve_port(key, l2_arrival);
+        if let Some(line) = self.l2.lookup(key, service) {
+            if !line.perms.covers(Perms::WRITE) {
+                self.counters.perm_faults.inc();
+                return AccessResult::fault(ack, AccessFault::PermissionDenied);
+            }
+            self.l2.mark_dirty(key);
+            self.counters.filtered_at_l2.inc();
+            return AccessResult::ok(ack);
+        }
+        if let MshrOutcome::Merged { .. } = self.l2_mshr.check(key, service) {
+            self.l2.mark_dirty(key);
+            self.counters.filtered_at_l2.inc();
+            return AccessResult::ok(ack);
+        }
+        let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
+        match self.resolve_translation(&a, l2_done, use_fbt_tlb, os) {
+            Resolution::Fault(at, f) => AccessResult::fault(at, f),
+            Resolution::Replay { lkey, idx, t } => {
+                self.finish_replay(lkey, idx, t, true);
+                AccessResult::ok(ack)
+            }
+            Resolution::Fetch { lkey, idx, perms, t } => {
+                let filled = self.fetch_line(t);
+                self.fbt.entry_mut(idx).presence.set(a.vaddr.line_in_page());
+                self.insert_l2_virtual(lkey, perms, true, filled);
+                self.l2_mshr.register(lkey, filled);
+                AccessResult::ok(ack)
+            }
+        }
+    }
+
+    /// Translation + BT resolution after a primary virtual L2 miss at
+    /// `miss_at`.
+    fn resolve_translation(
+        &mut self,
+        a: &LineAccess,
+        miss_at: Cycle,
+        use_fbt_tlb: bool,
+        os: &OsLite,
+    ) -> Resolution {
+        let vpn = a.vaddr.vpn();
+        let io_arrival = miss_at + self.noc.l2_to_iommu();
+        let resp = {
+            let MemorySystem { ref mut iommu, ref mut fbt, .. } = *self;
+            if use_fbt_tlb {
+                let mut hook = |asid, v| fbt.translate(asid, v);
+                iommu.translate(a.asid, vpn, io_arrival, os, Some(&mut hook))
+            } else {
+                iommu.translate(a.asid, vpn, io_arrival, os, None)
+            }
+        };
+        let Some((ppn, page_perms)) = resp.outcome.translation() else {
+            self.counters.page_faults.inc();
+            return Resolution::Fault(resp.done_at, AccessFault::PageFault);
+        };
+        if !page_perms.covers(Perms::required_for_write(a.is_write)) {
+            self.counters.perm_faults.inc();
+            return Resolution::Fault(resp.done_at, AccessFault::PermissionDenied);
+        }
+        let t_bt = resp.done_at + Duration::new(self.cfg.fbt.lookup_latency);
+        let line = a.vaddr.line_in_page();
+
+        if let Some(idx) = self.fbt.lookup_ppn(ppn) {
+            let e = *self.fbt.entry(idx);
+            let is_synonym = e.leading.asid != a.asid || e.leading.vpn != vpn;
+            if is_synonym {
+                self.counters.synonyms_detected.inc();
+                let read_write = a.is_write || e.written;
+                if read_write && self.cfg.synonym_policy == SynonymPolicy::FaultOnReadWrite {
+                    self.counters.rw_synonym_faults.inc();
+                    return Resolution::Fault(t_bt, AccessFault::ReadWriteSynonym);
+                }
+                self.counters.synonym_replays.inc();
+                if self.cfg.dynamic_synonym_remapping {
+                    // Remember the mapping so the next access from
+                    // this CU skips the replay entirely.
+                    self.srt[a.cu].install(a.asid, vpn, e.leading);
+                }
+            }
+            if a.is_write {
+                self.fbt.entry_mut(idx).written = true;
+            }
+            let lkey = LineKey::new(
+                e.leading.asid,
+                e.leading.vpn.raw() * LINES_PER_PAGE + line as u64,
+            );
+            if e.presence.test(line) {
+                Resolution::Replay { lkey, idx, t: t_bt }
+            } else {
+                Resolution::Fetch { lkey, idx, perms: e.perms, t: t_bt }
+            }
+        } else {
+            // This virtual page becomes the physical page's leading VA.
+            let (idx, evicted) = self.fbt.insert(ppn, a.asid, vpn, page_perms);
+            if let Some(victim) = evicted {
+                self.invalidate_fbt_victim(&victim, t_bt);
+            }
+            if a.is_write {
+                self.fbt.entry_mut(idx).written = true;
+            }
+            let lkey = LineKey::new(a.asid, vpn.raw() * LINES_PER_PAGE + line as u64);
+            Resolution::Fetch { lkey, idx, perms: page_perms, t: t_bt }
+        }
+    }
+
+    /// Replays an access at the leading virtual address: the data is
+    /// expected in the L2; if the presence information was
+    /// conservative (counter mode), fall back to a fetch.
+    fn finish_replay(&mut self, lkey: LineKey, idx: BtIndex, t: Cycle, is_write: bool) -> Cycle {
+        let arrival = t + self.noc.l2_to_iommu();
+        let service = self.l2.reserve_port(lkey, arrival);
+        let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
+        if self.l2.lookup(lkey, service).is_some() {
+            if is_write {
+                self.l2.mark_dirty(lkey);
+            }
+            return l2_done + self.noc.cu_to_l2();
+        }
+        if let MshrOutcome::Merged { fill_done } = self.l2_mshr.check(lkey, service) {
+            if is_write {
+                self.l2.mark_dirty(lkey);
+            }
+            return fill_done + self.noc.cu_to_l2();
+        }
+        // Conservative presence (counter mode) or a raced bit: fetch.
+        let perms = self.fbt.entry(idx).perms;
+        let filled = self.fetch_line(l2_done);
+        let line = lkey.line_in_page();
+        let e = self.fbt.entry_mut(idx);
+        if !e.presence.is_exact() || !e.presence.test(line) {
+            e.presence.set(line);
+        }
+        self.insert_l2_virtual(lkey, perms, is_write, filled);
+        self.l2_mshr.register(lkey, filled);
+        filled + self.noc.cu_to_l2()
+    }
+
+    /// Inserts into the virtual L2, keeping the BT's presence
+    /// information inclusive: the victim's bit clears, and dirty
+    /// victims write back using the BT's physical translation.
+    pub(super) fn insert_l2_virtual(&mut self, key: LineKey, perms: Perms, dirty: bool, now: Cycle) {
+        if let Some(victim) = self.l2.insert(key, perms, dirty, now) {
+            let v_vpn = Vpn::new(victim.key.page());
+            if let Some(idx) = self.fbt.lookup_va(victim.key.asid, v_vpn) {
+                self.fbt.entry_mut(idx).presence.clear(victim.key.line_in_page());
+            } else {
+                debug_assert!(false, "L2 victim {:?} has no FBT entry", victim.key);
+            }
+            if victim.dirty {
+                self.dram.write_line(now);
+            }
+            if let Some(lt) = self.lifetimes.as_mut() {
+                lt.l2.record_line(&victim);
+            }
+        }
+    }
+
+    /// Invalidates everything an evicted (or shot-down) BT entry
+    /// covered: its L2 lines (selectively via the bit vector when
+    /// exact, by page walk in counter mode) and, through the per-CU
+    /// invalidation filters, any L1 that may hold lines of the page
+    /// (§4.2: a filter hit flushes the whole — clean, write-through —
+    /// L1).
+    pub(super) fn invalidate_fbt_victim(&mut self, victim: &BtEntry, now: Cycle) {
+        let asid = victim.leading.asid;
+        let vpn = victim.leading.vpn;
+        let removed = if victim.presence.is_exact() {
+            let mut removed = Vec::new();
+            for line in victim.presence.iter_set() {
+                let key = LineKey::new(asid, vpn.raw() * LINES_PER_PAGE + line as u64);
+                if let Some(l) = self.l2.invalidate(key) {
+                    removed.push(l);
+                }
+            }
+            removed
+        } else {
+            self.l2.invalidate_page(asid, vpn.raw())
+        };
+        for l in &removed {
+            if l.dirty {
+                self.dram.write_line(now);
+            }
+            if let Some(lt) = self.lifetimes.as_mut() {
+                lt.l2.record_line(l);
+            }
+        }
+        self.counters.fbt_evict_line_invals.add(removed.len() as u64);
+
+        // Broadcast to the L1 invalidation filters.
+        for cu in 0..self.cfg.n_cus {
+            if !self.cfg.use_inval_filter || self.filters[cu].must_flush(asid, vpn) {
+                let flushed = self.l1[cu].flush();
+                if let Some(lt) = self.lifetimes.as_mut() {
+                    for l in &flushed {
+                        lt.l1.record_line(l);
+                    }
+                }
+                self.filters[cu].clear();
+                self.counters.l1_flushes.inc();
+            } else {
+                self.counters.l1_inval_filtered.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use gvc_mem::{Asid, OsLite, ProcessId, VRange, PAGE_BYTES};
+
+    fn setup(pages: u64) -> (OsLite, ProcessId, VRange) {
+        let mut os = OsLite::new(256 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        (os, pid, r)
+    }
+
+    fn read(r: &VRange, off: u64, cu: usize, at: u64) -> LineAccess {
+        LineAccess {
+            cu,
+            asid: Asid(0),
+            vaddr: r.addr_at(off),
+            is_write: false,
+            at: Cycle::new(at),
+        }
+    }
+
+    fn write(r: &VRange, off: u64, cu: usize, at: u64) -> LineAccess {
+        LineAccess { is_write: true, ..read(r, off, cu, at) }
+    }
+
+    #[test]
+    fn hits_never_touch_translation_hardware() {
+        let (os, _pid, r) = setup(2);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let cold = mem.access(read(&r, 0, 0, 0), &os);
+        assert!(cold.fault.is_none());
+        let after_cold = mem.iommu.stats().requests.get();
+        assert_eq!(after_cold, 1);
+        // L1 hit.
+        let t1 = mem.access(read(&r, 0, 0, cold.done_at.raw()), &os);
+        // L2 hit from another CU.
+        let t2 = mem.access(read(&r, 0, 5, t1.done_at.raw()), &os);
+        assert!(t2.fault.is_none());
+        assert_eq!(mem.iommu.stats().requests.get(), after_cold, "hits are filtered");
+        assert_eq!(mem.counters().filtered_at_l1.get(), 1);
+        assert_eq!(mem.counters().filtered_at_l2.get(), 1);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn presence_bits_track_l2_exactly() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = 0;
+        for line in [0u64, 3, 7] {
+            let res = mem.access(read(&r, line * 128, 0, t), &os);
+            t = res.done_at.raw();
+        }
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let idx = mem.fbt.lookup_ppn(pa.ppn()).expect("BT entry exists");
+        let e = mem.fbt.entry(idx);
+        assert_eq!(e.presence.count(), 3);
+        assert!(e.presence.test(0) && e.presence.test(3) && e.presence.test(7));
+        assert!(!e.written);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn write_sets_written_flag_and_dirty_line() {
+        let (os, pid, r) = setup(1);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let w = mem.access(write(&r, 0, 0, 0), &os);
+        assert!(w.fault.is_none());
+        assert_eq!(w.done_at, Cycle::new(1), "writes are posted");
+        let (pa, _) = os.translate(pid, r.start()).unwrap();
+        let idx = mem.fbt.lookup_ppn(pa.ppn()).unwrap();
+        assert!(mem.fbt.entry(idx).written);
+        let key = MemorySystem::virt_key(Asid(0), r.start());
+        assert!(mem.l2.peek(key).unwrap().dirty);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn read_only_synonym_replays_through_leading_va() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        // Prime through the original (leading) VA.
+        let a = mem.access(read(&r, 0, 0, 0), &os);
+        // Access the same physical line through the alias.
+        let b = mem.access(read(&alias, 0, 1, a.done_at.raw()), &os);
+        assert!(b.fault.is_none());
+        assert_eq!(mem.counters().synonyms_detected.get(), 1);
+        assert_eq!(mem.counters().synonym_replays.get(), 1);
+        // No duplicate caching: still one L2 line for the page.
+        let lead_key = MemorySystem::virt_key(Asid(0), r.start());
+        let alias_key = MemorySystem::virt_key(Asid(0), alias.start());
+        assert!(mem.l2.peek(lead_key).is_some());
+        assert!(mem.l2.peek(alias_key).is_none());
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn synonym_to_uncached_line_fetches_under_leading_va() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let a = mem.access(read(&r, 0, 0, 0), &os);
+        // A *different* line via the alias: bit clear, fetch, cache
+        // under the leading VA.
+        let b = mem.access(read(&alias, 5 * 128, 1, a.done_at.raw()), &os);
+        assert!(b.fault.is_none());
+        let lead_line5 = MemorySystem::virt_key(Asid(0), r.addr_at(5 * 128));
+        assert!(mem.l2.peek(lead_line5).is_some(), "cached under leading VA");
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn dynamic_remapping_turns_replays_into_hits() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.dynamic_synonym_remapping = true;
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = mem.access(read(&r, 0, 0, 0), &os).done_at.raw();
+        // First alias access replays and installs the remapping...
+        t = mem.access(read(&alias, 0, 1, t), &os).done_at.raw();
+        assert_eq!(mem.counters().synonym_replays.get(), 1);
+        // ...subsequent alias accesses from that CU remap pre-L1 and
+        // hit the caches directly: no further replays.
+        for _ in 0..4 {
+            let res = mem.access(read(&alias, 0, 1, t), &os);
+            assert!(res.fault.is_none());
+            t = res.done_at.raw();
+        }
+        assert_eq!(mem.counters().synonym_replays.get(), 1, "no more replays");
+        assert!(mem.counters().synonym_remaps.get() >= 4);
+        assert_eq!(mem.counters().filtered_at_l1.get() + mem.counters().filtered_at_l2.get(), 4);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn shootdown_flushes_remap_tables() {
+        let (mut os, pid, r) = setup(2);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.dynamic_synonym_remapping = true;
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = mem.access(read(&r, 0, 0, 0), &os).done_at.raw();
+        t = mem.access(read(&alias, 0, 1, t), &os).done_at.raw();
+        // Unmap the leading page: the remapping would now point at a
+        // dead name; the shootdown must flush it.
+        let first = gvc_mem::VRange::new(r.start(), PAGE_BYTES);
+        let sd = os.munmap(pid, first).unwrap();
+        t = mem.apply_shootdown(&sd, Cycle::new(t)).raw();
+        // The alias mapping itself is still live (refcounted frame);
+        // accessing it must re-resolve at the BT, not remap to the
+        // dead leading VA (which would page-fault).
+        let res = mem.access(read(&alias, 0, 1, t), &os);
+        assert!(res.fault.is_none(), "stale remapping must not leak");
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn repeated_synonym_accesses_replay_every_time() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = mem.access(read(&r, 0, 0, 0), &os).done_at.raw();
+        for _ in 0..3 {
+            t = mem.access(read(&alias, 0, 1, t), &os).done_at.raw();
+        }
+        assert_eq!(mem.counters().synonym_replays.get(), 3, "non-leading accesses never cache");
+    }
+
+    #[test]
+    fn read_write_synonym_faults_under_default_policy() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        // Write through the leading VA, then read via the alias.
+        let w = mem.access(write(&r, 0, 0, 0), &os);
+        let res = mem.access(read(&alias, 0, 1, w.done_at.raw() + 500), &os);
+        assert_eq!(res.fault, Some(AccessFault::ReadWriteSynonym));
+        assert_eq!(mem.counters().rw_synonym_faults.get(), 1);
+    }
+
+    #[test]
+    fn write_synonym_faults_even_on_clean_page() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let a = mem.access(read(&r, 0, 0, 0), &os);
+        let res = mem.access(write(&alias, 0, 1, a.done_at.raw()), &os);
+        assert_eq!(res.fault, Some(AccessFault::ReadWriteSynonym));
+    }
+
+    #[test]
+    fn replay_policy_allows_read_write_synonyms() {
+        let (mut os, pid, r) = setup(1);
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.synonym_policy = SynonymPolicy::ReplayAlways;
+        let mut mem = MemorySystem::new(cfg);
+        let w = mem.access(write(&r, 0, 0, 0), &os);
+        let res = mem.access(read(&alias, 0, 1, w.done_at.raw() + 500), &os);
+        assert!(res.fault.is_none(), "future-hardware policy replays");
+        assert_eq!(mem.counters().synonym_replays.get(), 1);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn fbt_as_second_level_tlb_avoids_walks() {
+        let (os, _pid, r) = setup(32);
+        // Tiny shared TLB so it thrashes; the FBT covers the pages.
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.iommu.tlb = gvc_tlb::tlb::TlbConfig::shared(8);
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0;
+        // Touch 32 pages (4x the shared TLB), then revisit with fresh
+        // lines so the L2 misses but the FBT still knows the pages.
+        for pass in 0..2 {
+            for p in 0..32u64 {
+                let off = p * PAGE_BYTES + pass * 256;
+                t = mem.access(read(&r, off, (p % 4) as usize, t), &os).done_at.raw();
+            }
+        }
+        assert!(
+            mem.iommu.stats().second_level_hits.get() > 0,
+            "FBT must serve shared-TLB misses"
+        );
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn fbt_eviction_invalidates_covered_lines() {
+        let (os, _pid, r) = setup(64);
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.fbt = cfg.fbt.with_entries(8); // 1 set x 8 ways... entries=8, ways=8
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0;
+        for p in 0..64u64 {
+            t = mem.access(read(&r, p * PAGE_BYTES, 0, t), &os).done_at.raw();
+        }
+        assert!(mem.fbt.stats().evictions.get() > 0);
+        assert!(mem.counters().fbt_evict_line_invals.get() > 0);
+        // Inclusivity must survive the churn.
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn l2_eviction_clears_presence_bits() {
+        let (os, _pid, r) = setup(512);
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = 0;
+        // 512 pages x 8 lines = 4096 lines > 2 MB L2 (16384 lines)? No —
+        // use every line of every page: 512 * 32 = 16384 lines exactly;
+        // plus churn from a second pass with reversed order.
+        for p in 0..512u64 {
+            for l in 0..8u64 {
+                t = mem
+                    .access(read(&r, p * PAGE_BYTES + l * 512, (p % 16) as usize, t), &os)
+                    .done_at
+                    .raw();
+            }
+        }
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn homonyms_are_isolated_by_asid() {
+        let mut os = OsLite::new(256 << 20);
+        let p1 = os.create_process();
+        let p2 = os.create_process();
+        let r1 = os.mmap(p1, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let r2 = os.mmap(p2, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        // The two processes' first regions start at the same VA.
+        assert_eq!(r1.start(), r2.start());
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let a = mem.access(
+            LineAccess { cu: 0, asid: p1.asid(), vaddr: r1.start(), is_write: false, at: Cycle::new(0) },
+            &os,
+        );
+        let b = mem.access(
+            LineAccess { cu: 1, asid: p2.asid(), vaddr: r2.start(), is_write: false, at: a.done_at },
+            &os,
+        );
+        assert!(b.fault.is_none());
+        // Both lines cached, distinct keys, no synonym detected
+        // (different physical pages).
+        assert_eq!(mem.counters().synonyms_detected.get(), 0);
+        assert_eq!(mem.l2.len(), 2);
+        mem.check_virtual_invariants();
+    }
+
+    #[test]
+    fn cross_process_shared_page_is_a_synonym() {
+        let mut os = OsLite::new(256 << 20);
+        let p1 = os.create_process();
+        let p2 = os.create_process();
+        let r1 = os.mmap(p1, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let shared = os.mmap_shared(p2, p1, r1).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let a = mem.access(
+            LineAccess { cu: 0, asid: p1.asid(), vaddr: r1.start(), is_write: false, at: Cycle::new(0) },
+            &os,
+        );
+        let b = mem.access(
+            LineAccess { cu: 1, asid: p2.asid(), vaddr: shared.start(), is_write: false, at: a.done_at },
+            &os,
+        );
+        assert!(b.fault.is_none());
+        assert_eq!(mem.counters().synonyms_detected.get(), 1);
+        mem.check_virtual_invariants();
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-run statistics report every figure harness consumes.
+
+use crate::config::SystemConfig;
+use crate::fbt::FbtStats;
+use gvc_cache::CacheStats;
+use gvc_engine::stats::IntervalSummary;
+use gvc_engine::time::Cycle;
+use gvc_engine::Counter;
+use gvc_tlb::iommu::IommuStats;
+use gvc_tlb::pwc::PwcStats;
+use gvc_tlb::tlb::TlbStats;
+use serde::{Deserialize, Serialize};
+
+/// Event counters specific to the hierarchy protocols.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct HierCounters {
+    /// Line accesses issued to the memory system.
+    pub accesses: Counter,
+    /// Read line accesses.
+    pub reads: Counter,
+    /// Write line accesses.
+    pub writes: Counter,
+    /// Per-CU TLB misses whose data was resident in the CU's L1
+    /// (Figure 2 black bars).
+    pub tlb_miss_data_in_l1: Counter,
+    /// Per-CU TLB misses whose data was resident in the shared L2
+    /// (Figure 2 red bars).
+    pub tlb_miss_data_in_l2: Counter,
+    /// Per-CU TLB misses whose data was in memory only (Figure 2 blue
+    /// bars).
+    pub tlb_miss_data_in_mem: Counter,
+    /// Virtual-cache L1 hits (translation filtered at L1).
+    pub filtered_at_l1: Counter,
+    /// Virtual-cache L2 hits (translation filtered at L2).
+    pub filtered_at_l2: Counter,
+    /// Synonym accesses detected at the BT.
+    pub synonyms_detected: Counter,
+    /// Synonym accesses replayed through the leading virtual address.
+    pub synonym_replays: Counter,
+    /// Accesses remapped to the leading virtual page before the L1
+    /// lookup (dynamic synonym remapping, §4.3).
+    pub synonym_remaps: Counter,
+    /// Read-write synonym faults raised.
+    pub rw_synonym_faults: Counter,
+    /// Permission faults.
+    pub perm_faults: Counter,
+    /// Page faults (unmapped).
+    pub page_faults: Counter,
+    /// L2 lines invalidated by FBT evictions.
+    pub fbt_evict_line_invals: Counter,
+    /// Full L1 flushes forced by invalidation-filter hits.
+    pub l1_flushes: Counter,
+    /// L1 invalidation requests filtered (no resident lines).
+    pub l1_inval_filtered: Counter,
+    /// Shootdown pages applied.
+    pub shootdown_pages: Counter,
+    /// Shootdown pages filtered by the FT (page not cached).
+    pub shootdown_filtered: Counter,
+    /// Coherence probes received.
+    pub probes: Counter,
+    /// Probes filtered by the BT (line not in GPU caches).
+    pub probes_filtered: Counter,
+    /// Probe-induced L2 invalidations.
+    pub probe_invals: Counter,
+}
+
+/// Lifetime CDFs for Figure 12, evaluated at fixed points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifetimeCurves {
+    /// The x axis, in nanoseconds.
+    pub xs_ns: Vec<f64>,
+    /// CDF of per-CU TLB entry residence times.
+    pub tlb: Vec<f64>,
+    /// CDF of L1 line active lifetimes.
+    pub l1: Vec<f64>,
+    /// CDF of L2 line active lifetimes.
+    pub l2: Vec<f64>,
+    /// Sample counts (TLB, L1, L2).
+    pub samples: (usize, usize, usize),
+}
+
+/// The end-of-run report (see [`crate::MemorySystem::finish`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemReport {
+    /// Design label ("Baseline", "VC With OPT", ...).
+    pub design: String,
+    /// The configuration that produced the run.
+    pub config: SystemConfig,
+    /// Simulation end time.
+    pub end: Cycle,
+    /// Aggregated per-CU TLB statistics (zeroes for the full virtual
+    /// hierarchy, which has no per-CU TLBs).
+    pub per_cu_tlb: TlbStats,
+    /// IOMMU front-end counters.
+    pub iommu: IommuStats,
+    /// Shared IOMMU TLB statistics.
+    pub iommu_tlb: TlbStats,
+    /// IOMMU access rate over 1 µs samples (Figures 3 and 8).
+    pub iommu_rate: IntervalSummary,
+    /// Page-walk-cache statistics.
+    pub pwc: PwcStats,
+    /// Aggregated L1 statistics.
+    pub l1: CacheStats,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// FBT statistics (virtual hierarchy only).
+    pub fbt: Option<FbtStats>,
+    /// FBT resident-entry high-water mark.
+    pub fbt_max_occupancy: usize,
+    /// Protocol counters.
+    pub counters: HierCounters,
+    /// DRAM lines read.
+    pub dram_reads: u64,
+    /// DRAM lines written.
+    pub dram_writes: u64,
+    /// Lifetime CDFs (present when lifetime tracking was enabled).
+    pub lifetimes: Option<LifetimeCurves>,
+}
+
+impl MemReport {
+    /// Per-CU TLB miss ratio (Figure 2 bar height).
+    pub fn tlb_miss_ratio(&self) -> f64 {
+        self.per_cu_tlb.miss_ratio()
+    }
+
+    /// Figure 2 breakdown: fractions of per-CU TLB misses that found
+    /// data in (L1, L2, memory). Returns zeros if there were no
+    /// misses.
+    pub fn tlb_miss_breakdown(&self) -> (f64, f64, f64) {
+        let c = &self.counters;
+        let total = c.tlb_miss_data_in_l1.get()
+            + c.tlb_miss_data_in_l2.get()
+            + c.tlb_miss_data_in_mem.get();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            c.tlb_miss_data_in_l1.ratio_of(total),
+            c.tlb_miss_data_in_l2.ratio_of(total),
+            c.tlb_miss_data_in_mem.ratio_of(total),
+        )
+    }
+
+    /// Fraction of would-be translation work filtered by the virtual
+    /// caches: hits that in a physical design would have consulted a
+    /// TLB.
+    pub fn filter_ratio(&self) -> f64 {
+        let filtered = self.counters.filtered_at_l1.get() + self.counters.filtered_at_l2.get();
+        let total = filtered + self.iommu.requests.get();
+        if total == 0 {
+            0.0
+        } else {
+            filtered as f64 / total as f64
+        }
+    }
+
+    /// Fraction of shared-TLB misses that hit in the FBT (the paper
+    /// reports ~74% on average, §4.1).
+    pub fn fbt_second_level_hit_ratio(&self) -> f64 {
+        let misses = self.iommu_tlb.misses.get();
+        if misses == 0 {
+            0.0
+        } else {
+            self.iommu.second_level_hits.get() as f64 / misses as f64
+        }
+    }
+}

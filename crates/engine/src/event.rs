@@ -1,0 +1,215 @@
+//! A deterministic, tick-ordered event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(Cycle, E)` pairs. Events pop in
+//! nondecreasing time order; events scheduled for the same cycle pop in
+//! the order they were scheduled (FIFO tie-breaking via a monotone
+//! sequence number), which keeps simulations fully deterministic.
+
+use crate::time::{Cycle, Duration};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A tick-ordered event queue with FIFO tie-breaking.
+///
+/// The queue tracks the current simulation time: [`EventQueue::now`]
+/// advances to the timestamp of the most recently popped event. Events
+/// may be scheduled at absolute times ([`schedule_at`]) or relative to
+/// `now` ([`schedule_in`]).
+///
+/// # Panics
+///
+/// Scheduling an event in the past (before `now`) panics in debug builds;
+/// it would violate causality.
+///
+/// [`schedule_at`]: EventQueue::schedule_at
+/// [`schedule_in`]: EventQueue::schedule_in
+///
+/// # Example
+///
+/// ```
+/// use gvc_engine::{Cycle, Duration, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(Cycle::new(3), "wake");
+/// while let Some((now, ev)) = q.pop() {
+///     assert_eq!(now, Cycle::new(3));
+///     assert_eq!(ev, "wake");
+/// }
+/// assert_eq!(q.now(), Cycle::new(3));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Cycle,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Cycle::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (or [`Cycle::ZERO`] before any pop).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before [`now`](Self::now).
+    pub fn schedule_at(&mut self, at: Cycle, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at {at}, now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing [`now`](Self::now) to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a progress/telemetry metric).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(30), 3);
+        q.schedule_at(Cycle::new(10), 1);
+        q.schedule_at(Cycle::new(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Cycle::new(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(5), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(5));
+        q.schedule_in(Duration::new(10), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(15)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(Cycle::new(1), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), ());
+        q.pop();
+        q.schedule_at(Cycle::new(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(1), "a");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.raw(), e), (1, "a"));
+        q.schedule_in(Duration::new(2), "b");
+        q.schedule_in(Duration::new(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+}

@@ -1,0 +1,304 @@
+//! Bandwidth-limited resource models.
+//!
+//! The simulator's timing style computes each request's completion time
+//! analytically by *reserving* service slots on the resources it crosses.
+//! Two resource shapes cover everything in the modeled SoC:
+//!
+//! * [`ThroughputPort`] — a structure that can begin at most N accesses
+//!   per cycle with FIFO service order (TLB lookup ports, cache bank
+//!   ports, wavefront issue ports). The paper's central observation is
+//!   that the shared IOMMU TLB is exactly such a port with N = 1, and
+//!   that GPU workloads queue heavily behind it.
+//! * [`TokenPort`] — a byte-granular bandwidth pipe (DRAM: 192 GB/s).
+
+use crate::time::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// A FIFO service port that can begin at most `width` accesses per cycle.
+///
+/// Requests reserve slots in arrival order: a request arriving at cycle
+/// `t` is serviced at the first cycle `>= t` with a free slot, *after*
+/// every previously reserved slot. The distance between arrival and
+/// service is the queuing (serialization) delay.
+///
+/// An unlimited port (used for the paper's "infinite bandwidth" IDEAL
+/// MMU experiments) is constructed with [`ThroughputPort::unlimited`].
+///
+/// # Example
+///
+/// ```
+/// use gvc_engine::{Cycle, ThroughputPort};
+///
+/// let mut port = ThroughputPort::per_cycle(1);
+/// // Three requests arrive in the same cycle; they serialize.
+/// assert_eq!(port.reserve(Cycle::new(10)), Cycle::new(10));
+/// assert_eq!(port.reserve(Cycle::new(10)), Cycle::new(11));
+/// assert_eq!(port.reserve(Cycle::new(10)), Cycle::new(12));
+/// // A later request waits behind the backlog.
+/// assert_eq!(port.reserve(Cycle::new(11)), Cycle::new(13));
+/// // Once the backlog drains, service is immediate again.
+/// assert_eq!(port.reserve(Cycle::new(100)), Cycle::new(100));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputPort {
+    /// Accesses that may begin per cycle; `None` = unlimited.
+    width: Option<u32>,
+    /// Cycle of the most recent reservation.
+    head: Cycle,
+    /// Slots already used at `head`.
+    used_at_head: u32,
+    /// Total reservations made.
+    reservations: u64,
+    /// Total cycles of queuing delay imposed.
+    queue_delay_total: u64,
+}
+
+impl ThroughputPort {
+    /// A port that can begin `width` accesses per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn per_cycle(width: u32) -> Self {
+        assert!(width > 0, "port width must be nonzero");
+        ThroughputPort {
+            width: Some(width),
+            head: Cycle::ZERO,
+            used_at_head: 0,
+            reservations: 0,
+            queue_delay_total: 0,
+        }
+    }
+
+    /// A port with no bandwidth limit: every request is serviced at its
+    /// arrival cycle.
+    pub fn unlimited() -> Self {
+        ThroughputPort {
+            width: None,
+            head: Cycle::ZERO,
+            used_at_head: 0,
+            reservations: 0,
+            queue_delay_total: 0,
+        }
+    }
+
+    /// Whether this port imposes any limit.
+    pub fn is_unlimited(&self) -> bool {
+        self.width.is_none()
+    }
+
+    /// Reserves the next free service slot at or after `arrival` and
+    /// returns the cycle at which service begins.
+    ///
+    /// Service order is FIFO: reservations must be made in nondecreasing
+    /// arrival order for exact FIFO semantics; an earlier `arrival` than a
+    /// previous reservation is treated as arriving at the head of the
+    /// backlog (it cannot claim already-elapsed holes), matching a real
+    /// FIFO queue observed from the outside.
+    pub fn reserve(&mut self, arrival: Cycle) -> Cycle {
+        self.reservations += 1;
+        let Some(width) = self.width else {
+            return arrival;
+        };
+        if arrival > self.head {
+            self.head = arrival;
+            self.used_at_head = 1;
+        } else if self.used_at_head < width {
+            self.used_at_head += 1;
+        } else {
+            self.head = self.head + crate::time::Duration::new(1);
+            self.used_at_head = 1;
+        }
+        self.queue_delay_total += self.head.raw().saturating_sub(arrival.raw());
+        self.head
+    }
+
+    /// Total number of reservations made.
+    pub fn reservations(&self) -> u64 {
+        self.reservations
+    }
+
+    /// Total queuing delay (cycles) imposed across all reservations.
+    pub fn queue_delay_total(&self) -> u64 {
+        self.queue_delay_total
+    }
+
+    /// Mean queuing delay per reservation, or 0.0 if none were made.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.reservations == 0 {
+            0.0
+        } else {
+            self.queue_delay_total as f64 / self.reservations as f64
+        }
+    }
+}
+
+/// A byte-granular bandwidth pipe (token bucket at whole-cycle
+/// resolution), used for the DRAM interface.
+///
+/// The pipe moves `bytes_per_cycle` bytes each cycle. A transfer of `n`
+/// bytes arriving at cycle `t` completes once all its bytes have been
+/// scheduled past the pipe, behind all previously accepted traffic.
+///
+/// ```
+/// use gvc_engine::{Cycle, TokenPort};
+///
+/// // 256 B/cycle pipe; a 128 B line takes half a cycle of bandwidth.
+/// let mut dram = TokenPort::new(256);
+/// assert_eq!(dram.transfer(Cycle::new(0), 128), Cycle::new(0));
+/// assert_eq!(dram.transfer(Cycle::new(0), 128), Cycle::new(0));
+/// // The pipe is now full for cycle 0; the next line waits a cycle.
+/// assert_eq!(dram.transfer(Cycle::new(0), 128), Cycle::new(1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenPort {
+    bytes_per_cycle: u64,
+    /// First cycle with any free bandwidth.
+    head: Cycle,
+    /// Bytes already consumed at `head`.
+    used_at_head: u64,
+    bytes_total: u64,
+    transfers: u64,
+}
+
+impl TokenPort {
+    /// Creates a pipe moving `bytes_per_cycle` bytes each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "bandwidth must be nonzero");
+        TokenPort {
+            bytes_per_cycle,
+            head: Cycle::ZERO,
+            used_at_head: 0,
+            bytes_total: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Schedules an `nbytes` transfer arriving at `arrival`; returns the
+    /// cycle at which the last byte has moved.
+    pub fn transfer(&mut self, arrival: Cycle, nbytes: u64) -> Cycle {
+        self.transfers += 1;
+        self.bytes_total += nbytes;
+        if arrival > self.head {
+            self.head = arrival;
+            self.used_at_head = 0;
+        }
+        let mut remaining = nbytes;
+        // Consume the partial cycle at head first, then whole cycles.
+        let free_at_head = self.bytes_per_cycle - self.used_at_head;
+        if remaining <= free_at_head {
+            self.used_at_head += remaining;
+            return self.head;
+        }
+        remaining -= free_at_head;
+        let full_cycles = remaining / self.bytes_per_cycle;
+        let tail = remaining % self.bytes_per_cycle;
+        let mut end = self.head + crate::time::Duration::new(full_cycles);
+        if tail > 0 {
+            end = end + crate::time::Duration::new(1);
+            self.head = end;
+            self.used_at_head = tail;
+        } else {
+            self.head = end;
+            self.used_at_head = self.bytes_per_cycle;
+        }
+        end
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Total transfers scheduled.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wide_port_serializes() {
+        let mut p = ThroughputPort::per_cycle(1);
+        assert_eq!(p.reserve(Cycle::new(0)), Cycle::new(0));
+        assert_eq!(p.reserve(Cycle::new(0)), Cycle::new(1));
+        assert_eq!(p.reserve(Cycle::new(0)), Cycle::new(2));
+        assert_eq!(p.queue_delay_total(), 3);
+        assert_eq!(p.reservations(), 3);
+        assert!((p.mean_queue_delay() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_port_allows_parallel_starts() {
+        let mut p = ThroughputPort::per_cycle(4);
+        for _ in 0..4 {
+            assert_eq!(p.reserve(Cycle::new(5)), Cycle::new(5));
+        }
+        assert_eq!(p.reserve(Cycle::new(5)), Cycle::new(6));
+        assert_eq!(p.queue_delay_total(), 1);
+    }
+
+    #[test]
+    fn idle_port_services_immediately() {
+        let mut p = ThroughputPort::per_cycle(1);
+        p.reserve(Cycle::new(0));
+        assert_eq!(p.reserve(Cycle::new(50)), Cycle::new(50));
+        assert_eq!(p.queue_delay_total(), 0);
+    }
+
+    #[test]
+    fn unlimited_port_never_queues() {
+        let mut p = ThroughputPort::unlimited();
+        assert!(p.is_unlimited());
+        for i in 0..1000 {
+            assert_eq!(p.reserve(Cycle::new(3)), Cycle::new(3), "i={i}");
+        }
+        assert_eq!(p.queue_delay_total(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_joins_backlog() {
+        let mut p = ThroughputPort::per_cycle(1);
+        assert_eq!(p.reserve(Cycle::new(10)), Cycle::new(10));
+        // Arrives "earlier" but the queue head is already at 10.
+        assert_eq!(p.reserve(Cycle::new(4)), Cycle::new(11));
+    }
+
+    #[test]
+    fn token_port_accumulates_backlog() {
+        let mut d = TokenPort::new(100);
+        assert_eq!(d.transfer(Cycle::new(0), 100), Cycle::new(0));
+        assert_eq!(d.transfer(Cycle::new(0), 250), Cycle::new(3));
+        // 50 bytes of cycle-3 bandwidth remain.
+        assert_eq!(d.transfer(Cycle::new(0), 50), Cycle::new(3));
+        assert_eq!(d.transfer(Cycle::new(0), 1), Cycle::new(4));
+        assert_eq!(d.bytes_total(), 401);
+        assert_eq!(d.transfers(), 4);
+    }
+
+    #[test]
+    fn token_port_idle_gap_resets() {
+        let mut d = TokenPort::new(128);
+        d.transfer(Cycle::new(0), 128);
+        assert_eq!(d.transfer(Cycle::new(10), 128), Cycle::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_width_rejected() {
+        let _ = ThroughputPort::per_cycle(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bandwidth_rejected() {
+        let _ = TokenPort::new(0);
+    }
+}

@@ -1,0 +1,520 @@
+//! Measurement primitives: counters, running moments, histograms,
+//! CDF builders, and fixed-interval samplers.
+//!
+//! The paper reports several statistic shapes this module reproduces:
+//!
+//! * mean ± one standard deviation and max of *events per sampling
+//!   interval* (Figures 3 and 8) — [`IntervalSampler`];
+//! * ratio breakdowns (Figure 2) — plain [`Counter`]s combined by the
+//!   caller;
+//! * lifetime CDFs (Figure 12) — [`Cdf`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::time::{Cycle, Duration};
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use gvc_engine::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.inc();
+/// hits.add(4);
+/// assert_eq!(hits.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `denom`; 0.0 when `denom` is zero.
+    pub fn ratio_of(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+///
+/// ```
+/// use gvc_engine::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std_dev(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation; 0.0 if fewer than two samples.
+    pub fn population_std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Largest sample; 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample; 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// A power-of-two bucketed histogram for latency-like quantities.
+///
+/// Bucket `i` covers values in `[2^(i-1), 2^i)`, with bucket 0 covering
+/// exactly zero.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts; bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 is 0).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Counts events per fixed-length time interval, as the paper does with
+/// 1 µs sampling periods, and summarizes the per-interval counts.
+///
+/// Events are reported with their cycle timestamps via
+/// [`IntervalSampler::record`]; timestamps may arrive out of order within
+/// a bounded window (the sampler keeps all interval counts and finalizes
+/// on [`IntervalSampler::finish`]).
+///
+/// ```
+/// use gvc_engine::{Cycle, Duration, IntervalSampler};
+///
+/// let mut s = IntervalSampler::new(Duration::new(700)); // 1 µs @ 700 MHz
+/// s.record(Cycle::new(0));
+/// s.record(Cycle::new(1));
+/// s.record(Cycle::new(700)); // second interval
+/// let r = s.finish(Cycle::new(1400));
+/// assert_eq!(r.intervals(), 2);
+/// assert_eq!(r.max_per_interval(), 2.0);
+/// // mean over intervals: (2 + 1) / 2
+/// assert_eq!(r.mean_per_interval(), 1.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalSampler {
+    interval: Duration,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntervalSampler {
+    /// Creates a sampler with the given interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Duration) -> Self {
+        assert!(interval.raw() > 0, "sampling interval must be nonzero");
+        IntervalSampler {
+            interval,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one event at cycle `at`.
+    pub fn record(&mut self, at: Cycle) {
+        self.record_n(at, 1);
+    }
+
+    /// Records `n` events at cycle `at`.
+    pub fn record_n(&mut self, at: Cycle, n: u64) {
+        let idx = (at.raw() / self.interval.raw()) as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Total events recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The configured interval length.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Finalizes at `end` (the simulation end time) and summarizes the
+    /// per-interval counts over every interval in `[0, end)` — including
+    /// empty ones, which matter for the mean.
+    pub fn finish(&self, end: Cycle) -> IntervalSummary {
+        let n_intervals = ((end.raw() + self.interval.raw() - 1) / self.interval.raw()).max(1) as usize;
+        let mut stats = RunningStats::new();
+        for i in 0..n_intervals {
+            let c = self.counts.get(i).copied().unwrap_or(0);
+            stats.push(c as f64);
+        }
+        IntervalSummary {
+            interval_cycles: self.interval.raw(),
+            intervals: n_intervals as u64,
+            total: self.total,
+            mean: stats.mean(),
+            std_dev: stats.population_std_dev(),
+            max: stats.max(),
+        }
+    }
+}
+
+/// Summary of an [`IntervalSampler`]: mean, standard deviation, and max
+/// of the per-interval event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSummary {
+    interval_cycles: u64,
+    intervals: u64,
+    total: u64,
+    mean: f64,
+    std_dev: f64,
+    max: f64,
+}
+
+impl IntervalSummary {
+    /// Number of sampling intervals covered.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Total events across all intervals.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean events per interval.
+    pub fn mean_per_interval(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation of events per interval.
+    pub fn std_dev_per_interval(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Max events in any interval.
+    pub fn max_per_interval(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean events per *cycle* (the paper's Figures 3 and 8 y-axis).
+    pub fn mean_per_cycle(&self) -> f64 {
+        self.mean / self.interval_cycles as f64
+    }
+
+    /// Standard deviation of events per cycle.
+    pub fn std_dev_per_cycle(&self) -> f64 {
+        self.std_dev / self.interval_cycles as f64
+    }
+
+    /// Max events per cycle among intervals (the paper's red dots).
+    pub fn max_per_cycle(&self) -> f64 {
+        self.max / self.interval_cycles as f64
+    }
+}
+
+/// Collects samples and produces an empirical CDF (Figure 12's lifetime
+/// curves).
+///
+/// ```
+/// use gvc_engine::Cdf;
+///
+/// let mut c = Cdf::new();
+/// for v in [10, 20, 30, 40] {
+///     c.push(v as f64);
+/// }
+/// assert_eq!(c.fraction_at_or_below(25.0), 0.5);
+/// assert_eq!(c.quantile(0.5), 20.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF builder.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= x`; 0.0 if empty.
+    pub fn fraction_at_or_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest-rank; 0.0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        self.samples[idx.min(self.samples.len() - 1)]
+    }
+
+    /// Evaluates the CDF at each of `xs`, returning fractions.
+    pub fn curve(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.fraction_at_or_below(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.ratio_of(40), 0.25);
+        assert_eq!(c.ratio_of(0), 0.0);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn running_stats_moments() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.population_std_dev() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(100);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets()[0], 1); // zero
+        assert_eq!(h.buckets()[1], 1); // [1,2)
+        assert_eq!(h.buckets()[2], 2); // [2,4)
+        assert_eq!(h.buckets()[7], 1); // [64,128)
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_sampler_counts_empty_intervals() {
+        let mut s = IntervalSampler::new(Duration::new(100));
+        s.record_n(Cycle::new(10), 5);
+        // Nothing in interval 1; one event in interval 2.
+        s.record(Cycle::new(250));
+        let r = s.finish(Cycle::new(300));
+        assert_eq!(r.intervals(), 3);
+        assert_eq!(r.total(), 6);
+        assert!((r.mean_per_interval() - 2.0).abs() < 1e-12);
+        assert_eq!(r.max_per_interval(), 5.0);
+        assert!((r.mean_per_cycle() - 0.02).abs() < 1e-12);
+        assert!((r.max_per_cycle() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_sampler_partial_last_interval() {
+        let s = IntervalSampler::new(Duration::new(100));
+        let r = s.finish(Cycle::new(101));
+        assert_eq!(r.intervals(), 2);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        for v in 1..=100 {
+            c.push(v as f64);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.quantile(0.9), 90.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert_eq!(c.fraction_at_or_below(50.0), 0.5);
+        assert_eq!(c.curve(&[0.0, 100.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cdf_bad_quantile_panics() {
+        let mut c = Cdf::new();
+        c.push(1.0);
+        let _ = c.quantile(1.5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Strongly typed simulation time.
+//!
+//! All timing in the simulator is expressed in GPU clock cycles via
+//! [`Cycle`] (an absolute point in time) and [`Duration`] (a span of
+//! cycles). [`Frequency`] converts between cycles and wall-clock
+//! nanoseconds, which the paper's 1 µs interval sampling needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulated time, measured in clock cycles since
+/// the start of simulation.
+///
+/// `Cycle` is ordered and supports arithmetic with [`Duration`]:
+///
+/// ```
+/// use gvc_engine::time::{Cycle, Duration};
+///
+/// let t = Cycle::new(100) + Duration::new(20);
+/// assert_eq!(t, Cycle::new(120));
+/// assert_eq!(t - Cycle::new(100), Duration::new(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The start of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two points in time.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two points in time.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Duration since an earlier point, saturating to zero if `earlier`
+    /// is in fact later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A span of simulated time, measured in clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// A zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Duration(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add<Duration> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Duration) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// A clock frequency, used to convert between cycles and nanoseconds.
+///
+/// The paper's GPU runs at 700 MHz, so one microsecond is 700 cycles:
+///
+/// ```
+/// use gvc_engine::time::{Duration, Frequency};
+///
+/// let clk = Frequency::from_mhz(700);
+/// assert_eq!(clk.cycles_per_microsecond(), Duration::new(700));
+/// assert_eq!(clk.duration_to_ns(Duration::new(700)), 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Frequency {
+    hz: u64,
+}
+
+impl Frequency {
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "frequency must be nonzero");
+        Frequency { hz: mhz * 1_000_000 }
+    }
+
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is zero.
+    pub fn from_ghz(ghz: u64) -> Self {
+        Frequency::from_mhz(ghz * 1000)
+    }
+
+    /// Raw frequency in hertz.
+    pub fn hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Number of cycles in one microsecond, rounded to the nearest cycle.
+    pub fn cycles_per_microsecond(self) -> Duration {
+        Duration((self.hz + 500_000) / 1_000_000)
+    }
+
+    /// Converts a duration to nanoseconds.
+    pub fn duration_to_ns(self, d: Duration) -> f64 {
+        d.raw() as f64 * 1e9 / self.hz as f64
+    }
+
+    /// Converts nanoseconds to a duration, rounding to the nearest cycle.
+    pub fn ns_to_duration(self, ns: f64) -> Duration {
+        Duration((ns * self.hz as f64 / 1e9).round() as u64)
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's GPU clock: 700 MHz.
+    fn default() -> Self {
+        Frequency::from_mhz(700)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hz % 1_000_000_000 == 0 {
+            write!(f, "{} GHz", self.hz / 1_000_000_000)
+        } else {
+            write!(f, "{} MHz", self.hz / 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle::new(40);
+        let b = a + Duration::new(2);
+        assert_eq!(b.raw(), 42);
+        assert_eq!(b - a, Duration::new(2));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), Duration::ZERO);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), Duration::new(4));
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::from_mhz(700);
+        assert_eq!(f.cycles_per_microsecond().raw(), 700);
+        assert_eq!(f.duration_to_ns(Duration::new(70)), 100.0);
+        assert_eq!(f.ns_to_duration(100.0).raw(), 70);
+        assert_eq!(Frequency::from_ghz(3).hz(), 3_000_000_000);
+    }
+
+    #[test]
+    fn frequency_display() {
+        assert_eq!(Frequency::from_mhz(700).to_string(), "700 MHz");
+        assert_eq!(Frequency::from_ghz(3).to_string(), "3 GHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_mhz(0);
+    }
+
+    #[test]
+    fn default_frequency_is_700mhz() {
+        assert_eq!(Frequency::default(), Frequency::from_mhz(700));
+    }
+}

@@ -1,0 +1,474 @@
+//! The OS-lite kernel: process creation, memory mapping, synonym
+//! aliases, and TLB shootdowns.
+//!
+//! The paper's design is *software agnostic*: the hardware must handle
+//! synonyms, homonyms, and shootdowns without OS cooperation. To
+//! exercise that, this module provides the OS half of the contract —
+//! it mutates page tables and tells the simulated hardware which pages
+//! were invalidated via [`Shootdown`] notifications, exactly like an
+//! IOMMU invalidation command from a host OS.
+
+use crate::addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn};
+use crate::page_table::{PageTable, WalkOutcome, WalkPath, PAGES_PER_LARGE};
+use crate::perms::Perms;
+use crate::phys::PhysMem;
+use crate::space::AddressSpace;
+use crate::MemError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a simulated process; its ASID equals its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// The ASID of this process.
+    pub fn asid(self) -> Asid {
+        Asid(self.0)
+    }
+}
+
+/// A TLB-shootdown notification the hardware must apply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Shootdown {
+    /// Invalidate specific pages of one address space.
+    Pages {
+        /// The address space whose pages changed.
+        asid: Asid,
+        /// The affected virtual pages.
+        vpns: Vec<Vpn>,
+    },
+    /// Invalidate everything for one address space (e.g. exit).
+    AllOf {
+        /// The address space being torn down.
+        asid: Asid,
+    },
+}
+
+/// The OS-lite kernel: owns physical memory and all address spaces.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct OsLite {
+    phys: PhysMem,
+    spaces: Vec<AddressSpace>,
+    /// How many virtual pages (across all spaces) map each frame —
+    /// used to free frames only when the last alias goes away.
+    frame_refs: HashMap<Ppn, u32>,
+    /// Live 2 MB mappings: start VPN of each large region.
+    large_regions: HashMap<(u16, u64), Ppn>,
+}
+
+impl OsLite {
+    /// Boots a kernel with `phys_bytes` of physical memory.
+    pub fn new(phys_bytes: u64) -> Self {
+        OsLite {
+            phys: PhysMem::new(phys_bytes),
+            spaces: Vec::new(),
+            frame_refs: HashMap::new(),
+            large_regions: HashMap::new(),
+        }
+    }
+
+    /// Creates a process with an empty address space and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory cannot hold even the page-table root.
+    pub fn create_process(&mut self) -> ProcessId {
+        let asid = Asid(self.spaces.len() as u16);
+        let table = PageTable::new(&mut self.phys).expect("no frame for page-table root");
+        self.spaces.push(AddressSpace::new(asid, table));
+        ProcessId(asid.0)
+    }
+
+    fn space_mut(&mut self, pid: ProcessId) -> Result<&mut AddressSpace, MemError> {
+        self.spaces.get_mut(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))
+    }
+
+    /// Split-borrow helper: the space and the physical memory at once.
+    fn space_and_phys(
+        &mut self,
+        pid: ProcessId,
+    ) -> Result<(&mut AddressSpace, &mut PhysMem), MemError> {
+        let space = self.spaces.get_mut(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))?;
+        Ok((space, &mut self.phys))
+    }
+
+    /// The process's address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for an unknown id.
+    pub fn space(&self, pid: ProcessId) -> Result<&AddressSpace, MemError> {
+        self.spaces.get(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))
+    }
+
+    /// The simulated physical memory.
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Maps a fresh region of `bytes` (rounded up to pages) with
+    /// `perms`, backed by newly allocated frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] if physical memory is
+    /// exhausted, or [`MemError::NoSuchProcess`].
+    pub fn mmap(&mut self, pid: ProcessId, bytes: u64, perms: Perms) -> Result<VRange, MemError> {
+        let range = self.space_mut(pid)?.reserve(bytes);
+        for vpn in range.pages() {
+            let frame = self.phys.alloc_frame()?;
+            let (space, phys) = self.space_and_phys(pid)?;
+            space.table_mut().map(phys, vpn, frame, perms)?;
+            *self.frame_refs.entry(frame).or_insert(0) += 1;
+        }
+        Ok(range)
+    }
+
+    /// Maps a *synonym alias*: a fresh virtual range in `pid`'s space
+    /// backed by the same physical frames as `src` (which must be
+    /// mapped in `pid`'s own space). The alias inherits the source
+    /// pages' permissions unless `perms_override` narrows them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if any source page is unmapped.
+    pub fn mmap_alias(&mut self, pid: ProcessId, src: VRange) -> Result<VRange, MemError> {
+        self.mmap_alias_with(pid, pid, src, None)
+    }
+
+    /// Maps a cross-process alias (shared memory): a fresh range in
+    /// `dst_pid`'s space backed by `src_pid`'s frames for `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if any source page is unmapped,
+    /// or [`MemError::NoSuchProcess`].
+    pub fn mmap_shared(
+        &mut self,
+        dst_pid: ProcessId,
+        src_pid: ProcessId,
+        src: VRange,
+    ) -> Result<VRange, MemError> {
+        self.mmap_alias_with(dst_pid, src_pid, src, None)
+    }
+
+    /// Alias with an explicit permission override (e.g. a read-only
+    /// view of writable pages).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OsLite::mmap_alias`].
+    pub fn mmap_alias_with(
+        &mut self,
+        dst_pid: ProcessId,
+        src_pid: ProcessId,
+        src: VRange,
+        perms_override: Option<Perms>,
+    ) -> Result<VRange, MemError> {
+        // Collect source translations first (borrow discipline).
+        let mut backing = Vec::with_capacity(src.page_count() as usize);
+        {
+            let src_space = self.space(src_pid)?;
+            for vpn in src.pages() {
+                let (ppn, perms) = src_space
+                    .table()
+                    .translate(&self.phys, vpn)
+                    .ok_or(MemError::NotMapped(vpn.base()))?;
+                backing.push((ppn, perms_override.unwrap_or(perms)));
+            }
+        }
+        let range = self.space_mut(dst_pid)?.reserve(src.bytes());
+        for (vpn, (ppn, perms)) in range.pages().zip(backing) {
+            let (space, phys) = self.space_and_phys(dst_pid)?;
+            space.table_mut().map(phys, vpn, ppn, perms)?;
+            *self.frame_refs.entry(ppn).or_insert(0) += 1;
+        }
+        Ok(range)
+    }
+
+    /// Maps `count` 2 MB large pages (§4.3): physically contiguous,
+    /// 2 MB-aligned virtual and physical. Hardware consumers see the
+    /// mapping at 4 KB subpage granularity (splintered translations),
+    /// but walks terminate a level early.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] if contiguous memory is
+    /// exhausted, or [`MemError::NoSuchProcess`].
+    pub fn mmap_large(&mut self, pid: ProcessId, count: u64, perms: Perms) -> Result<VRange, MemError> {
+        if count == 0 {
+            return Err(MemError::BadArgument("count must be positive"));
+        }
+        let range = self
+            .space_mut(pid)?
+            .reserve_aligned(count * PAGES_PER_LARGE * crate::addr::PAGE_BYTES, PAGES_PER_LARGE);
+        for i in 0..count {
+            let base = self.phys.alloc_contiguous(PAGES_PER_LARGE)?;
+            let vpn = Vpn::new(range.start().vpn().raw() + i * PAGES_PER_LARGE);
+            let (space, phys) = self.space_and_phys(pid)?;
+            space.table_mut().map_large(phys, vpn, base, perms)?;
+            self.large_regions.insert((pid.0, vpn.raw()), base);
+        }
+        Ok(range)
+    }
+
+    /// Unmaps one 2 MB large page at `vpn`, returning the shootdown
+    /// covering all 512 subpages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if no large mapping lives there.
+    pub fn munmap_large(&mut self, pid: ProcessId, vpn: Vpn) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let (space, phys) = self.space_and_phys(pid)?;
+        space.table_mut().unmap_large(phys, vpn)?;
+        self.large_regions.remove(&(pid.0, vpn.raw()));
+        // Contiguous blocks are not refcounted (no aliasing support);
+        // frames are intentionally retired with the mapping.
+        let vpns = (0..PAGES_PER_LARGE).map(|i| Vpn::new(vpn.raw() + i)).collect();
+        Ok(Shootdown::Pages { asid, vpns })
+    }
+
+    /// Unmaps a region, freeing frames whose last mapping disappears,
+    /// and returns the shootdown the hardware must apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if any page is unmapped.
+    pub fn munmap(&mut self, pid: ProcessId, range: VRange) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let mut vpns = Vec::with_capacity(range.page_count() as usize);
+        for vpn in range.pages() {
+            let (space, phys) = self.space_and_phys(pid)?;
+            let frame = space.table_mut().unmap(phys, vpn)?;
+            let refs = self.frame_refs.get_mut(&frame).expect("refcounted frame");
+            *refs -= 1;
+            if *refs == 0 {
+                self.frame_refs.remove(&frame);
+                self.phys.free_frame(frame);
+            }
+            vpns.push(vpn);
+        }
+        self.space_mut(pid)?.forget_region(range);
+        Ok(Shootdown::Pages { asid, vpns })
+    }
+
+    /// Changes a region's permissions and returns the shootdown the
+    /// hardware must apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if any page is unmapped.
+    pub fn mprotect(&mut self, pid: ProcessId, range: VRange, perms: Perms) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let mut vpns = Vec::with_capacity(range.page_count() as usize);
+        for vpn in range.pages() {
+            let (space, phys) = self.space_and_phys(pid)?;
+            space.table_mut().protect(phys, vpn, perms)?;
+            vpns.push(vpn);
+        }
+        Ok(Shootdown::Pages { asid, vpns })
+    }
+
+    /// Functionally translates a virtual address (no timing).
+    pub fn translate(&self, pid: ProcessId, va: VAddr) -> Option<(PAddr, Perms)> {
+        let space = self.space(pid).ok()?;
+        let (ppn, perms) = space.table().translate(&self.phys, va.vpn())?;
+        Some((ppn.base().offset(va.page_offset()), perms))
+    }
+
+    /// Walks the page table as the hardware walker would, returning the
+    /// outcome and the PTE addresses touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for an unknown id.
+    pub fn walk(&self, pid: ProcessId, vpn: Vpn) -> Result<(WalkOutcome, WalkPath), MemError> {
+        Ok(self.space(pid)?.table().walk(&self.phys, vpn))
+    }
+
+    /// Walks by ASID (how the IOMMU, which only knows ASIDs, walks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for an unknown ASID.
+    pub fn walk_asid(&self, asid: Asid, vpn: Vpn) -> Result<(WalkOutcome, WalkPath), MemError> {
+        self.walk(ProcessId(asid.0), vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_BYTES;
+
+    #[test]
+    fn mmap_maps_every_page() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, 4 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        for vpn in r.pages() {
+            let (pa, perms) = os.translate(pid, vpn.base()).expect("mapped");
+            assert_eq!(perms, Perms::READ_WRITE);
+            assert_eq!(pa.page_offset(), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, 8 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let mut frames = std::collections::HashSet::new();
+        for vpn in r.pages() {
+            let (pa, _) = os.translate(pid, vpn.base()).unwrap();
+            assert!(frames.insert(pa.ppn()));
+        }
+    }
+
+    #[test]
+    fn alias_shares_frames() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, 2 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let alias = os.mmap_alias(pid, r).unwrap();
+        assert_ne!(r.start(), alias.start());
+        for (a, b) in r.pages().zip(alias.pages()) {
+            let (pa, _) = os.translate(pid, a.base()).unwrap();
+            let (pb, _) = os.translate(pid, b.base()).unwrap();
+            assert_eq!(pa, pb, "alias pages share frames");
+        }
+    }
+
+    #[test]
+    fn shared_mapping_across_processes() {
+        let mut os = OsLite::new(8 << 20);
+        let p1 = os.create_process();
+        let p2 = os.create_process();
+        assert_ne!(p1.asid(), p2.asid());
+        let r = os.mmap(p1, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let shared = os.mmap_shared(p2, p1, r).unwrap();
+        let (pa1, _) = os.translate(p1, r.start()).unwrap();
+        let (pa2, _) = os.translate(p2, shared.start()).unwrap();
+        assert_eq!(pa1, pa2);
+    }
+
+    #[test]
+    fn alias_with_narrowed_perms() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let ro = os.mmap_alias_with(pid, pid, r, Some(Perms::READ_ONLY)).unwrap();
+        let (_, perms) = os.translate(pid, ro.start()).unwrap();
+        assert_eq!(perms, Perms::READ_ONLY);
+    }
+
+    #[test]
+    fn munmap_emits_shootdown_and_frees_frames() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, 2 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let after_map = os.phys().allocated_frames();
+        let sd = os.munmap(pid, r).unwrap();
+        match sd {
+            Shootdown::Pages { asid, vpns } => {
+                assert_eq!(asid, pid.asid());
+                assert_eq!(vpns.len(), 2);
+            }
+            other => panic!("unexpected shootdown {other:?}"),
+        }
+        // The two data frames are freed; page-table nodes are retained.
+        assert_eq!(os.phys().allocated_frames(), after_map - 2);
+        assert_eq!(os.translate(pid, r.start()), None);
+    }
+
+    #[test]
+    fn munmap_keeps_aliased_frames_alive() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let (pa, _) = os.translate(pid, alias.start()).unwrap();
+        os.munmap(pid, r).unwrap();
+        // The alias still resolves to the same frame.
+        assert_eq!(os.translate(pid, alias.start()).unwrap().0, pa);
+    }
+
+    #[test]
+    fn mprotect_updates_perms_and_notifies() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let sd = os.mprotect(pid, r, Perms::READ_ONLY).unwrap();
+        assert!(matches!(sd, Shootdown::Pages { .. }));
+        let (_, perms) = os.translate(pid, r.start()).unwrap();
+        assert_eq!(perms, Perms::READ_ONLY);
+    }
+
+    #[test]
+    fn bad_process_id_is_reported() {
+        let mut os = OsLite::new(8 << 20);
+        assert!(matches!(
+            os.mmap(ProcessId(9), PAGE_BYTES, Perms::READ_WRITE),
+            Err(MemError::NoSuchProcess(9))
+        ));
+        assert!(os.translate(ProcessId(9), VAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn out_of_frames_surfaces() {
+        let mut os = OsLite::new(8 * PAGE_BYTES); // tiny machine
+        let pid = os.create_process();
+        // Root + intermediates consume frames; a large mmap must fail.
+        assert!(matches!(
+            os.mmap(pid, 64 * PAGE_BYTES, Perms::READ_WRITE),
+            Err(MemError::OutOfFrames)
+        ));
+    }
+
+    #[test]
+    fn mmap_large_covers_512_subpages() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 2, Perms::READ_WRITE).unwrap();
+        assert_eq!(r.page_count(), 2 * PAGES_PER_LARGE);
+        assert_eq!(r.start().vpn().raw() % PAGES_PER_LARGE, 0, "2 MB aligned VA");
+        // Subpages translate to contiguous frames with 3-level walks.
+        let (out, path) = os.walk(pid, Vpn::new(r.start().vpn().raw() + 7)).unwrap();
+        assert_eq!(path.accesses(), 3);
+        let WalkOutcome::Mapped { ppn, .. } = out else { panic!("mapped") };
+        let (out0, _) = os.walk(pid, r.start().vpn()).unwrap();
+        let WalkOutcome::Mapped { ppn: base, .. } = out0 else { panic!("mapped") };
+        assert_eq!(ppn.raw(), base.raw() + 7);
+        assert_eq!(base.raw() % PAGES_PER_LARGE, 0, "2 MB aligned PA");
+    }
+
+    #[test]
+    fn munmap_large_shoots_down_every_subpage() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 1, Perms::READ_WRITE).unwrap();
+        let sd = os.munmap_large(pid, r.start().vpn()).unwrap();
+        match sd {
+            Shootdown::Pages { vpns, .. } => assert_eq!(vpns.len(), PAGES_PER_LARGE as usize),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(os.translate(pid, r.start()).is_none());
+        assert!(os.munmap_large(pid, r.start().vpn()).is_err());
+    }
+
+    #[test]
+    fn walk_asid_matches_walk() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let vpn = r.start().vpn();
+        let (o1, p1) = os.walk(pid, vpn).unwrap();
+        let (o2, p2) = os.walk_asid(pid.asid(), vpn).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(p1, p2);
+    }
+}

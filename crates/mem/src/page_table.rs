@@ -1,0 +1,479 @@
+//! A 4-level radix page table stored in simulated physical frames.
+//!
+//! The layout mirrors x86-64 4 KB paging: a 36-bit virtual page number
+//! is split into four 9-bit indices; each level is a 512-entry frame of
+//! 8-byte entries. Walks report the physical address of every entry
+//! they touch ([`WalkPath`]) so the page-walk cache and DRAM model in
+//! the IOMMU charge exactly the accesses a hardware walker would make —
+//! the paper relies on PWC locality to show that page-walk latency is
+//! *not* the bottleneck (Observation 3).
+
+use crate::addr::{PAddr, Ppn, Vpn};
+use crate::perms::Perms;
+use crate::phys::PhysMem;
+use crate::MemError;
+use serde::{Deserialize, Serialize};
+
+/// Number of radix levels (root = level 0, leaf = level 3).
+pub const PT_LEVELS: usize = 4;
+const INDEX_BITS: u32 = 9;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+// PTE encoding: bit 0 = present, bits 1..=3 = perms (R/W/X), bit 4 =
+// large (a level-2 leaf mapping a 2 MB region), bits 12..=47 = PPN (of
+// the next level or of the mapped frame).
+const PTE_PRESENT: u64 = 1;
+const PTE_PERM_SHIFT: u32 = 1;
+const PTE_LARGE: u64 = 1 << 4;
+const PTE_PPN_SHIFT: u32 = 12;
+const PTE_PPN_MASK: u64 = (1 << 36) - 1;
+
+/// 4 KB pages per 2 MB large page.
+pub const PAGES_PER_LARGE: u64 = 512;
+
+fn pte_encode(ppn: Ppn, perms: Perms) -> u64 {
+    PTE_PRESENT | ((perms.bits() as u64) << PTE_PERM_SHIFT) | ((ppn.raw() & PTE_PPN_MASK) << PTE_PPN_SHIFT)
+}
+
+fn pte_encode_large(ppn: Ppn, perms: Perms) -> u64 {
+    pte_encode(ppn, perms) | PTE_LARGE
+}
+
+fn pte_large(pte: u64) -> bool {
+    pte & PTE_LARGE != 0
+}
+
+fn pte_present(pte: u64) -> bool {
+    pte & PTE_PRESENT != 0
+}
+
+fn pte_ppn(pte: u64) -> Ppn {
+    Ppn::new((pte >> PTE_PPN_SHIFT) & PTE_PPN_MASK)
+}
+
+fn pte_perms(pte: u64) -> Perms {
+    Perms::from_bits(((pte >> PTE_PERM_SHIFT) & 0b111) as u8)
+}
+
+/// The physical addresses of the page-table entries a walk touches, in
+/// root-to-leaf order. A partial walk (ending at a non-present entry)
+/// reports only the levels actually read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkPath {
+    /// Entry addresses read, root first.
+    pub entries: Vec<PAddr>,
+}
+
+impl WalkPath {
+    /// Number of memory accesses the walk performed.
+    pub fn accesses(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The result of walking the table for a VPN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// The page is mapped.
+    Mapped {
+        /// The mapped physical page.
+        ppn: Ppn,
+        /// The page's permissions.
+        perms: Perms,
+    },
+    /// The walk hit a non-present entry (page fault).
+    Fault,
+}
+
+/// A 4-level radix page table rooted at a physical frame.
+///
+/// All operations take `&mut PhysMem` because the table's nodes live in
+/// simulated physical frames.
+///
+/// ```
+/// use gvc_mem::{PageTable, Perms, PhysMem, Ppn, Vpn, WalkOutcome};
+///
+/// let mut pm = PhysMem::new(1 << 20);
+/// let mut pt = PageTable::new(&mut pm)?;
+/// let frame = pm.alloc_frame()?;
+/// pt.map(&mut pm, Vpn::new(0x1234), frame, Perms::READ_WRITE)?;
+/// let (outcome, path) = pt.walk(&pm, Vpn::new(0x1234));
+/// assert_eq!(outcome, WalkOutcome::Mapped { ppn: frame, perms: Perms::READ_WRITE });
+/// assert_eq!(path.accesses(), 4); // four levels touched
+/// # Ok::<(), gvc_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    root: Ppn,
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Allocates an empty table (one root frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfFrames`] if no frame is available for
+    /// the root.
+    pub fn new(pm: &mut PhysMem) -> Result<Self, MemError> {
+        let root = pm.alloc_frame()?;
+        Ok(PageTable { root, mapped_pages: 0 })
+    }
+
+    /// The root frame (CR3 equivalent).
+    pub fn root(&self) -> Ppn {
+        self.root
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    fn index_at(vpn: Vpn, level: usize) -> u64 {
+        let shift = INDEX_BITS * (PT_LEVELS - 1 - level) as u32;
+        (vpn.raw() >> shift) & INDEX_MASK
+    }
+
+    fn entry_addr(node: Ppn, index: u64) -> PAddr {
+        node.base().offset(index * 8)
+    }
+
+    /// Walks the table for `vpn`, returning the outcome and the PTE
+    /// addresses touched. A 2 MB large-page leaf terminates the walk
+    /// one level early (3 accesses instead of 4); the returned PPN is
+    /// the 4 KB *subframe* for `vpn`, so every consumer — TLBs, the
+    /// FBT — operates at base-page granularity, which is exactly the
+    /// paper's §4.3 subpage optimization.
+    pub fn walk(&self, pm: &PhysMem, vpn: Vpn) -> (WalkOutcome, WalkPath) {
+        let mut node = self.root;
+        let mut path = WalkPath { entries: Vec::with_capacity(PT_LEVELS) };
+        for level in 0..PT_LEVELS {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            path.entries.push(ea);
+            let pte = pm.read_u64(ea);
+            if !pte_present(pte) {
+                return (WalkOutcome::Fault, path);
+            }
+            if level == PT_LEVELS - 2 && pte_large(pte) {
+                let sub = vpn.raw() % PAGES_PER_LARGE;
+                return (
+                    WalkOutcome::Mapped {
+                        ppn: Ppn::new(pte_ppn(pte).raw() + sub),
+                        perms: pte_perms(pte),
+                    },
+                    path,
+                );
+            }
+            if level == PT_LEVELS - 1 {
+                return (
+                    WalkOutcome::Mapped { ppn: pte_ppn(pte), perms: pte_perms(pte) },
+                    path,
+                );
+            }
+            node = pte_ppn(pte);
+        }
+        unreachable!("walk must return at the leaf level")
+    }
+
+    /// Maps a 2 MB large page: `vpn` and `ppn` must be 512-page
+    /// aligned; the mapping becomes a level-2 leaf over 512
+    /// contiguous frames starting at `ppn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadArgument`] on misalignment,
+    /// [`MemError::AlreadyMapped`] if the slot is occupied, or
+    /// [`MemError::OutOfFrames`] if an intermediate node cannot be
+    /// allocated.
+    pub fn map_large(&mut self, pm: &mut PhysMem, vpn: Vpn, ppn: Ppn, perms: Perms) -> Result<(), MemError> {
+        if vpn.raw() % PAGES_PER_LARGE != 0 || ppn.raw() % PAGES_PER_LARGE != 0 {
+            return Err(MemError::BadArgument("large mappings must be 2 MB aligned"));
+        }
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 2 {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            let pte = pm.read_u64(ea);
+            node = if pte_present(pte) {
+                pte_ppn(pte)
+            } else {
+                let fresh = pm.alloc_frame()?;
+                pm.write_u64(ea, pte_encode(fresh, Perms::from_bits(0b111)));
+                fresh
+            };
+        }
+        let leaf = Self::entry_addr(node, Self::index_at(vpn, PT_LEVELS - 2));
+        if pte_present(pm.read_u64(leaf)) {
+            return Err(MemError::AlreadyMapped(vpn.base()));
+        }
+        pm.write_u64(leaf, pte_encode_large(ppn, perms));
+        self.mapped_pages += PAGES_PER_LARGE;
+        Ok(())
+    }
+
+    /// Unmaps a 2 MB large page, returning its base frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if no large mapping is present
+    /// at `vpn`, or [`MemError::BadArgument`] on misalignment.
+    pub fn unmap_large(&mut self, pm: &mut PhysMem, vpn: Vpn) -> Result<Ppn, MemError> {
+        if vpn.raw() % PAGES_PER_LARGE != 0 {
+            return Err(MemError::BadArgument("large mappings must be 2 MB aligned"));
+        }
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 2 {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            let pte = pm.read_u64(ea);
+            if !pte_present(pte) {
+                return Err(MemError::NotMapped(vpn.base()));
+            }
+            node = pte_ppn(pte);
+        }
+        let leaf = Self::entry_addr(node, Self::index_at(vpn, PT_LEVELS - 2));
+        let pte = pm.read_u64(leaf);
+        if !pte_present(pte) || !pte_large(pte) {
+            return Err(MemError::NotMapped(vpn.base()));
+        }
+        pm.write_u64(leaf, 0);
+        self.mapped_pages -= PAGES_PER_LARGE;
+        Ok(pte_ppn(pte))
+    }
+
+    /// Convenience: walks and returns the translation, ignoring timing.
+    pub fn translate(&self, pm: &PhysMem, vpn: Vpn) -> Option<(Ppn, Perms)> {
+        match self.walk(pm, vpn).0 {
+            WalkOutcome::Mapped { ppn, perms } => Some((ppn, perms)),
+            WalkOutcome::Fault => None,
+        }
+    }
+
+    /// Maps `vpn` to `ppn` with `perms`, allocating intermediate levels
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyMapped`] if the page is mapped, or
+    /// [`MemError::OutOfFrames`] if an intermediate node cannot be
+    /// allocated.
+    pub fn map(&mut self, pm: &mut PhysMem, vpn: Vpn, ppn: Ppn, perms: Perms) -> Result<(), MemError> {
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            let pte = pm.read_u64(ea);
+            node = if pte_present(pte) {
+                pte_ppn(pte)
+            } else {
+                let fresh = pm.alloc_frame()?;
+                // Intermediate entries carry full permissions; leaves gate.
+                pm.write_u64(ea, pte_encode(fresh, Perms::from_bits(0b111)));
+                fresh
+            };
+        }
+        let leaf = Self::entry_addr(node, Self::index_at(vpn, PT_LEVELS - 1));
+        if pte_present(pm.read_u64(leaf)) {
+            return Err(MemError::AlreadyMapped(vpn.base()));
+        }
+        pm.write_u64(leaf, pte_encode(ppn, perms));
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
+    /// Unmaps `vpn`, returning the frame it mapped. Intermediate nodes
+    /// are retained (as real OSes usually do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if the page is not mapped.
+    pub fn unmap(&mut self, pm: &mut PhysMem, vpn: Vpn) -> Result<Ppn, MemError> {
+        let leaf = self.leaf_addr(pm, vpn).ok_or(MemError::NotMapped(vpn.base()))?;
+        let pte = pm.read_u64(leaf);
+        if !pte_present(pte) {
+            return Err(MemError::NotMapped(vpn.base()));
+        }
+        pm.write_u64(leaf, 0);
+        self.mapped_pages -= 1;
+        Ok(pte_ppn(pte))
+    }
+
+    /// Changes the permissions of a mapped page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if the page is not mapped.
+    pub fn protect(&mut self, pm: &mut PhysMem, vpn: Vpn, perms: Perms) -> Result<(), MemError> {
+        let leaf = self.leaf_addr(pm, vpn).ok_or(MemError::NotMapped(vpn.base()))?;
+        let pte = pm.read_u64(leaf);
+        if !pte_present(pte) {
+            return Err(MemError::NotMapped(vpn.base()));
+        }
+        pm.write_u64(leaf, pte_encode(pte_ppn(pte), perms));
+        Ok(())
+    }
+
+    fn leaf_addr(&self, pm: &PhysMem, vpn: Vpn) -> Option<PAddr> {
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            let pte = pm.read_u64(ea);
+            if !pte_present(pte) {
+                return None;
+            }
+            node = pte_ppn(pte);
+        }
+        Some(Self::entry_addr(node, Self::index_at(vpn, PT_LEVELS - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, PageTable) {
+        let mut pm = PhysMem::new(16 << 20);
+        let pt = PageTable::new(&mut pm).unwrap();
+        (pm, pt)
+    }
+
+    #[test]
+    fn map_then_walk_finds_translation() {
+        let (mut pm, mut pt) = setup();
+        let frame = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(0xABCDE), frame, Perms::READ_ONLY).unwrap();
+        let (out, path) = pt.walk(&pm, Vpn::new(0xABCDE));
+        assert_eq!(out, WalkOutcome::Mapped { ppn: frame, perms: Perms::READ_ONLY });
+        assert_eq!(path.accesses(), PT_LEVELS);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmapped_walk_faults_early() {
+        let (pm, pt) = setup();
+        let (out, path) = pt.walk(&pm, Vpn::new(5));
+        assert_eq!(out, WalkOutcome::Fault);
+        assert_eq!(path.accesses(), 1, "root entry absent: one access");
+    }
+
+    #[test]
+    fn sibling_pages_share_upper_levels() {
+        let (mut pm, mut pt) = setup();
+        let f1 = pm.alloc_frame().unwrap();
+        let f2 = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(0x100), f1, Perms::READ_WRITE).unwrap();
+        pt.map(&mut pm, Vpn::new(0x101), f2, Perms::READ_WRITE).unwrap();
+        let (_, p1) = pt.walk(&pm, Vpn::new(0x100));
+        let (_, p2) = pt.walk(&pm, Vpn::new(0x101));
+        // Same root/mid nodes; only the leaf entry differs.
+        assert_eq!(p1.entries[..3], p2.entries[..3]);
+        assert_ne!(p1.entries[3], p2.entries[3]);
+    }
+
+    #[test]
+    fn distant_pages_use_disjoint_subtrees() {
+        let (mut pm, mut pt) = setup();
+        let f1 = pm.alloc_frame().unwrap();
+        let f2 = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(0), f1, Perms::READ_WRITE).unwrap();
+        pt.map(&mut pm, Vpn::new(1 << 27), f2, Perms::READ_WRITE).unwrap();
+        let (_, p1) = pt.walk(&pm, Vpn::new(0));
+        let (_, p2) = pt.walk(&pm, Vpn::new(1 << 27));
+        assert_eq!(p1.entries[0].ppn(), p2.entries[0].ppn(), "same root frame");
+        assert_ne!(p1.entries[0], p2.entries[0], "different root entries");
+        assert_ne!(p1.entries[1], p2.entries[1]);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut pm, mut pt) = setup();
+        let f = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(9), f, Perms::READ_WRITE).unwrap();
+        assert!(matches!(
+            pt.map(&mut pm, Vpn::new(9), f, Perms::READ_WRITE),
+            Err(MemError::AlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn unmap_restores_fault() {
+        let (mut pm, mut pt) = setup();
+        let f = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(9), f, Perms::READ_WRITE).unwrap();
+        assert_eq!(pt.unmap(&mut pm, Vpn::new(9)).unwrap(), f);
+        assert_eq!(pt.walk(&pm, Vpn::new(9)).0, WalkOutcome::Fault);
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(matches!(pt.unmap(&mut pm, Vpn::new(9)), Err(MemError::NotMapped(_))));
+    }
+
+    #[test]
+    fn protect_changes_leaf_perms() {
+        let (mut pm, mut pt) = setup();
+        let f = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(77), f, Perms::READ_WRITE).unwrap();
+        pt.protect(&mut pm, Vpn::new(77), Perms::READ_ONLY).unwrap();
+        assert_eq!(pt.translate(&pm, Vpn::new(77)), Some((f, Perms::READ_ONLY)));
+        assert!(matches!(
+            pt.protect(&mut pm, Vpn::new(1), Perms::NONE),
+            Err(MemError::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn large_page_walk_is_one_level_shorter() {
+        let (mut pm, mut pt) = setup();
+        let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
+        pt.map_large(&mut pm, Vpn::new(512), base, Perms::READ_WRITE).unwrap();
+        assert_eq!(pt.mapped_pages(), PAGES_PER_LARGE);
+        // Any subpage translates to its own subframe with 3 accesses.
+        let (out, path) = pt.walk(&pm, Vpn::new(512 + 37));
+        assert_eq!(path.accesses(), 3);
+        assert_eq!(
+            out,
+            WalkOutcome::Mapped { ppn: Ppn::new(base.raw() + 37), perms: Perms::READ_WRITE }
+        );
+        let freed = pt.unmap_large(&mut pm, Vpn::new(512)).unwrap();
+        assert_eq!(freed, base);
+        assert_eq!(pt.walk(&pm, Vpn::new(512)).0, WalkOutcome::Fault);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn large_page_alignment_enforced() {
+        let (mut pm, mut pt) = setup();
+        let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
+        assert!(matches!(
+            pt.map_large(&mut pm, Vpn::new(100), base, Perms::READ_WRITE),
+            Err(MemError::BadArgument(_))
+        ));
+        assert!(matches!(
+            pt.unmap_large(&mut pm, Vpn::new(100)),
+            Err(MemError::BadArgument(_))
+        ));
+        assert!(matches!(
+            pt.unmap_large(&mut pm, Vpn::new(1024)),
+            Err(MemError::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn large_and_base_pages_coexist() {
+        let (mut pm, mut pt) = setup();
+        let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
+        pt.map_large(&mut pm, Vpn::new(1024), base, Perms::READ_ONLY).unwrap();
+        let f = pm.alloc_frame().unwrap();
+        pt.map(&mut pm, Vpn::new(5), f, Perms::READ_WRITE).unwrap();
+        assert_eq!(pt.translate(&pm, Vpn::new(5)), Some((f, Perms::READ_WRITE)));
+        assert_eq!(
+            pt.translate(&pm, Vpn::new(1024 + 511)),
+            Some((Ppn::new(base.raw() + 511), Perms::READ_ONLY))
+        );
+    }
+
+    #[test]
+    fn pte_roundtrip() {
+        let pte = pte_encode(Ppn::new(0x12345), Perms::READ_WRITE);
+        assert!(pte_present(pte));
+        assert_eq!(pte_ppn(pte), Ppn::new(0x12345));
+        assert_eq!(pte_perms(pte), Perms::READ_WRITE);
+        assert!(!pte_present(0));
+    }
+}

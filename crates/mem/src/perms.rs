@@ -1,0 +1,151 @@
+//! Page permissions.
+//!
+//! In the paper's virtual cache hierarchy, page permissions travel with
+//! each cache line (the permission check happens on virtual-cache access
+//! instead of at a TLB), so [`Perms`] is used both by the page tables
+//! and by every cache line and FBT entry in `gvc`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A read/write/execute permission set.
+///
+/// ```
+/// use gvc_mem::Perms;
+///
+/// let p = Perms::READ | Perms::WRITE;
+/// assert!(p.allows_read());
+/// assert!(p.allows_write());
+/// assert!(!p.allows_exec());
+/// assert!(p.covers(Perms::READ));
+/// assert!(!Perms::READ.covers(p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Read access.
+    pub const READ: Perms = Perms(1);
+    /// Write access.
+    pub const WRITE: Perms = Perms(2);
+    /// Execute access.
+    pub const EXEC: Perms = Perms(4);
+    /// Read + write (the common data-page permission).
+    pub const READ_WRITE: Perms = Perms(1 | 2);
+    /// Read only.
+    pub const READ_ONLY: Perms = Perms(1);
+
+    /// Builds from raw bits (low three bits: R, W, X).
+    pub const fn from_bits(bits: u8) -> Perms {
+        Perms(bits & 0b111)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether reads are allowed.
+    pub const fn allows_read(self) -> bool {
+        self.0 & Perms::READ.0 != 0
+    }
+
+    /// Whether writes are allowed.
+    pub const fn allows_write(self) -> bool {
+        self.0 & Perms::WRITE.0 != 0
+    }
+
+    /// Whether instruction fetches are allowed.
+    pub const fn allows_exec(self) -> bool {
+        self.0 & Perms::EXEC.0 != 0
+    }
+
+    /// Whether every permission in `needed` is present.
+    pub const fn covers(self, needed: Perms) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The permission an access of the given kind requires.
+    pub const fn required_for_write(is_write: bool) -> Perms {
+        if is_write {
+            Perms::WRITE
+        } else {
+            Perms::READ
+        }
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows_read() { "r" } else { "-" },
+            if self.allows_write() { "w" } else { "-" },
+            if self.allows_exec() { "x" } else { "-" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_composition() {
+        let p = Perms::READ | Perms::EXEC;
+        assert!(p.allows_read() && p.allows_exec() && !p.allows_write());
+        assert_eq!(p.bits(), 0b101);
+        assert_eq!(Perms::from_bits(0xFF).bits(), 0b111);
+    }
+
+    #[test]
+    fn covers_is_subset_check() {
+        assert!(Perms::READ_WRITE.covers(Perms::READ));
+        assert!(Perms::READ_WRITE.covers(Perms::WRITE));
+        assert!(Perms::READ_WRITE.covers(Perms::NONE));
+        assert!(!Perms::READ_ONLY.covers(Perms::WRITE));
+    }
+
+    #[test]
+    fn required_for_access_kind() {
+        assert_eq!(Perms::required_for_write(true), Perms::WRITE);
+        assert_eq!(Perms::required_for_write(false), Perms::READ);
+    }
+
+    #[test]
+    fn display_rwx() {
+        assert_eq!(Perms::READ_WRITE.to_string(), "rw-");
+        assert_eq!(Perms::NONE.to_string(), "---");
+        assert_eq!((Perms::READ | Perms::EXEC).to_string(), "r-x");
+        assert!(Perms::NONE.is_none());
+    }
+
+    #[test]
+    fn or_assign() {
+        let mut p = Perms::READ;
+        p |= Perms::WRITE;
+        assert_eq!(p, Perms::READ_WRITE);
+    }
+}

@@ -1,0 +1,454 @@
+//! The IOMMU translation front end.
+//!
+//! Per the paper's baseline (Figure 1): all CUs share one IOMMU holding
+//! a shared TLB, a pool of 16 page-table walkers, and an 8 KB page-walk
+//! cache. The shared TLB can begin **one lookup per cycle** (the
+//! bandwidth knob of Figure 5); requests that arrive faster queue, and
+//! that queuing delay is the serialization overhead the paper
+//! identifies as the dominant cost of GPU address translation.
+//!
+//! [`Iommu::translate`] is the single entry point. It accepts an
+//! optional *second-level lookup* closure, which `gvc` uses to consult
+//! the forward-backward table between a shared-TLB miss and a page
+//! walk ("VC With OPT", §4.1 of the paper).
+
+use crate::pwc::{Pwc, PwcConfig, PwcStats};
+use crate::tlb::{Tlb, TlbConfig, TlbKey, TlbStats};
+use crate::walker::WalkerPool;
+use gvc_engine::stats::{IntervalSampler, IntervalSummary};
+use gvc_engine::time::{Cycle, Duration};
+use gvc_engine::{Counter, ThroughputPort};
+use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn, WalkOutcome};
+use serde::{Deserialize, Serialize};
+
+/// IOMMU configuration (Table 1 / Table 2 presets below).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IommuConfig {
+    /// Shared TLB organization.
+    pub tlb: TlbConfig,
+    /// Lookups the shared TLB can begin per cycle; `None` = unlimited
+    /// (the IDEAL MMU and the Figure 3 measurement).
+    pub port_width: Option<u32>,
+    /// Shared TLB lookup latency in cycles.
+    pub tlb_latency: u64,
+    /// Concurrent page-table walkers.
+    pub walkers: usize,
+    /// Page-walk cache configuration.
+    pub pwc: PwcConfig,
+    /// Cost of a PWC hit during a walk.
+    pub pwc_hit_cycles: u64,
+    /// Cost of a page-table memory access on a PWC miss.
+    pub memory_access_cycles: u64,
+    /// Latency of the optional second-level lookup (the FBT).
+    pub second_level_latency: u64,
+    /// Sampling interval for the access-rate statistic (1 µs at
+    /// 700 MHz by default).
+    pub sample_interval: u64,
+}
+
+impl IommuConfig {
+    /// The paper's "Small IOMMU TLB" baseline: 512 entries, 1
+    /// access/cycle.
+    pub fn small() -> Self {
+        IommuConfig {
+            tlb: TlbConfig::shared(512),
+            port_width: Some(1),
+            tlb_latency: 4,
+            walkers: 16,
+            pwc: PwcConfig::default(),
+            pwc_hit_cycles: 2,
+            memory_access_cycles: 60,
+            second_level_latency: 5,
+            sample_interval: 700,
+        }
+    }
+
+    /// The paper's "Large IOMMU TLB": 16K entries, 1 access/cycle.
+    pub fn large() -> Self {
+        IommuConfig {
+            tlb: TlbConfig::shared(16 * 1024),
+            ..IommuConfig::small()
+        }
+    }
+
+    /// The IDEAL MMU's translation back end: infinite TLB, unlimited
+    /// bandwidth, minimal latency.
+    pub fn ideal() -> Self {
+        IommuConfig {
+            tlb: TlbConfig::infinite(),
+            port_width: None,
+            tlb_latency: 0,
+            ..IommuConfig::small()
+        }
+    }
+
+    /// `small()` with a different port width (the Figure 5 sweep).
+    pub fn with_port_width(mut self, width: u32) -> Self {
+        self.port_width = Some(width);
+        self
+    }
+}
+
+/// How a translation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IommuOutcome {
+    /// Hit in the shared TLB.
+    TlbHit {
+        /// Physical page.
+        ppn: Ppn,
+        /// Page permissions.
+        perms: Perms,
+    },
+    /// Missed the shared TLB, hit the second-level structure (FBT).
+    SecondLevelHit {
+        /// Physical page.
+        ppn: Ppn,
+        /// Page permissions.
+        perms: Perms,
+    },
+    /// Resolved by a page-table walk.
+    Walked {
+        /// Physical page.
+        ppn: Ppn,
+        /// Page permissions.
+        perms: Perms,
+    },
+    /// The page is not mapped: a GPU page fault (handled by the CPU).
+    Fault,
+}
+
+impl IommuOutcome {
+    /// The translation, unless the walk faulted.
+    pub fn translation(&self) -> Option<(Ppn, Perms)> {
+        match *self {
+            IommuOutcome::TlbHit { ppn, perms }
+            | IommuOutcome::SecondLevelHit { ppn, perms }
+            | IommuOutcome::Walked { ppn, perms } => Some((ppn, perms)),
+            IommuOutcome::Fault => None,
+        }
+    }
+}
+
+/// A completed translation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IommuResponse {
+    /// When the shared TLB began servicing the request (the difference
+    /// from arrival is the serialization delay).
+    pub service_at: Cycle,
+    /// When the translation completed.
+    pub done_at: Cycle,
+    /// How it was satisfied.
+    pub outcome: IommuOutcome,
+}
+
+/// IOMMU counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IommuStats {
+    /// Requests received.
+    pub requests: Counter,
+    /// Shared TLB hits.
+    pub tlb_hits: Counter,
+    /// Second-level (FBT) hits.
+    pub second_level_hits: Counter,
+    /// Page walks performed.
+    pub walks: Counter,
+    /// Page faults.
+    pub faults: Counter,
+    /// Total serialization delay at the port (cycles).
+    pub serialization_cycles: Counter,
+}
+
+/// The shared IOMMU translation front end (see [module docs](self)).
+#[derive(Debug)]
+pub struct Iommu {
+    config: IommuConfig,
+    tlb: Tlb,
+    port: ThroughputPort,
+    walkers: WalkerPool,
+    pwc: Pwc,
+    sampler: IntervalSampler,
+    stats: IommuStats,
+}
+
+/// The optional second-level lookup hook (e.g. the FBT's forward
+/// table). Returns the translation if the structure holds one.
+pub type SecondLevel<'a> = &'a mut dyn FnMut(Asid, Vpn) -> Option<(Ppn, Perms)>;
+
+impl Iommu {
+    /// Builds an IOMMU.
+    pub fn new(config: IommuConfig) -> Self {
+        let port = match config.port_width {
+            Some(w) => ThroughputPort::per_cycle(w),
+            None => ThroughputPort::unlimited(),
+        };
+        Iommu {
+            tlb: Tlb::new(config.tlb),
+            port,
+            walkers: WalkerPool::new(config.walkers),
+            pwc: Pwc::new(config.pwc),
+            sampler: IntervalSampler::new(Duration::new(config.sample_interval)),
+            config,
+        stats: IommuStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> IommuConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IommuStats {
+        self.stats
+    }
+
+    /// Shared TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// PWC statistics.
+    pub fn pwc_stats(&self) -> PwcStats {
+        self.pwc.stats()
+    }
+
+    /// Summarizes the access-rate sampling (Figures 3 and 8) over the
+    /// simulation that ended at `end`.
+    pub fn access_rate(&self, end: Cycle) -> IntervalSummary {
+        self.sampler.finish(end)
+    }
+
+    /// Translates `(asid, vpn)` for a request arriving at `arrival`.
+    ///
+    /// `second_level`, if provided, is consulted after a shared-TLB
+    /// miss and before a page walk.
+    pub fn translate(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        arrival: Cycle,
+        os: &OsLite,
+        second_level: Option<SecondLevel<'_>>,
+    ) -> IommuResponse {
+        self.stats.requests.inc();
+        self.sampler.record(arrival);
+        let service_at = self.port.reserve(arrival);
+        self.stats
+            .serialization_cycles
+            .add(service_at.raw() - arrival.raw());
+        let key = TlbKey::new(asid, vpn);
+        let lookup_done = service_at + Duration::new(self.config.tlb_latency);
+
+        if let Some(entry) = self.tlb.lookup(key, service_at) {
+            self.stats.tlb_hits.inc();
+            return IommuResponse {
+                service_at,
+                done_at: lookup_done,
+                outcome: IommuOutcome::TlbHit { ppn: entry.ppn, perms: entry.perms },
+            };
+        }
+
+        let mut t = lookup_done;
+        if let Some(hook) = second_level {
+            t += Duration::new(self.config.second_level_latency);
+            if let Some((ppn, perms)) = hook(asid, vpn) {
+                self.stats.second_level_hits.inc();
+                self.tlb.insert(key, ppn, perms, t);
+                return IommuResponse {
+                    service_at,
+                    done_at: t,
+                    outcome: IommuOutcome::SecondLevelHit { ppn, perms },
+                };
+            }
+        }
+
+        // Page walk on the real radix tables.
+        self.stats.walks.inc();
+        let (walker, start) = self.walkers.acquire(t);
+        let (outcome, path) = os.walk_asid(asid, vpn).unwrap_or((
+            WalkOutcome::Fault,
+            gvc_mem::WalkPath { entries: Vec::new() },
+        ));
+        let mut latency = 0u64;
+        for (level, pte_addr) in path.entries.iter().enumerate() {
+            latency += if self.pwc.access(*pte_addr, level) {
+                self.config.pwc_hit_cycles
+            } else {
+                self.config.memory_access_cycles
+            };
+        }
+        let end = start + Duration::new(latency);
+        self.walkers.release(walker, end);
+        self.walkers.record_latency(latency);
+
+        match outcome {
+            WalkOutcome::Mapped { ppn, perms } => {
+                self.tlb.insert(key, ppn, perms, end);
+                IommuResponse {
+                    service_at,
+                    done_at: end,
+                    outcome: IommuOutcome::Walked { ppn, perms },
+                }
+            }
+            WalkOutcome::Fault => {
+                self.stats.faults.inc();
+                IommuResponse {
+                    service_at,
+                    done_at: end,
+                    outcome: IommuOutcome::Fault,
+                }
+            }
+        }
+    }
+
+    /// Applies a single-page shootdown to the shared TLB and flushes
+    /// the PWC (its cached PTEs may be stale).
+    pub fn shootdown_page(&mut self, asid: Asid, vpn: Vpn) {
+        self.tlb.invalidate(TlbKey::new(asid, vpn));
+        self.pwc.flush();
+    }
+
+    /// Applies an all-entry shootdown for one address space.
+    pub fn shootdown_asid(&mut self, asid: Asid) {
+        self.tlb.invalidate_asid(asid);
+        self.pwc.flush();
+    }
+
+    /// Direct access to the shared TLB (for invariants/tests).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_mem::{OsLite, Perms as P, PAGE_BYTES};
+
+    fn setup(pages: u64) -> (OsLite, gvc_mem::ProcessId, gvc_mem::VRange) {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, pages * PAGE_BYTES, P::READ_WRITE).unwrap();
+        (os, pid, r)
+    }
+
+    #[test]
+    fn first_access_walks_then_hits() {
+        let (os, pid, r) = setup(4);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let vpn = r.start().vpn();
+        let a = iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        assert!(matches!(a.outcome, IommuOutcome::Walked { .. }));
+        let b = iommu.translate(pid.asid(), vpn, Cycle::new(1000), &os, None);
+        assert!(matches!(b.outcome, IommuOutcome::TlbHit { .. }));
+        assert_eq!(b.done_at, Cycle::new(1000 + 4));
+        assert_eq!(iommu.stats().walks.get(), 1);
+    }
+
+    #[test]
+    fn serialization_delay_accumulates() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let vpn = r.start().vpn();
+        // Warm the TLB.
+        iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        // A burst of 10 same-cycle requests serializes at 1/cycle.
+        let mut last = Cycle::ZERO;
+        for _ in 0..10 {
+            let resp = iommu.translate(pid.asid(), vpn, Cycle::new(500), &os, None);
+            assert!(resp.service_at >= last);
+            last = resp.service_at;
+        }
+        assert_eq!(last, Cycle::new(509));
+        assert!(iommu.stats().serialization_cycles.get() >= 45);
+    }
+
+    #[test]
+    fn unlimited_port_never_serializes() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::ideal());
+        let vpn = r.start().vpn();
+        iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        for _ in 0..10 {
+            let resp = iommu.translate(pid.asid(), vpn, Cycle::new(500), &os, None);
+            assert_eq!(resp.service_at, Cycle::new(500));
+        }
+        assert_eq!(iommu.stats().serialization_cycles.get(), 0);
+    }
+
+    #[test]
+    fn second_level_hit_avoids_walk() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let vpn = r.start().vpn();
+        let (ppn, perms) = os.space(pid).unwrap().table().translate(os.phys(), vpn).unwrap();
+        let mut hook = |_a: Asid, _v: Vpn| Some((ppn, perms));
+        let resp = iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, Some(&mut hook));
+        assert!(matches!(resp.outcome, IommuOutcome::SecondLevelHit { .. }));
+        assert_eq!(iommu.stats().walks.get(), 0);
+        assert_eq!(
+            resp.done_at,
+            Cycle::new(IommuConfig::small().tlb_latency + IommuConfig::small().second_level_latency)
+        );
+        // And the shared TLB was filled.
+        let again = iommu.translate(pid.asid(), vpn, Cycle::new(100), &os, Some(&mut hook));
+        assert!(matches!(again.outcome, IommuOutcome::TlbHit { .. }));
+    }
+
+    #[test]
+    fn second_level_miss_falls_through_to_walk() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let mut hook = |_a: Asid, _v: Vpn| None;
+        let resp = iommu.translate(pid.asid(), r.start().vpn(), Cycle::new(0), &os, Some(&mut hook));
+        assert!(matches!(resp.outcome, IommuOutcome::Walked { .. }));
+        assert_eq!(iommu.stats().second_level_hits.get(), 0);
+    }
+
+    #[test]
+    fn unmapped_page_faults() {
+        let (os, pid, _r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let resp = iommu.translate(pid.asid(), Vpn::new(1), Cycle::new(0), &os, None);
+        assert_eq!(resp.outcome, IommuOutcome::Fault);
+        assert_eq!(resp.outcome.translation(), None);
+        assert_eq!(iommu.stats().faults.get(), 1);
+    }
+
+    #[test]
+    fn pwc_makes_neighbor_walks_cheaper() {
+        let (os, pid, r) = setup(8);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let base = r.start().vpn().raw();
+        let first = iommu.translate(pid.asid(), Vpn::new(base), Cycle::new(0), &os, None);
+        let cold = first.done_at.raw();
+        let second = iommu.translate(pid.asid(), Vpn::new(base + 1), Cycle::new(10_000), &os, None);
+        let warm = second.done_at.raw() - 10_000;
+        assert!(warm < cold, "PWC must accelerate sibling walks: cold {cold}, warm {warm}");
+    }
+
+    #[test]
+    fn shootdown_removes_translation() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let vpn = r.start().vpn();
+        iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        iommu.shootdown_page(pid.asid(), vpn);
+        let resp = iommu.translate(pid.asid(), vpn, Cycle::new(100), &os, None);
+        assert!(matches!(resp.outcome, IommuOutcome::Walked { .. }));
+    }
+
+    #[test]
+    fn access_rate_reflects_bursts() {
+        let (os, pid, r) = setup(1);
+        let mut iommu = Iommu::new(IommuConfig::ideal());
+        let vpn = r.start().vpn();
+        for _ in 0..700 {
+            iommu.translate(pid.asid(), vpn, Cycle::new(10), &os, None);
+        }
+        let rate = iommu.access_rate(Cycle::new(1400));
+        assert_eq!(rate.total(), 700);
+        assert_eq!(rate.max_per_cycle(), 1.0);
+        assert_eq!(rate.mean_per_cycle(), 0.5);
+    }
+}

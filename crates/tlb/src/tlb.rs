@@ -1,0 +1,488 @@
+//! A generic TLB: fully associative, set-associative, or infinite.
+//!
+//! The same structure serves as the 32-entry per-CU TLB, the 512- or
+//! 16K-entry shared IOMMU TLB, and the infinite TLB of the IDEAL MMU.
+//! Entries are keyed by `(Asid, Vpn)` so homonyms (the same virtual
+//! page in different address spaces) never collide.
+
+use gvc_engine::time::Cycle;
+use gvc_engine::Counter;
+use gvc_mem::{Asid, Perms, Ppn, Vpn};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The lookup key: address space + virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlbKey {
+    /// Address-space identifier.
+    pub asid: Asid,
+    /// Virtual page number.
+    pub vpn: Vpn,
+}
+
+impl TlbKey {
+    /// Builds a key.
+    pub fn new(asid: Asid, vpn: Vpn) -> Self {
+        TlbKey { asid, vpn }
+    }
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbEntry {
+    /// The physical page.
+    pub ppn: Ppn,
+    /// Page permissions.
+    pub perms: Perms,
+    /// When the entry was inserted (for lifetime statistics).
+    pub inserted_at: Cycle,
+}
+
+/// An entry displaced by an insertion, with its residence time
+/// (Figure 12's "per-CU TLB entry" lifetime samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced key.
+    pub key: TlbKey,
+    /// The displaced translation.
+    pub entry: TlbEntry,
+    /// When the displacement happened.
+    pub evicted_at: Cycle,
+}
+
+impl Evicted {
+    /// Cycles the entry spent resident.
+    pub fn lifetime(&self) -> u64 {
+        self.evicted_at.raw().saturating_sub(self.entry.inserted_at.raw())
+    }
+}
+
+/// How the TLB is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlbOrganization {
+    /// Fully associative with true LRU (the paper's per-CU TLBs).
+    FullyAssociative {
+        /// Total entries.
+        entries: usize,
+    },
+    /// Set-associative with per-set LRU (the shared IOMMU TLB).
+    SetAssociative {
+        /// Total entries.
+        entries: usize,
+        /// Ways per set; must divide `entries`.
+        ways: usize,
+    },
+    /// Unbounded (IDEAL MMU / demand-miss measurement).
+    Infinite,
+}
+
+/// TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Size/associativity.
+    pub organization: TlbOrganization,
+}
+
+impl TlbConfig {
+    /// The paper's default per-CU TLB: 32 entries, fully associative.
+    pub fn per_cu(entries: usize) -> Self {
+        TlbConfig {
+            organization: TlbOrganization::FullyAssociative { entries },
+        }
+    }
+
+    /// A shared TLB of `entries` entries, 8-way set associative.
+    pub fn shared(entries: usize) -> Self {
+        TlbConfig {
+            organization: TlbOrganization::SetAssociative { entries, ways: 8 },
+        }
+    }
+
+    /// An infinite TLB.
+    pub fn infinite() -> Self {
+        TlbConfig {
+            organization: TlbOrganization::Infinite,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: TlbKey,
+    entry: TlbEntry,
+    last_use: u64,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups performed.
+    pub lookups: Counter,
+    /// Lookups that hit.
+    pub hits: Counter,
+    /// Lookups that missed.
+    pub misses: Counter,
+    /// Entries displaced by capacity/conflict.
+    pub evictions: Counter,
+    /// Entries removed by invalidation.
+    pub invalidations: Counter,
+}
+
+impl TlbStats {
+    /// Miss ratio over all lookups (0.0 if none).
+    pub fn miss_ratio(&self) -> f64 {
+        self.misses.ratio_of(self.lookups.get())
+    }
+}
+
+/// A TLB (see [module docs](self)).
+///
+/// ```
+/// use gvc_engine::Cycle;
+/// use gvc_mem::{Asid, Perms, Ppn, Vpn};
+/// use gvc_tlb::tlb::{Tlb, TlbConfig, TlbKey};
+///
+/// let mut tlb = Tlb::new(TlbConfig::per_cu(2));
+/// let k = |v| TlbKey::new(Asid(0), Vpn::new(v));
+/// tlb.insert(k(1), Ppn::new(10), Perms::READ_WRITE, Cycle::new(0));
+/// tlb.insert(k(2), Ppn::new(20), Perms::READ_WRITE, Cycle::new(1));
+/// assert!(tlb.lookup(k(1), Cycle::new(2)).is_some()); // 1 is now MRU
+/// // Inserting a third entry evicts the LRU entry, which is 2.
+/// let ev = tlb.insert(k(3), Ppn::new(30), Perms::READ_WRITE, Cycle::new(3));
+/// assert_eq!(ev.unwrap().key, k(2));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// One vec per set (a single set when fully associative).
+    sets: Vec<Vec<Slot>>,
+    /// Infinite organization storage.
+    unbounded: HashMap<TlbKey, TlbEntry>,
+    ways: usize,
+    use_clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded organization has zero entries or `ways` does
+    /// not divide `entries`.
+    pub fn new(config: TlbConfig) -> Self {
+        let (nsets, ways) = match config.organization {
+            TlbOrganization::FullyAssociative { entries } => {
+                assert!(entries > 0, "TLB must have entries");
+                (1, entries)
+            }
+            TlbOrganization::SetAssociative { entries, ways } => {
+                assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+                (entries / ways, ways)
+            }
+            TlbOrganization::Infinite => (0, 0),
+        };
+        Tlb {
+            config,
+            sets: vec![Vec::new(); nsets],
+            unbounded: HashMap::new(),
+            ways,
+            use_clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration this TLB was built with.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        if self.is_infinite() {
+            self.unbounded.len()
+        } else {
+            self.sets.iter().map(Vec::len).sum()
+        }
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn is_infinite(&self) -> bool {
+        matches!(self.config.organization, TlbOrganization::Infinite)
+    }
+
+    fn set_index(&self, key: TlbKey) -> usize {
+        // Mix the ASID in so homonym-heavy workloads spread across sets.
+        ((key.vpn.raw() ^ (key.asid.0 as u64) << 17) % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a translation, updating recency on a hit.
+    pub fn lookup(&mut self, key: TlbKey, _now: Cycle) -> Option<TlbEntry> {
+        self.stats.lookups.inc();
+        let found = if self.is_infinite() {
+            self.unbounded.get(&key).copied()
+        } else {
+            self.use_clock += 1;
+            let clock = self.use_clock;
+            let set = self.set_index(key);
+            self.sets[set].iter_mut().find(|s| s.key == key).map(|s| {
+                s.last_use = clock;
+                s.entry
+            })
+        };
+        if found.is_some() {
+            self.stats.hits.inc();
+        } else {
+            self.stats.misses.inc();
+        }
+        found
+    }
+
+    /// Counts a lookup that missed because its translation fill is
+    /// still in flight (an MSHR-merged miss). Hardware would report
+    /// these as misses even though the entry is already allocated.
+    pub fn record_merged_miss(&mut self) {
+        self.stats.lookups.inc();
+        self.stats.misses.inc();
+    }
+
+    /// Peeks without updating recency or statistics.
+    pub fn peek(&self, key: TlbKey) -> Option<TlbEntry> {
+        if self.is_infinite() {
+            self.unbounded.get(&key).copied()
+        } else {
+            let set = self.set_index(key);
+            self.sets[set].iter().find(|s| s.key == key).map(|s| s.entry)
+        }
+    }
+
+    /// Inserts a translation (replacing any stale entry for the key)
+    /// and returns the entry it displaced, if any.
+    pub fn insert(&mut self, key: TlbKey, ppn: Ppn, perms: Perms, now: Cycle) -> Option<Evicted> {
+        let entry = TlbEntry { ppn, perms, inserted_at: now };
+        if self.is_infinite() {
+            self.unbounded.insert(key, entry);
+            return None;
+        }
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_index(key);
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.key == key) {
+            s.entry = entry;
+            s.last_use = clock;
+            return None;
+        }
+        let mut displaced = None;
+        if slots.len() >= self.ways {
+            let victim = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let v = slots.swap_remove(victim);
+            self.stats.evictions.inc();
+            displaced = Some(Evicted {
+                key: v.key,
+                entry: v.entry,
+                evicted_at: now,
+            });
+        }
+        slots.push(Slot { key, entry, last_use: clock });
+        displaced
+    }
+
+    /// Invalidates one entry; returns whether it was present.
+    pub fn invalidate(&mut self, key: TlbKey) -> bool {
+        let removed = if self.is_infinite() {
+            self.unbounded.remove(&key).is_some()
+        } else {
+            let set = self.set_index(key);
+            let before = self.sets[set].len();
+            self.sets[set].retain(|s| s.key != key);
+            self.sets[set].len() != before
+        };
+        if removed {
+            self.stats.invalidations.inc();
+        }
+        removed
+    }
+
+    /// Invalidates every entry of one address space (all-entry
+    /// shootdown); returns how many were removed.
+    pub fn invalidate_asid(&mut self, asid: Asid) -> usize {
+        let mut removed = 0;
+        if self.is_infinite() {
+            let before = self.unbounded.len();
+            self.unbounded.retain(|k, _| k.asid != asid);
+            removed = before - self.unbounded.len();
+        } else {
+            for set in &mut self.sets {
+                let before = set.len();
+                set.retain(|s| s.key.asid != asid);
+                removed += before - set.len();
+            }
+        }
+        self.stats.invalidations.add(removed as u64);
+        removed
+    }
+
+    /// Drops every entry; returns how many were resident.
+    pub fn flush(&mut self) -> usize {
+        let n = self.len();
+        self.unbounded.clear();
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats.invalidations.add(n as u64);
+        n
+    }
+
+    /// Iterates over resident entries (diagnostics and invariants).
+    pub fn iter(&self) -> impl Iterator<Item = (TlbKey, TlbEntry)> + '_ {
+        let bounded = self.sets.iter().flatten().map(|s| (s.key, s.entry));
+        let unbounded = self.unbounded.iter().map(|(k, e)| (*k, *e));
+        bounded.chain(unbounded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> TlbKey {
+        TlbKey::new(Asid(0), Vpn::new(v))
+    }
+
+    fn fill(tlb: &mut Tlb, range: std::ops::Range<u64>) {
+        for (i, v) in range.enumerate() {
+            tlb.insert(key(v), Ppn::new(v + 100), Perms::READ_WRITE, Cycle::new(i as u64));
+        }
+    }
+
+    #[test]
+    fn hit_returns_translation() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(4));
+        tlb.insert(key(7), Ppn::new(70), Perms::READ_ONLY, Cycle::new(0));
+        let e = tlb.lookup(key(7), Cycle::new(1)).expect("hit");
+        assert_eq!(e.ppn, Ppn::new(70));
+        assert_eq!(e.perms, Perms::READ_ONLY);
+        assert_eq!(tlb.stats().hits.get(), 1);
+        assert_eq!(tlb.stats().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lru_eviction_order_fully_associative() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(3));
+        fill(&mut tlb, 0..3);
+        // Touch 0 and 1; 2 becomes LRU.
+        tlb.lookup(key(0), Cycle::new(10));
+        tlb.lookup(key(1), Cycle::new(11));
+        let ev = tlb.insert(key(9), Ppn::new(9), Perms::READ_WRITE, Cycle::new(12)).unwrap();
+        assert_eq!(ev.key, key(2));
+        assert_eq!(tlb.stats().evictions.get(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_lifetime() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(1));
+        tlb.insert(key(1), Ppn::new(1), Perms::READ_WRITE, Cycle::new(100));
+        let ev = tlb.insert(key(2), Ppn::new(2), Perms::READ_WRITE, Cycle::new(350)).unwrap();
+        assert_eq!(ev.lifetime(), 250);
+        assert_eq!(ev.entry.inserted_at, Cycle::new(100));
+    }
+
+    #[test]
+    fn set_associative_conflicts_stay_within_set() {
+        let mut tlb = Tlb::new(TlbConfig {
+            organization: TlbOrganization::SetAssociative { entries: 8, ways: 2 },
+        });
+        // Keys 0, 4, 8 share set 0 (4 sets).
+        fill(&mut tlb, 0..1);
+        tlb.insert(key(4), Ppn::new(104), Perms::READ_WRITE, Cycle::new(1));
+        tlb.insert(key(8), Ppn::new(108), Perms::READ_WRITE, Cycle::new(2));
+        assert!(tlb.lookup(key(0), Cycle::new(3)).is_none(), "0 was the set's LRU");
+        assert!(tlb.peek(key(4)).is_some());
+        assert!(tlb.peek(key(8)).is_some());
+    }
+
+    #[test]
+    fn infinite_never_evicts() {
+        let mut tlb = Tlb::new(TlbConfig::infinite());
+        for v in 0..10_000 {
+            assert!(tlb.insert(key(v), Ppn::new(v), Perms::READ_WRITE, Cycle::new(v)).is_none());
+        }
+        assert_eq!(tlb.len(), 10_000);
+        assert!(tlb.lookup(key(0), Cycle::new(1)).is_some());
+    }
+
+    #[test]
+    fn reinserting_same_key_updates_in_place() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(2));
+        tlb.insert(key(1), Ppn::new(1), Perms::READ_ONLY, Cycle::new(0));
+        assert!(tlb.insert(key(1), Ppn::new(2), Perms::READ_WRITE, Cycle::new(1)).is_none());
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.peek(key(1)).unwrap().ppn, Ppn::new(2));
+    }
+
+    #[test]
+    fn homonyms_do_not_collide() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(4));
+        let ka = TlbKey::new(Asid(1), Vpn::new(5));
+        let kb = TlbKey::new(Asid(2), Vpn::new(5));
+        tlb.insert(ka, Ppn::new(10), Perms::READ_WRITE, Cycle::new(0));
+        tlb.insert(kb, Ppn::new(20), Perms::READ_WRITE, Cycle::new(0));
+        assert_eq!(tlb.lookup(ka, Cycle::new(1)).unwrap().ppn, Ppn::new(10));
+        assert_eq!(tlb.lookup(kb, Cycle::new(1)).unwrap().ppn, Ppn::new(20));
+    }
+
+    #[test]
+    fn invalidate_single_and_asid() {
+        let mut tlb = Tlb::new(TlbConfig::shared(16));
+        for v in 0..8 {
+            tlb.insert(TlbKey::new(Asid((v % 2) as u16), Vpn::new(v)), Ppn::new(v), Perms::READ_WRITE, Cycle::new(v));
+        }
+        assert!(tlb.invalidate(TlbKey::new(Asid(0), Vpn::new(0))));
+        assert!(!tlb.invalidate(TlbKey::new(Asid(0), Vpn::new(0))));
+        let removed = tlb.invalidate_asid(Asid(1));
+        assert_eq!(removed, 4);
+        assert_eq!(tlb.len(), 3);
+        assert_eq!(tlb.flush(), 3);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn miss_ratio_accounts_all_lookups() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(2));
+        tlb.lookup(key(1), Cycle::new(0)); // miss
+        tlb.insert(key(1), Ppn::new(1), Perms::READ_WRITE, Cycle::new(0));
+        tlb.lookup(key(1), Cycle::new(1)); // hit
+        assert_eq!(tlb.stats().lookups.get(), 2);
+        assert_eq!(tlb.stats().miss_ratio(), 0.5);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut tlb = Tlb::new(TlbConfig::shared(16));
+        fill(&mut tlb, 0..5);
+        assert_eq!(tlb.iter().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn bad_geometry_rejected() {
+        let _ = Tlb::new(TlbConfig {
+            organization: TlbOrganization::SetAssociative { entries: 10, ways: 4 },
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Device arrays: typed views over mapped virtual ranges.
+
+use gvc_mem::{OsLite, Perms, ProcessId, VAddr, VRange};
+
+/// A device-resident array: a mapped virtual range plus an element
+/// size, so workloads can speak in indices.
+///
+/// ```
+/// use gvc_mem::{OsLite, Perms};
+/// use gvc_workloads::arrays::DevArray;
+///
+/// let mut os = OsLite::new(16 << 20);
+/// let pid = os.create_process();
+/// let a = DevArray::alloc(&mut os, pid, 100, 8);
+/// assert_eq!(a.addr(1).raw() - a.addr(0).raw(), 8);
+/// assert_eq!(a.len(), 100);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DevArray {
+    range: VRange,
+    elem_bytes: u64,
+    len: u64,
+}
+
+impl DevArray {
+    /// Maps an array of `len` elements of `elem_bytes` each,
+    /// read-write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted (workload inputs are
+    /// sized to fit) or `len`/`elem_bytes` is zero.
+    pub fn alloc(os: &mut OsLite, pid: ProcessId, len: u64, elem_bytes: u64) -> Self {
+        assert!(len > 0 && elem_bytes > 0, "array must be nonempty");
+        let range = os
+            .mmap(pid, len * elem_bytes, Perms::READ_WRITE)
+            .expect("workload input exceeds simulated physical memory");
+        DevArray { range, elem_bytes, len }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// The backing range.
+    pub fn range(&self) -> VRange {
+        self.range
+    }
+
+    /// The address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i` is out of bounds.
+    #[inline]
+    pub fn addr(&self, i: u64) -> VAddr {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.range.start().offset(i * self.elem_bytes)
+    }
+
+    /// Addresses of elements `[start, start+count)` assigned to lanes.
+    pub fn lane_addrs(&self, start: u64, count: u64) -> Vec<VAddr> {
+        (start..(start + count).min(self.len)).map(|i| self.addr(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_mem::PAGE_BYTES;
+
+    #[test]
+    fn layout_is_contiguous_and_page_backed() {
+        let mut os = OsLite::new(32 << 20);
+        let pid = os.create_process();
+        let a = DevArray::alloc(&mut os, pid, 3000, 4);
+        assert_eq!(a.elem_bytes(), 4);
+        assert!(a.range().bytes() >= 3000 * 4);
+        assert_eq!(a.range().bytes() % PAGE_BYTES, 0);
+        // Every element translates.
+        for i in [0, 1, 1024, 2999] {
+            assert!(os.translate(pid, a.addr(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn lane_addrs_clamp_at_end() {
+        let mut os = OsLite::new(16 << 20);
+        let pid = os.create_process();
+        let a = DevArray::alloc(&mut os, pid, 40, 4);
+        assert_eq!(a.lane_addrs(32, 32).len(), 8);
+        assert_eq!(a.lane_addrs(0, 32).len(), 32);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_overlap() {
+        let mut os = OsLite::new(32 << 20);
+        let pid = os.create_process();
+        let a = DevArray::alloc(&mut os, pid, 1024, 4);
+        let b = DevArray::alloc(&mut os, pid, 1024, 4);
+        assert!(a.range().end() <= b.range().start() || b.range().end() <= a.range().start());
+    }
+}

@@ -1,0 +1,101 @@
+//! Dense-matrix workloads: Floyd–Warshall (`fw`, `fw_block`) and LU
+//! decomposition (`lud`).
+//!
+//! Their divergence comes from *column-strided* accesses: a wavefront
+//! whose lanes cover 32 consecutive matrix rows touches 32 lines that
+//! are a full row apart — crossing many 4 KB pages per instruction
+//! once rows exceed a page (§3.1 reports `fw` averaging 9.3 memory
+//! accesses per dynamic instruction).
+
+pub mod fw;
+pub mod lud;
+
+use crate::arrays::DevArray;
+use gvc_gpu::kernel::WaveOp;
+use gvc_mem::VAddr;
+
+/// A dense row-major matrix of `n` × `n` elements of `elem` bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Matrix {
+    /// Backing array (`n * n` elements).
+    pub data: DevArray,
+    /// Dimension.
+    pub n: u64,
+}
+
+impl Matrix {
+    /// Address of element `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: u64, col: u64) -> VAddr {
+        self.data.addr(row * self.n + col)
+    }
+
+    /// A coalesced read of 32 consecutive elements of one row.
+    pub fn row_read(&self, row: u64, col0: u64) -> WaveOp {
+        WaveOp::read(self.lane_block(row, col0, false))
+    }
+
+    /// A strided (column-major) read: lane `l` touches `(row0 + l,
+    /// col)` — one line per lane, many pages per instruction.
+    pub fn col_read(&self, row0: u64, col: u64) -> WaveOp {
+        WaveOp::read(self.lane_block(row0, col, true))
+    }
+
+    /// A strided column write.
+    pub fn col_write(&self, row0: u64, col: u64) -> WaveOp {
+        WaveOp::write(self.lane_block(row0, col, true))
+    }
+
+    /// A coalesced row write.
+    pub fn row_write(&self, row: u64, col0: u64) -> WaveOp {
+        WaveOp::write(self.lane_block(row, col0, false))
+    }
+
+    fn lane_block(&self, a: u64, b: u64, column: bool) -> Vec<VAddr> {
+        (0..32u64)
+            .filter_map(|l| {
+                let (r, c) = if column { (a + l, b) } else { (a, b + l) };
+                (r < self.n && c < self.n).then(|| self.at(r, c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_mem::OsLite;
+
+    fn matrix(n: u64) -> (OsLite, Matrix) {
+        let mut os = OsLite::new(128 << 20);
+        let pid = os.create_process();
+        let data = DevArray::alloc(&mut os, pid, n * n, 4);
+        (os, Matrix { data, n })
+    }
+
+    #[test]
+    fn row_reads_coalesce_column_reads_diverge() {
+        let (_os, m) = matrix(1024); // row = 4 KB = one page
+        let row = m.row_read(5, 0);
+        let col = m.col_read(0, 5);
+        let lines = |op: &WaveOp| match op {
+            WaveOp::Read(a) => gvc_gpu::coalesce(a).len(),
+            _ => 0,
+        };
+        assert_eq!(lines(&row), 1, "32 consecutive u32s fit one 128B line");
+        assert_eq!(lines(&col), 32, "each lane is a page apart");
+    }
+
+    #[test]
+    fn edge_blocks_clip() {
+        let (_os, m) = matrix(40);
+        match m.col_read(32, 0) {
+            WaveOp::Read(a) => assert_eq!(a.len(), 8),
+            _ => panic!("expected read"),
+        }
+        match m.row_read(0, 32) {
+            WaveOp::Read(a) => assert_eq!(a.len(), 8),
+            _ => panic!("expected read"),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! `hotspot` — thermal simulation stencil (Rodinia).
+//!
+//! A 5-point stencil over a 2-D grid: three coalesced row reads, a
+//! power-grid read, and a coalesced write per wave. Near-perfect
+//! spatial locality; low translation demand.
+
+use crate::arrays::DevArray;
+use crate::{Scale, Workload};
+use gvc_gpu::kernel::{Kernel, KernelSource, WaveOp};
+use gvc_mem::{Asid, OsLite, VAddr};
+
+const ITERATIONS: u64 = 3;
+
+struct HotspotSource {
+    asid: Asid,
+    temp_a: DevArray,
+    temp_b: DevArray,
+    power: DevArray,
+    dim: u64,
+    iter: u64,
+}
+
+impl HotspotSource {
+    fn row(&self, arr: &DevArray, r: u64, c0: u64) -> Vec<VAddr> {
+        (c0..(c0 + 32).min(self.dim)).map(|c| arr.addr(r * self.dim + c)).collect()
+    }
+}
+
+impl KernelSource for HotspotSource {
+    fn name(&self) -> &str {
+        "hotspot"
+    }
+
+    fn next_kernel(&mut self) -> Option<Kernel> {
+        if self.iter >= ITERATIONS {
+            return None;
+        }
+        let (src, dst) = if self.iter % 2 == 0 {
+            (self.temp_a, self.temp_b)
+        } else {
+            (self.temp_b, self.temp_a)
+        };
+        self.iter += 1;
+        let mut b = Kernel::builder(format!("hotspot_iter{}", self.iter), self.asid);
+        for r in 1..self.dim - 1 {
+            for c0 in (0..self.dim).step_by(32) {
+                b = b.wave(vec![
+                    WaveOp::read(self.row(&src, r - 1, c0)),
+                    WaveOp::read(self.row(&src, r, c0)),
+                    WaveOp::read(self.row(&src, r + 1, c0)),
+                    WaveOp::read(self.row(&self.power, r, c0)),
+                    WaveOp::compute(24),
+                    WaveOp::write(self.row(&dst, r, c0)),
+                ]);
+            }
+        }
+        Some(b.build())
+    }
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale, _seed: u64) -> Workload {
+    let dim = (scale.apply(512, 96) & !31).max(96);
+    let mut os = OsLite::new(512 << 20);
+    let pid = os.create_process();
+    let temp_a = DevArray::alloc(&mut os, pid, dim * dim, 4);
+    let temp_b = DevArray::alloc(&mut os, pid, dim * dim, 4);
+    let power = DevArray::alloc(&mut os, pid, dim * dim, 4);
+    Workload {
+        os,
+        source: Box::new(HotspotSource {
+            asid: pid.asid(),
+            temp_a,
+            temp_b,
+            power,
+            dim,
+            iter: 0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_shape() {
+        let mut w = build(Scale::test(), 0);
+        let k = w.source.next_kernel().unwrap();
+        // 96x96 grid: (dim-2) rows x dim/32 col blocks.
+        assert_eq!(k.waves.len(), 94 * 3);
+        let mut kernels = 1;
+        while w.source.next_kernel().is_some() {
+            kernels += 1;
+        }
+        assert_eq!(kernels, ITERATIONS);
+    }
+}

@@ -1,0 +1,9 @@
+//! Traditional Rodinia workloads: regular, streaming, or
+//! scratchpad-staged kernels with low translation-bandwidth demand —
+//! the paper's contrast class to Pannotia's irregular graph codes.
+
+pub mod backprop;
+pub mod hotspot;
+pub mod kmeans;
+pub mod nw;
+pub mod pathfinder;

@@ -1,0 +1,29 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use gvc_mem::{OsLite, Perms, ProcessId, VRange, PAGE_BYTES};
+
+/// Boots an OS with one process and one mapped region of `pages`
+/// read-write pages.
+///
+/// # Panics
+///
+/// Panics if the mapping does not fit (tests size their inputs).
+pub fn os_with_region(pages: u64) -> (OsLite, ProcessId, VRange) {
+    let mut os = OsLite::new(512 << 20);
+    let pid = os.create_process();
+    let region = os.mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE).expect("fits");
+    (os, pid, region)
+}
+
+/// The designs every cross-design test sweeps.
+pub fn all_designs() -> Vec<(&'static str, gvc::SystemConfig)> {
+    vec![
+        ("ideal", gvc::SystemConfig::ideal_mmu()),
+        ("baseline_512", gvc::SystemConfig::baseline_512()),
+        ("baseline_16k", gvc::SystemConfig::baseline_16k()),
+        ("l1_only_32", gvc::SystemConfig::l1_only_vc_32()),
+        ("l1_only_128", gvc::SystemConfig::l1_only_vc_128()),
+        ("vc_without_opt", gvc::SystemConfig::vc_without_opt()),
+        ("vc_with_opt", gvc::SystemConfig::vc_with_opt()),
+    ]
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration: every workload under every MMU design.
+
+use gvc::SystemConfig;
+use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc_integration::all_designs;
+use gvc_workloads::{build, Scale, WorkloadId};
+
+fn run(id: WorkloadId, cfg: SystemConfig, seed: u64) -> RunReport {
+    let mut w = build(id, Scale::test(), seed);
+    GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os)
+}
+
+#[test]
+fn every_workload_runs_fault_free_under_every_design() {
+    for id in WorkloadId::all() {
+        for (name, cfg) in all_designs() {
+            let rep = run(id, cfg, 42);
+            assert_eq!(rep.faults, 0, "{id} under {name} must not fault");
+            assert!(rep.cycles > 0, "{id} under {name} must make progress");
+            assert!(rep.mem_instructions > 0 || rep.scratch_ops > 0, "{id} issues work");
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for id in [WorkloadId::Pagerank, WorkloadId::Bfs, WorkloadId::Nw] {
+        let a = run(id, SystemConfig::vc_with_opt(), 7);
+        let b = run(id, SystemConfig::vc_with_opt(), 7);
+        assert_eq!(a.cycles, b.cycles, "{id} must be bit-deterministic");
+        assert_eq!(a.line_requests, b.line_requests);
+        assert_eq!(a.mem.iommu.requests.get(), b.mem.iommu.requests.get());
+    }
+}
+
+#[test]
+fn different_seeds_change_graph_workloads() {
+    let a = run(WorkloadId::Pagerank, SystemConfig::baseline_512(), 1);
+    let b = run(WorkloadId::Pagerank, SystemConfig::baseline_512(), 2);
+    assert_ne!(a.cycles, b.cycles, "seed must vary the generated graph");
+}
+
+#[test]
+fn front_end_work_is_design_invariant() {
+    // The memory system must not change *what* the GPU executes —
+    // only how long it takes.
+    for id in [WorkloadId::Mis, WorkloadId::Kmeans, WorkloadId::FwBlock] {
+        let reference = run(id, SystemConfig::ideal_mmu(), 42);
+        for (name, cfg) in all_designs() {
+            let rep = run(id, cfg, 42);
+            assert_eq!(rep.mem_instructions, reference.mem_instructions, "{id} under {name}");
+            assert_eq!(rep.line_requests, reference.line_requests, "{id} under {name}");
+            assert_eq!(rep.waves, reference.waves, "{id} under {name}");
+            assert_eq!(rep.kernels, reference.kernels, "{id} under {name}");
+        }
+    }
+}
+
+#[test]
+fn virtual_hierarchy_filters_translation_traffic() {
+    // Run at quick scale: the filtering effect needs footprints that
+    // exceed TLB reach, which the tiny test scale does not.
+    for id in [WorkloadId::Pagerank, WorkloadId::ColorMax, WorkloadId::Bc] {
+        let mut w = build(id, Scale::quick(), 42);
+        let base = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
+            .run(&mut *w.source, &w.os);
+        let mut w = build(id, Scale::quick(), 42);
+        let vc = GpuSim::new(GpuConfig::default(), SystemConfig::vc_with_opt())
+            .run(&mut *w.source, &w.os);
+        assert!(
+            vc.mem.iommu.requests.get() < base.mem.iommu.requests.get(),
+            "{id}: VC must reduce IOMMU traffic ({} vs {})",
+            vc.mem.iommu.requests.get(),
+            base.mem.iommu.requests.get()
+        );
+        assert!(vc.mem.filter_ratio() > 0.3, "{id}: VC should filter a sizable fraction");
+    }
+}
+
+#[test]
+fn scratchpad_heavy_workloads_bypass_translation() {
+    let rep = run(WorkloadId::Nw, SystemConfig::baseline_512(), 42);
+    assert!(rep.scratch_ops > 0, "nw stages tiles through the scratchpad");
+    // Scratch traffic generates no line requests.
+    assert!(rep.scratch_ops > rep.mem_instructions);
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let rep = run(WorkloadId::Pathfinder, SystemConfig::vc_with_opt(), 42);
+    let json = serde_json::to_string(&rep).expect("RunReport serializes");
+    assert!(json.contains("\"design\":\"VC With OPT\""));
+    let back: gvc_gpu::RunReport = serde_json::from_str(&json).expect("roundtrips");
+    assert_eq!(back.cycles, rep.cycles);
+}
+
+#[test]
+fn counters_are_internally_consistent() {
+    for (name, cfg) in all_designs() {
+        let rep = run(WorkloadId::ColorMax, cfg, 42);
+        let c = &rep.mem.counters;
+        assert_eq!(
+            c.accesses.get(),
+            c.reads.get() + c.writes.get(),
+            "{name}: access split"
+        );
+        assert_eq!(rep.line_requests, c.accesses.get(), "{name}: front end matches memory side");
+        let tlb = &rep.mem.per_cu_tlb;
+        assert_eq!(tlb.lookups.get(), tlb.hits.get() + tlb.misses.get(), "{name}: TLB split");
+        let breakdown = c.tlb_miss_data_in_l1.get()
+            + c.tlb_miss_data_in_l2.get()
+            + c.tlb_miss_data_in_mem.get();
+        if matches!(cfg.design, gvc::MmuDesign::Baseline) {
+            assert_eq!(breakdown, tlb.misses.get(), "{name}: every TLB miss classified");
+        }
+    }
+}

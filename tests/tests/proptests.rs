@@ -1,0 +1,190 @@
+//! Property-based tests on the core data structures and the virtual
+//! hierarchy's cross-structure invariants.
+
+use gvc::fbt::{Fbt, FbtConfig};
+use gvc::{LineAccess, MemorySystem, SynonymPolicy, SystemConfig};
+use gvc_cache::{CacheConfig, LineKey, SetAssocCache};
+use gvc_engine::{Cycle, ThroughputPort, TokenPort};
+use gvc_mem::{Asid, OsLite, PageTable, Perms, PhysMem, Ppn, Vpn, PAGE_BYTES};
+use gvc_tlb::tlb::{Tlb, TlbConfig, TlbKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page table agrees with a HashMap model under arbitrary
+    /// map/unmap/protect sequences.
+    #[test]
+    fn page_table_matches_model(ops in prop::collection::vec((0u8..3, 0u64..200), 1..200)) {
+        let mut pm = PhysMem::new(64 << 20);
+        let mut pt = PageTable::new(&mut pm).unwrap();
+        let mut model: HashMap<u64, (Ppn, Perms)> = HashMap::new();
+        let mut next_frame = 0u64;
+        for (op, page) in ops {
+            // Spread VPNs across levels to stress the radix structure.
+            let vpn = Vpn::new(page * 0x40_0081 % (1 << 30));
+            match op {
+                0 => {
+                    if !model.contains_key(&vpn.raw()) {
+                        let frame = Ppn::new(0x1000 + next_frame);
+                        next_frame += 1;
+                        pt.map(&mut pm, vpn, frame, Perms::READ_WRITE).unwrap();
+                        model.insert(vpn.raw(), (frame, Perms::READ_WRITE));
+                    }
+                }
+                1 => {
+                    let expected = model.remove(&vpn.raw());
+                    let got = pt.unmap(&mut pm, vpn).ok();
+                    prop_assert_eq!(got, expected.map(|(f, _)| f));
+                }
+                _ => {
+                    if model.contains_key(&vpn.raw()) {
+                        pt.protect(&mut pm, vpn, Perms::READ_ONLY).unwrap();
+                        model.get_mut(&vpn.raw()).unwrap().1 = Perms::READ_ONLY;
+                    }
+                }
+            }
+            prop_assert_eq!(pt.mapped_pages() as usize, model.len());
+        }
+        for (vpn, (frame, perms)) in &model {
+            prop_assert_eq!(pt.translate(&pm, Vpn::new(*vpn)), Some((*frame, *perms)));
+        }
+    }
+
+    /// A bounded TLB never exceeds capacity and always returns what
+    /// was last inserted for a resident key.
+    #[test]
+    fn tlb_capacity_and_recency(keys in prop::collection::vec(0u64..100, 1..300)) {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(16));
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let key = TlbKey::new(Asid(0), Vpn::new(*k));
+            if let Some(e) = tlb.lookup(key, Cycle::new(i as u64)) {
+                prop_assert_eq!(e.ppn.raw(), model[k], "hit returns last insert");
+            } else {
+                tlb.insert(key, Ppn::new(i as u64), Perms::READ_WRITE, Cycle::new(i as u64));
+                model.insert(*k, i as u64);
+            }
+            prop_assert!(tlb.len() <= 16);
+        }
+    }
+
+    /// A set-associative cache never exceeds capacity and never holds
+    /// a key twice.
+    #[test]
+    fn cache_capacity_and_uniqueness(lines in prop::collection::vec(0u64..4096, 1..500)) {
+        let mut cache = SetAssocCache::new(CacheConfig::gpu_l1());
+        for (i, line) in lines.iter().enumerate() {
+            let key = LineKey::new(Asid(0), *line);
+            cache.insert(key, Perms::READ_WRITE, i % 3 == 0, Cycle::new(i as u64));
+            prop_assert!(cache.len() <= cache.config().lines());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in cache.iter() {
+            prop_assert!(seen.insert(l.key), "duplicate key {:?}", l.key);
+        }
+    }
+
+    /// FBT bidirectional consistency under arbitrary insert/remove
+    /// interleavings.
+    #[test]
+    fn fbt_ft_bt_agree(ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..300)) {
+        let mut fbt = Fbt::new(FbtConfig { entries: 32, ways: 4, lookup_latency: 5, counter_mode: false });
+        for (insert, page) in ops {
+            let ppn = Ppn::new(page);
+            if insert {
+                if fbt.lookup_ppn(ppn).is_none() {
+                    fbt.insert(ppn, Asid(0), Vpn::new(1000 + page), Perms::READ_WRITE);
+                }
+            } else if let Some(idx) = fbt.lookup_ppn(ppn) {
+                fbt.remove(idx);
+            }
+            fbt.check_consistency();
+        }
+    }
+
+    /// Ports service FIFO and never travel back in time.
+    #[test]
+    fn ports_are_monotone(arrivals in prop::collection::vec(0u64..1000, 1..200), width in 1u32..4) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut port = ThroughputPort::per_cycle(width);
+        let mut token = TokenPort::new(64);
+        let mut last_service = Cycle::ZERO;
+        let mut last_transfer = Cycle::ZERO;
+        for a in sorted {
+            let s = port.reserve(Cycle::new(a));
+            prop_assert!(s >= Cycle::new(a));
+            prop_assert!(s >= last_service, "FIFO order");
+            last_service = s;
+            let tr = token.transfer(Cycle::new(a), 100);
+            prop_assert!(tr >= last_transfer);
+            last_transfer = tr;
+        }
+    }
+
+    /// The virtual hierarchy's cross-structure invariants survive
+    /// arbitrary read/write streams with synonym aliasing, and
+    /// read-only streams never fault.
+    #[test]
+    fn virtual_hierarchy_invariants_hold(
+        accesses in prop::collection::vec((0u64..32, 0u64..32, any::<bool>(), any::<bool>()), 1..400)
+    ) {
+        let mut os = OsLite::new(256 << 20);
+        let pid = os.create_process();
+        let region = os.mmap(pid, 32 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let alias = os.mmap_alias(pid, region).unwrap();
+        let mut cfg = SystemConfig::vc_with_opt();
+        // Replay policy so random read/write mixes are legal.
+        cfg.synonym_policy = SynonymPolicy::ReplayAlways;
+        cfg.fbt = cfg.fbt.with_entries(32); // force FBT evictions too
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = Cycle::ZERO;
+        for (i, (page, line, via_alias, is_write)) in accesses.iter().enumerate() {
+            let base = if *via_alias { &alias } else { &region };
+            let a = LineAccess {
+                cu: i % 16,
+                asid: pid.asid(),
+                vaddr: base.addr_at(page * PAGE_BYTES + line * 128),
+                is_write: *is_write,
+                at: t,
+            };
+            let r = mem.access(a, &os);
+            prop_assert!(r.fault.is_none(), "replay policy never faults");
+            prop_assert!(r.done_at >= t);
+            t = r.done_at;
+        }
+        mem.check_virtual_invariants();
+    }
+
+    /// Under the fault policy, read-write synonym faults are the only
+    /// faults a mapped read/write stream can raise.
+    #[test]
+    fn fault_policy_faults_are_rw_synonyms_only(
+        accesses in prop::collection::vec((0u64..16, any::<bool>(), any::<bool>()), 1..200)
+    ) {
+        let mut os = OsLite::new(128 << 20);
+        let pid = os.create_process();
+        let region = os.mmap(pid, 16 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let alias = os.mmap_alias(pid, region).unwrap();
+        let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+        let mut t = Cycle::ZERO;
+        for (i, (page, via_alias, is_write)) in accesses.iter().enumerate() {
+            let base = if *via_alias { &alias } else { &region };
+            let a = LineAccess {
+                cu: i % 16,
+                asid: pid.asid(),
+                vaddr: base.addr_at(page * PAGE_BYTES),
+                is_write: *is_write,
+                at: t,
+            };
+            let r = mem.access(a, &os);
+            if let Some(fault) = r.fault {
+                prop_assert_eq!(fault, gvc::AccessFault::ReadWriteSynonym);
+            }
+            t = r.done_at;
+        }
+        mem.check_virtual_invariants();
+    }
+}

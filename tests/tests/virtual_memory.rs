@@ -1,0 +1,206 @@
+//! OS ↔ hierarchy integration: synonyms, homonyms, shootdowns, and
+//! coherence probes exercised across crate boundaries.
+
+use gvc::{AccessFault, LineAccess, MemorySystem, SystemConfig};
+use gvc_engine::Cycle;
+use gvc_integration::os_with_region;
+use gvc_mem::{Asid, Perms, Shootdown, PAGE_BYTES};
+use gvc_soc::{Probe, ProbeInjector, ProbeKind};
+
+fn read(asid: Asid, vaddr: gvc_mem::VAddr, cu: usize, at: u64) -> LineAccess {
+    LineAccess { cu, asid, vaddr, is_write: false, at: Cycle::new(at) }
+}
+
+#[test]
+fn alias_heavy_stream_preserves_invariants() {
+    let (mut os, pid, region) = os_with_region(64);
+    let alias = os.mmap_alias(pid, region).expect("fits");
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let mut t = 0;
+    for i in 0..2000u64 {
+        let page = (i * 17) % 64;
+        let line = (i * 5) % 32;
+        let off = page * PAGE_BYTES + line * 128;
+        let base = if i % 3 == 0 { &alias } else { &region };
+        let r = mem.access(read(pid.asid(), base.addr_at(off), (i % 16) as usize, t), &os);
+        assert!(r.fault.is_none(), "read-only synonyms never fault");
+        t = r.done_at.raw();
+        if i % 500 == 0 {
+            mem.check_virtual_invariants();
+        }
+    }
+    assert!(mem.counters().synonyms_detected.get() > 0);
+    mem.check_virtual_invariants();
+}
+
+#[test]
+fn shootdown_storm_mid_stream_stays_consistent() {
+    let (mut os, pid, region) = os_with_region(128);
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let mut t = 0;
+    // Touch everything.
+    for page in 0..128u64 {
+        t = mem
+            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), (page % 16) as usize, t), &os)
+            .done_at
+            .raw();
+    }
+    // Unmap pages one by one while re-reading the survivors.
+    for page in 0..64u64 {
+        let range = gvc_mem::VRange::new(region.addr_at(page * PAGE_BYTES), PAGE_BYTES);
+        let sd = os.munmap(pid, range).expect("mapped");
+        t = mem.apply_shootdown(&sd, Cycle::new(t)).raw();
+        let survivor = region.addr_at(((page + 64) % 128) * PAGE_BYTES);
+        let r = mem.access(read(pid.asid(), survivor, 3, t), &os);
+        assert!(r.fault.is_none(), "surviving pages stay accessible");
+        t = r.done_at.raw();
+        let dead = mem.access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 4, t), &os);
+        assert_eq!(dead.fault, Some(AccessFault::PageFault), "unmapped page faults");
+        t = dead.done_at.raw();
+    }
+    mem.check_virtual_invariants();
+    assert_eq!(mem.counters().shootdown_pages.get(), 64);
+}
+
+#[test]
+fn mprotect_downgrades_cached_permissions() {
+    let (mut os, pid, region) = os_with_region(4);
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let w = LineAccess {
+        cu: 0,
+        asid: pid.asid(),
+        vaddr: region.start(),
+        is_write: true,
+        at: Cycle::new(0),
+    };
+    assert!(mem.access(w, &os).fault.is_none());
+    // Make the first page read-only; the shootdown must purge the
+    // cached write permission.
+    let first = gvc_mem::VRange::new(region.start(), PAGE_BYTES);
+    let sd = os.mprotect(pid, first, Perms::READ_ONLY).expect("mapped");
+    let t = mem.apply_shootdown(&sd, Cycle::new(10_000));
+    let again = mem.access(LineAccess { at: t, ..w }, &os);
+    assert_eq!(again.fault, Some(AccessFault::PermissionDenied));
+    // Reads still work.
+    let r = mem.access(read(pid.asid(), region.start(), 0, t.raw() + 5000), &os);
+    assert!(r.fault.is_none());
+    mem.check_virtual_invariants();
+}
+
+#[test]
+fn probe_storm_against_running_stream() {
+    let (os, pid, region) = os_with_region(32);
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let mut inj = ProbeInjector::new(9, 150.0);
+    let (pa, _) = os.translate(pid, region.start()).expect("mapped");
+    inj.add_target(pa.page_base(), 32 * PAGE_BYTES);
+    let mut t = 0;
+    let mut next = inj.next_probe(Cycle::ZERO);
+    for i in 0..3000u64 {
+        while let Some(p) = next {
+            if p.at.raw() > t {
+                break;
+            }
+            mem.handle_probe(p);
+            next = inj.next_probe(p.at);
+        }
+        let off = ((i * 31) % (32 * PAGE_BYTES)) & !127;
+        let r = mem.access(read(pid.asid(), region.addr_at(off), (i % 16) as usize, t), &os);
+        assert!(r.fault.is_none());
+        t = r.done_at.raw();
+    }
+    assert!(mem.counters().probes.get() > 0);
+    mem.check_virtual_invariants();
+}
+
+#[test]
+fn bt_inclusivity_makes_probe_filtering_sound() {
+    let (os, pid, region) = os_with_region(8);
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let mut t = 0;
+    for page in 0..4u64 {
+        t = mem
+            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+            .done_at
+            .raw();
+    }
+    // Probes to the 4 cached pages must not be filtered; probes to
+    // the 4 never-touched pages must be.
+    for page in 0..8u64 {
+        let (pa, _) = os.translate(pid, region.addr_at(page * PAGE_BYTES)).expect("mapped");
+        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Downgrade, at: Cycle::new(t) });
+        assert_eq!(resp.filtered, page >= 4, "page {page}");
+    }
+}
+
+#[test]
+fn process_teardown_clears_all_its_state() {
+    let (mut os, pid, region) = os_with_region(16);
+    let other = os.create_process();
+    let other_region = os.mmap(other, 4 * PAGE_BYTES, Perms::READ_WRITE).expect("fits");
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let mut t = 0;
+    for page in 0..16u64 {
+        t = mem
+            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+            .done_at
+            .raw();
+    }
+    t = mem
+        .access(read(other.asid(), other_region.start(), 1, t), &os)
+        .done_at
+        .raw();
+    mem.apply_shootdown(&Shootdown::AllOf { asid: pid.asid() }, Cycle::new(t));
+    assert_eq!(mem.fbt().occupancy(), 1, "only the other process's page survives");
+    mem.check_virtual_invariants();
+}
+
+#[test]
+fn baseline_and_l1only_apply_shootdowns_too() {
+    for cfg in [SystemConfig::baseline_512(), SystemConfig::l1_only_vc_32()] {
+        let (mut os, pid, region) = os_with_region(8);
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0;
+        for page in 0..8u64 {
+            t = mem
+                .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+                .done_at
+                .raw();
+        }
+        let first = gvc_mem::VRange::new(region.start(), PAGE_BYTES);
+        let sd = os.munmap(pid, first).expect("mapped");
+        t = mem.apply_shootdown(&sd, Cycle::new(t)).raw();
+        let dead = mem.access(read(pid.asid(), region.start(), 0, t), &os);
+        assert_eq!(dead.fault, Some(AccessFault::PageFault));
+    }
+}
+
+#[test]
+fn large_pages_work_through_the_whole_hierarchy() {
+    // §4.3: 2 MB mappings are tracked at 4 KB subpage granularity by
+    // the FBT (splintered translations), and page walks are one level
+    // shorter.
+    let mut os = gvc_mem::OsLite::new(512 << 20);
+    let pid = os.create_process();
+    let big = os.mmap_large(pid, 2, Perms::READ_WRITE).expect("fits");
+    for cfg in [SystemConfig::baseline_512(), SystemConfig::vc_with_opt()] {
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0;
+        for i in 0..256u64 {
+            let off = (i * 31 * 4096 + (i % 32) * 128) % big.bytes();
+            let r = mem.access(read(pid.asid(), big.addr_at(off & !127), (i % 16) as usize, t), &os);
+            assert!(r.fault.is_none(), "large-page access faulted");
+            t = r.done_at.raw();
+        }
+        mem.check_virtual_invariants();
+    }
+    // Tearing one large page down invalidates its cached subpages.
+    let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
+    let r = mem.access(read(pid.asid(), big.start(), 0, 0), &os);
+    let sd = os.munmap_large(pid, big.start().vpn()).expect("mapped");
+    mem.apply_shootdown(&sd, r.done_at);
+    assert_eq!(mem.fbt().occupancy(), 0);
+    let dead = mem.access(read(pid.asid(), big.start(), 0, r.done_at.raw() + 100_000), &os);
+    assert_eq!(dead.fault, Some(AccessFault::PageFault));
+    mem.check_virtual_invariants();
+}
