@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The workspace's CI gate, runnable locally or from the GitHub
+# workflow. Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -18,19 +18,27 @@ fn bench_tables(c: &mut Criterion) {
 }
 
 fn bench_fig2_tlb_miss_breakdown(c: &mut Criterion) {
-    c.bench_function("fig2_tlb_miss_breakdown", |b| b.iter(|| fig2::collect(scale(), 1)));
+    c.bench_function("fig2_tlb_miss_breakdown", |b| {
+        b.iter(|| fig2::collect(scale(), 1))
+    });
 }
 
 fn bench_fig3_iommu_access_rate(c: &mut Criterion) {
-    c.bench_function("fig3_iommu_access_rate", |b| b.iter(|| fig3::collect(scale(), 1)));
+    c.bench_function("fig3_iommu_access_rate", |b| {
+        b.iter(|| fig3::collect(scale(), 1))
+    });
 }
 
 fn bench_fig4_translation_overhead(c: &mut Criterion) {
-    c.bench_function("fig4_translation_overhead", |b| b.iter(|| fig4::collect(scale(), 1)));
+    c.bench_function("fig4_translation_overhead", |b| {
+        b.iter(|| fig4::collect(scale(), 1))
+    });
 }
 
 fn bench_fig5_bandwidth_sweep(c: &mut Criterion) {
-    c.bench_function("fig5_bandwidth_sweep", |b| b.iter(|| fig5::collect(scale(), 1)));
+    c.bench_function("fig5_bandwidth_sweep", |b| {
+        b.iter(|| fig5::collect(scale(), 1))
+    });
 }
 
 fn bench_fig8_filtering(c: &mut Criterion) {
@@ -42,7 +50,9 @@ fn bench_fig9_speedup(c: &mut Criterion) {
 }
 
 fn bench_fig10_vs_large_tlbs(c: &mut Criterion) {
-    c.bench_function("fig10_vs_large_tlbs", |b| b.iter(|| fig10::collect(scale(), 1)));
+    c.bench_function("fig10_vs_large_tlbs", |b| {
+        b.iter(|| fig10::collect(scale(), 1))
+    });
 }
 
 fn bench_fig11_l1only(c: &mut Criterion) {

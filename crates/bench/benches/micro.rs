@@ -79,7 +79,12 @@ fn bench_fbt(c: &mut Criterion) {
         b.iter(|| {
             let mut fbt = Fbt::new(FbtConfig::default().with_entries(2048));
             for i in 0..1000u64 {
-                fbt.insert(Ppn::new(i), Asid(0), Vpn::new(10_000 + i), Perms::READ_WRITE);
+                fbt.insert(
+                    Ppn::new(i),
+                    Asid(0),
+                    Vpn::new(10_000 + i),
+                    Perms::READ_WRITE,
+                );
             }
             let mut found = 0;
             for i in 0..1000u64 {
@@ -104,7 +109,7 @@ fn bench_memory_system(c: &mut Criterion) {
                 let a = LineAccess {
                     cu: (i % 16) as usize,
                     asid: pid.asid(),
-                    vaddr: buf.addr_at((i * 12_347) % (4 << 20) & !127),
+                    vaddr: buf.addr_at(((i * 12_347) % (4 << 20)) & !127),
                     is_write: false,
                     at: t,
                 };

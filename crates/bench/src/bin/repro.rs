@@ -4,16 +4,23 @@
 //! cargo run --release -p gvc-bench --bin repro -- all
 //! cargo run --release -p gvc-bench --bin repro -- fig9 --scale quick
 //! cargo run --release -p gvc-bench --bin repro -- fig2 fig8 --json out/
+//! cargo run --release -p gvc-bench --bin repro -- all --jobs 4
 //! ```
+//!
+//! Output is byte-identical for every `--jobs` value: workers only
+//! warm the memo cache, and each figure assembles its output serially
+//! from that cache.
 
 use gvc_bench::figures::*;
+use gvc_bench::runner;
 use gvc_workloads::Scale;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [table1|table2|fig2|fig3|fig4|fig5|fig8|fig9|fig10|fig11|fig12|ablations|energy|all]... \
-         [--scale paper|quick|test] [--seed N] [--json DIR]"
+         [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -35,8 +42,20 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => json_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                let n: NonZeroUsize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                runner::set_jobs(Some(n));
+            }
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
@@ -46,8 +65,19 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "ablations", "energy",
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablations",
+            "energy",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -68,55 +98,107 @@ fn main() {
         match t.as_str() {
             "table1" => {
                 let d = table1::collect();
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "table2" => {
                 let d = table2::collect();
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig2" => {
                 let d = fig2::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig3" => {
                 let d = fig3::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig4" => {
                 let d = fig4::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig5" => {
                 let d = fig5::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig8" => {
                 let d = fig8::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig9" => {
                 let d = fig9::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig10" => {
                 let d = fig10::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig11" => {
                 let d = fig11::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "fig12" => {
                 let d = fig12::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "ablations" => {
                 let d = ablations::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             "energy" => {
                 let d = energy::collect(scale, seed);
-                emit(t, d.to_string(), serde_json::to_string_pretty(&d).expect("json"));
+                emit(
+                    t,
+                    d.to_string(),
+                    serde_json::to_string_pretty(&d).expect("json"),
+                );
             }
             _ => usage(),
         }

@@ -1,7 +1,7 @@
 //! Design-choice ablations (DESIGN.md §5), beyond the paper's own
 //! figures.
 
-use crate::runner::run;
+use crate::runner::{prefetch, run, RunKey};
 use gvc::{LineAccess, MemorySystem, SystemConfig};
 use gvc_engine::Cycle;
 use gvc_mem::{OsLite, Perms};
@@ -33,6 +33,42 @@ pub struct Ablations {
 /// Runs every ablation.
 pub fn collect(scale: Scale, seed: u64) -> Ablations {
     let wl = WorkloadId::Pagerank;
+
+    // Prefetch every run()-based configuration below in parallel (the
+    // synonym sweep drives MemorySystem directly and stays serial).
+    let mut configs = vec![SystemConfig::vc_with_opt()];
+    for entries in [16 * 1024, 1024, 512, 256, 128] {
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.fbt = cfg.fbt.with_entries(entries);
+        configs.push(cfg);
+    }
+    for counter in [false, true] {
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.fbt.counter_mode = counter;
+        cfg.fbt = cfg.fbt.with_entries(256);
+        configs.push(cfg);
+    }
+    for enabled in [true, false] {
+        let mut cfg = SystemConfig::vc_with_opt();
+        cfg.use_inval_filter = enabled;
+        cfg.fbt = cfg.fbt.with_entries(256);
+        configs.push(cfg);
+    }
+    for merged in [true, false] {
+        let mut cfg = SystemConfig::baseline_512();
+        cfg.merge_tlb_misses = merged;
+        configs.push(cfg);
+    }
+    let keys: Vec<RunKey> = configs
+        .into_iter()
+        .map(|config| RunKey {
+            workload: wl,
+            config,
+            scale,
+            seed,
+        })
+        .collect();
+    prefetch(&keys);
 
     // 1. FBT capacity: small tables evict live pages and force
     //    invalidations (§4.3 argues 8K suffices).
@@ -116,15 +152,25 @@ fn synonym_sweep(seed: u64) -> Vec<(u32, u64, u64, u64)> {
             h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
             let off = (h % (pages * 4096)) & !127;
             let via_alias = (h >> 32) % 100 < alias_pct as u64;
-            let vaddr = if via_alias { alias.addr_at(off) } else { buf.addr_at(off) };
+            let vaddr = if via_alias {
+                alias.addr_at(off)
+            } else {
+                buf.addr_at(off)
+            };
             mem.access(
-                LineAccess { cu: (i % 16) as usize, asid: pid.asid(), vaddr, is_write: false, at: t },
+                LineAccess {
+                    cu: (i % 16) as usize,
+                    asid: pid.asid(),
+                    vaddr,
+                    is_write: false,
+                    at: t,
+                },
                 &os,
             );
             // Pace the stream like a latency-tolerant GPU: four
             // requests per cycle.
             if i % 4 == 0 {
-                t = t + gvc_engine::Duration::new(1);
+                t += gvc_engine::Duration::new(1);
             }
         }
         mem.check_virtual_invariants();
@@ -151,24 +197,57 @@ impl fmt::Display for Ablations {
             "entries", "rel.time", "peak pages", "L2 invals", "L1 flush"
         )?;
         for (e, rel, peak, invals, flushes) in &self.fbt_capacity {
-            writeln!(f, "{:>8} {:>9.2}x {:>10} {:>12} {:>10}", e, rel, peak, invals, flushes)?;
+            writeln!(
+                f,
+                "{:>8} {:>9.2}x {:>10} {:>12} {:>10}",
+                e, rel, peak, invals, flushes
+            )?;
         }
-        writeln!(f, "\nAblation 2: presence bit vector vs counter (256-entry FBT)")?;
+        writeln!(
+            f,
+            "\nAblation 2: presence bit vector vs counter (256-entry FBT)"
+        )?;
         for (mode, cycles, invals) in &self.presence_mode {
-            writeln!(f, "  {:<8} cycles={:<10} forced L2 invalidations={}", mode, cycles, invals)?;
+            writeln!(
+                f,
+                "  {:<8} cycles={:<10} forced L2 invalidations={}",
+                mode, cycles, invals
+            )?;
         }
         writeln!(f, "\nAblation 3: L1 invalidation filter (256-entry FBT)")?;
         for (on, cycles, flushes) in &self.inval_filter {
-            writeln!(f, "  filter={:<5} cycles={:<10} L1 flushes={}", on, cycles, flushes)?;
+            writeln!(
+                f,
+                "  filter={:<5} cycles={:<10} L1 flushes={}",
+                on, cycles, flushes
+            )?;
         }
-        writeln!(f, "\nAblation 4: per-CU TLB miss MSHR merging (baseline 512)")?;
+        writeln!(
+            f,
+            "\nAblation 4: per-CU TLB miss MSHR merging (baseline 512)"
+        )?;
         for (merged, cycles, reqs) in &self.tlb_merge {
-            writeln!(f, "  merge={:<5} cycles={:<10} IOMMU requests={}", merged, cycles, reqs)?;
+            writeln!(
+                f,
+                "  merge={:<5} cycles={:<10} IOMMU requests={}",
+                merged, cycles, reqs
+            )?;
         }
-        writeln!(f, "\nAblation 5: synonym handling (synthetic aliased stream)")?;
-        writeln!(f, "{:>8} {:>14} {:>14} {:>10}", "alias%", "replays", "w/ remapping", "remaps")?;
+        writeln!(
+            f,
+            "\nAblation 5: synonym handling (synthetic aliased stream)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>14} {:>14} {:>10}",
+            "alias%", "replays", "w/ remapping", "remaps"
+        )?;
         for (pct, plain, remapped, remaps) in &self.synonym_rate {
-            writeln!(f, "{:>8} {:>14} {:>14} {:>10}", pct, plain, remapped, remaps)?;
+            writeln!(
+                f,
+                "{:>8} {:>14} {:>14} {:>10}",
+                pct, plain, remapped, remaps
+            )?;
         }
         Ok(())
     }

@@ -2,7 +2,7 @@
 //! the virtual hierarchy, using the nominal per-event model of
 //! [`gvc::EnergyModel`].
 
-use crate::runner::run;
+use crate::runner::{keys_for, prefetch, run};
 use gvc::{EnergyModel, SystemConfig};
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,12 @@ pub struct Energy {
 
 /// Runs the comparison.
 pub fn collect(scale: Scale, seed: u64) -> Energy {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[SystemConfig::baseline_512(), SystemConfig::vc_with_opt()],
+        scale,
+        seed,
+    ));
     let model = EnergyModel::default();
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
@@ -52,7 +58,7 @@ pub fn collect(scale: Scale, seed: u64) -> Energy {
     // Aggregate (sum-over-workloads) ratios: an arithmetic mean of
     // per-workload ratios would let the small streaming workloads'
     // increases swamp the graph workloads' order-of-magnitude savings.
-    let sum = |f: &dyn Fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>().max(1e-9);
+    let sum = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>().max(1e-9);
     Energy {
         avg_translation_ratio: sum(&|r| r.vc_translation_nj) / sum(&|r| r.base_translation_nj),
         avg_total_ratio: sum(&|r| r.vc_total_nj) / sum(&|r| r.base_total_nj),
@@ -62,7 +68,10 @@ pub fn collect(scale: Scale, seed: u64) -> Energy {
 
 impl fmt::Display for Energy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Energy (Takeaway 3, quantified with nominal per-event costs)")?;
+        writeln!(
+            f,
+            "Energy (Takeaway 3, quantified with nominal per-event costs)"
+        )?;
         writeln!(
             f,
             "{:<14} {:>14} {:>13} {:>13} {:>12}",
@@ -72,7 +81,11 @@ impl fmt::Display for Energy {
             writeln!(
                 f,
                 "{:<14} {:>14.0} {:>13.0} {:>13.0} {:>12.0}",
-                r.workload, r.base_translation_nj, r.vc_translation_nj, r.base_total_nj, r.vc_total_nj
+                r.workload,
+                r.base_translation_nj,
+                r.vc_translation_nj,
+                r.base_total_nj,
+                r.vc_total_nj
             )?;
         }
         writeln!(

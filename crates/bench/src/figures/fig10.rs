@@ -2,7 +2,7 @@
 //! with large (128-entry) fully associative per-CU TLBs and a
 //! 16K-entry IOMMU TLB.
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -28,6 +28,15 @@ pub struct Fig10 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig10 {
+    prefetch(&keys_for(
+        &WorkloadId::high_bandwidth(),
+        &[
+            SystemConfig::baseline_large_per_cu_tlbs(),
+            SystemConfig::vc_with_opt(),
+        ],
+        scale,
+        seed,
+    ));
     let rows: Vec<Row> = WorkloadId::high_bandwidth()
         .into_iter()
         .map(|id| {
@@ -45,7 +54,10 @@ pub fn collect(scale: Scale, seed: u64) -> Fig10 {
 
 impl fmt::Display for Fig10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 10: VC speedup over 128-entry per-CU TLBs + 16K IOMMU TLB")?;
+        writeln!(
+            f,
+            "Figure 10: VC speedup over 128-entry per-CU TLBs + 16K IOMMU TLB"
+        )?;
         for r in &self.rows {
             writeln!(f, "{:<14} {:>6.2}x", r.workload, r.speedup)?;
         }

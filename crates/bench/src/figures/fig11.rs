@@ -1,7 +1,7 @@
 //! Figure 11: L1-only virtual caches versus the whole virtual
 //! hierarchy — speedup relative to the Baseline-16K physical design.
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -25,6 +25,17 @@ pub struct Fig11 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig11 {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[
+            SystemConfig::baseline_16k(),
+            SystemConfig::l1_only_vc_32(),
+            SystemConfig::l1_only_vc_128(),
+            SystemConfig::vc_with_opt(),
+        ],
+        scale,
+        seed,
+    ));
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
         let base = run(id, SystemConfig::baseline_16k(), scale, seed).cycles as f64;
@@ -48,7 +59,11 @@ pub fn collect(scale: Scale, seed: u64) -> Fig11 {
 impl fmt::Display for Fig11 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 11: speedup relative to Baseline 16K")?;
-        writeln!(f, "{:<14} {:>10} {:>11} {:>9}", "workload", "L1-VC(32)", "L1-VC(128)", "L1&L2")?;
+        writeln!(
+            f,
+            "{:<14} {:>10} {:>11} {:>9}",
+            "workload", "L1-VC(32)", "L1-VC(128)", "L1&L2"
+        )?;
         for (name, a, b, c) in &self.rows {
             writeln!(f, "{:<14} {:>9.2}x {:>10.2}x {:>8.2}x", name, a, b, c)?;
         }

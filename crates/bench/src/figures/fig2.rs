@@ -1,7 +1,7 @@
 //! Figure 2: per-CU TLB miss ratio by TLB size, broken down by where
 //! the missing access's data resides (L1 / L2 / memory).
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,11 @@ pub struct Fig2 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig2 {
+    let configs: Vec<SystemConfig> = TLB_SIZES
+        .iter()
+        .map(|&e| SystemConfig::baseline_infinite_bandwidth().with_per_cu_tlb_entries(e))
+        .collect();
+    prefetch(&keys_for(&WorkloadId::all(), &configs, scale, seed));
     let mut rows = Vec::new();
     let mut filt32 = Vec::new();
     let mut filt128 = Vec::new();
@@ -77,7 +82,10 @@ pub fn collect(scale: Scale, seed: u64) -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2: per-CU TLB miss ratio breakdown (fractions of all accesses)")?;
+        writeln!(
+            f,
+            "Figure 2: per-CU TLB miss ratio breakdown (fractions of all accesses)"
+        )?;
         writeln!(
             f,
             "{:<14} {:>6} {:>8} {:>10} {:>10} {:>10}",

@@ -1,7 +1,7 @@
 //! Figure 3: IOMMU TLB accesses per cycle (mean ± σ and max over 1 µs
 //! samples) with 32-entry per-CU TLBs and unlimited IOMMU bandwidth.
 
-use crate::runner::run;
+use crate::runner::{keys_for, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{BandwidthClass, Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,12 @@ pub struct Fig3 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig3 {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[SystemConfig::baseline_infinite_bandwidth()],
+        scale,
+        seed,
+    ));
     let mut rows: Vec<Row> = WorkloadId::all()
         .into_iter()
         .map(|id| {
@@ -50,8 +56,15 @@ pub fn collect(scale: Scale, seed: u64) -> Fig3 {
 
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3: IOMMU TLB accesses per cycle (infinite bandwidth, 32-entry per-CU TLBs)")?;
-        writeln!(f, "{:<14} {:>8} {:>8} {:>8}  class", "workload", "mean", "±sigma", "max")?;
+        writeln!(
+            f,
+            "Figure 3: IOMMU TLB accesses per cycle (infinite bandwidth, 32-entry per-CU TLBs)"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>8} {:>8}  class",
+            "workload", "mean", "±sigma", "max"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -3,7 +3,7 @@
 //! against the IDEAL MMU, split into serialization and page-walk
 //! components.
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -38,12 +38,26 @@ pub struct Fig4 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig4 {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[
+            SystemConfig::ideal_mmu(),
+            SystemConfig::baseline_512(),
+            SystemConfig::baseline_16k(),
+        ],
+        scale,
+        seed,
+    ));
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
         let ideal = run(id, SystemConfig::ideal_mmu(), scale, seed).cycles as f64;
         let small = run(id, SystemConfig::baseline_512(), scale, seed).cycles as f64 / ideal;
         let large = run(id, SystemConfig::baseline_16k(), scale, seed).cycles as f64 / ideal;
-        rows.push(Row { workload: id.name().to_string(), small_iommu: small, large_iommu: large });
+        rows.push(Row {
+            workload: id.name().to_string(),
+            small_iommu: small,
+            large_iommu: large,
+        });
     }
     let avg_small = mean(&rows.iter().map(|r| r.small_iommu).collect::<Vec<_>>());
     let avg_large = mean(&rows.iter().map(|r| r.large_iommu).collect::<Vec<_>>());
@@ -58,12 +72,31 @@ pub fn collect(scale: Scale, seed: u64) -> Fig4 {
 
 impl fmt::Display for Fig4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4: relative execution time vs IDEAL MMU (all workloads)")?;
-        writeln!(f, "{:<14} {:>12} {:>12}", "workload", "small(512)", "large(16K)")?;
+        writeln!(
+            f,
+            "Figure 4: relative execution time vs IDEAL MMU (all workloads)"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>12}",
+            "workload", "small(512)", "large(16K)"
+        )?;
         for r in &self.rows {
-            writeln!(f, "{:<14} {:>11.0}% {:>11.0}%", r.workload, r.small_iommu * 100.0, r.large_iommu * 100.0)?;
+            writeln!(
+                f,
+                "{:<14} {:>11.0}% {:>11.0}%",
+                r.workload,
+                r.small_iommu * 100.0,
+                r.large_iommu * 100.0
+            )?;
         }
-        writeln!(f, "{:<14} {:>11.0}% {:>11.0}%   (paper: 177% small)", "AVERAGE", self.avg_small * 100.0, self.avg_large * 100.0)?;
+        writeln!(
+            f,
+            "{:<14} {:>11.0}% {:>11.0}%   (paper: 177% small)",
+            "AVERAGE",
+            self.avg_small * 100.0,
+            self.avg_large * 100.0
+        )?;
         writeln!(
             f,
             "decomposition: serialization {:+.0}%, PTW/capacity {:+.0}% — serialization dominates: {}",

@@ -1,7 +1,7 @@
 //! Figure 8: the virtual cache hierarchy as a bandwidth filter —
 //! shared IOMMU TLB accesses per cycle, baseline vs proposal.
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,15 @@ pub struct Fig8 {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig8 {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[
+            SystemConfig::baseline_infinite_bandwidth(),
+            SystemConfig::vc_with_opt(),
+        ],
+        scale,
+        seed,
+    ));
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
         let base = run(id, SystemConfig::baseline_infinite_bandwidth(), scale, seed);
@@ -52,12 +61,19 @@ pub fn collect(scale: Scale, seed: u64) -> Fig8 {
     }
     let avg_virtual = mean(&rows.iter().map(|r| r.virtual_cache).collect::<Vec<_>>());
     let avg_filter = mean(&rows.iter().map(|r| r.filter_ratio).collect::<Vec<_>>());
-    Fig8 { rows, avg_virtual, avg_filter }
+    Fig8 {
+        rows,
+        avg_virtual,
+        avg_filter,
+    }
 }
 
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 8: IOMMU TLB accesses per cycle — baseline vs virtual cache hierarchy")?;
+        writeln!(
+            f,
+            "Figure 8: IOMMU TLB accesses per cycle — baseline vs virtual cache hierarchy"
+        )?;
         writeln!(
             f,
             "{:<14} {:>9} {:>8} {:>9} {:>8} {:>9}",
@@ -67,7 +83,12 @@ impl fmt::Display for Fig8 {
             writeln!(
                 f,
                 "{:<14} {:>9.3} {:>8.3} {:>9.3} {:>8.3} {:>8.0}%",
-                r.workload, r.baseline, r.baseline_std, r.virtual_cache, r.virtual_std, r.filter_ratio * 100.0
+                r.workload,
+                r.baseline,
+                r.baseline_std,
+                r.virtual_cache,
+                r.virtual_std,
+                r.filter_ratio * 100.0
             )?;
         }
         writeln!(

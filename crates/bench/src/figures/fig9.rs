@@ -2,7 +2,7 @@
 //! relative to the IDEAL MMU under the four Table 2 designs, plus the
 //! all-workload average and the §4.1 FBT second-level hit statistic.
 
-use crate::runner::{mean, run};
+use crate::runner::{keys_for, mean, prefetch, run};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,18 @@ fn avg_row(name: &str, rows: &[Row]) -> Row {
 
 /// Runs the experiment.
 pub fn collect(scale: Scale, seed: u64) -> Fig9 {
+    prefetch(&keys_for(
+        &WorkloadId::all(),
+        &[
+            SystemConfig::ideal_mmu(),
+            SystemConfig::baseline_512(),
+            SystemConfig::baseline_16k(),
+            SystemConfig::vc_without_opt(),
+            SystemConfig::vc_with_opt(),
+        ],
+        scale,
+        seed,
+    ));
     let mut all_rows = Vec::new();
     let mut fbt_ratios = Vec::new();
     for id in WorkloadId::all() {
@@ -87,7 +99,10 @@ pub fn collect(scale: Scale, seed: u64) -> Fig9 {
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9: performance relative to IDEAL MMU (1.0 = ideal; higher is better)")?;
+        writeln!(
+            f,
+            "Figure 9: performance relative to IDEAL MMU (1.0 = ideal; higher is better)"
+        )?;
         writeln!(
             f,
             "{:<14} {:>9} {:>9} {:>9} {:>9}",

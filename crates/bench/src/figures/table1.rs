@@ -44,7 +44,11 @@ impl fmt::Display for Table1 {
             s.l2_banks,
             s.l2_bank.ways
         )?;
-        writeln!(f, "  per-CU TLB   : {:?} (4 KB pages)", s.per_cu_tlb.organization)?;
+        writeln!(
+            f,
+            "  per-CU TLB   : {:?} (4 KB pages)",
+            s.per_cu_tlb.organization
+        )?;
         writeln!(
             f,
             "  IOMMU        : shared TLB {:?}, port {:?}/cycle, {} walkers, {} B PWC",

@@ -38,8 +38,14 @@ fn row(name: &str, cfg: &SystemConfig, per_cu: Option<String>) -> Row {
         design: name.to_string(),
         per_cu_tlb: per_cu.unwrap_or_else(|| tlb_desc(cfg.per_cu_tlb.organization)),
         iommu_tlb: match cfg.design {
-            gvc::MmuDesign::VirtualHierarchy { fbt_as_second_level: true } => {
-                format!("{} (+{}-entry FBT)", tlb_desc(cfg.iommu.tlb.organization), cfg.fbt.entries)
+            gvc::MmuDesign::VirtualHierarchy {
+                fbt_as_second_level: true,
+            } => {
+                format!(
+                    "{} (+{}-entry FBT)",
+                    tlb_desc(cfg.iommu.tlb.organization),
+                    cfg.fbt.entries
+                )
             }
             _ => tlb_desc(cfg.iommu.tlb.organization),
         },
@@ -57,8 +63,16 @@ pub fn collect() -> Table2 {
             row("IDEAL MMU", &SystemConfig::ideal_mmu(), None),
             row("Baseline 512", &SystemConfig::baseline_512(), None),
             row("Baseline 16K", &SystemConfig::baseline_16k(), None),
-            row("VC W/O OPT", &SystemConfig::vc_without_opt(), Some("-".to_string())),
-            row("VC With OPT", &SystemConfig::vc_with_opt(), Some("-".to_string())),
+            row(
+                "VC W/O OPT",
+                &SystemConfig::vc_without_opt(),
+                Some("-".to_string()),
+            ),
+            row(
+                "VC With OPT",
+                &SystemConfig::vc_with_opt(),
+                Some("-".to_string()),
+            ),
         ],
     }
 }
@@ -66,9 +80,17 @@ pub fn collect() -> Table2 {
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 2: evaluated MMU design configurations")?;
-        writeln!(f, "{:<14} {:>14} {:>26} {:>16}", "Design", "Per-CU TLB", "IOMMU TLB", "B/W Limit")?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>26} {:>16}",
+            "Design", "Per-CU TLB", "IOMMU TLB", "B/W Limit"
+        )?;
         for r in &self.rows {
-            writeln!(f, "{:<14} {:>14} {:>26} {:>16}", r.design, r.per_cu_tlb, r.iommu_tlb, r.bandwidth)?;
+            writeln!(
+                f,
+                "{:<14} {:>14} {:>26} {:>16}",
+                r.design, r.per_cu_tlb, r.iommu_tlb, r.bandwidth
+            )?;
         }
         Ok(())
     }

@@ -1,27 +1,60 @@
-//! Shared run machinery with memoization.
+//! Shared run machinery: memoization plus a parallel sweep executor.
 //!
 //! Several figures reuse the same (workload, design) runs — Figure 4's
 //! baselines are Figure 9's baselines, for example. A process-wide
 //! cache keyed by the run's full configuration avoids recomputing
 //! them within one `repro` invocation.
+//!
+//! Every run in a figure is independent of every other (workload
+//! construction and simulation are deterministic in the key alone), so
+//! figures first [`prefetch`] their full run set through the
+//! [`ParallelExecutor`], then assemble output from the warm cache on
+//! one thread. Output is therefore byte-identical regardless of the
+//! worker count: parallelism only changes *when* a report is computed,
+//! never *which* report a key maps to, and the serial assembly loop
+//! fixes the output order.
 
 use gvc::SystemConfig;
 use gvc_gpu::{GpuConfig, GpuSim, RunReport};
 use gvc_workloads::{Scale, WorkloadId};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
 
 /// Whether [`run`] memoizes results (default). The Criterion benches
 /// disable it so every iteration measures real simulation work.
 static MEMOIZE: AtomicBool = AtomicBool::new(true);
+
+/// Worker-thread count used by [`prefetch`]; 0 = use
+/// [`std::thread::available_parallelism`].
+static JOBS: AtomicUsize = AtomicUsize::new(0);
 
 /// Enables or disables run memoization (see [`run`]).
 pub fn set_memoization(enabled: bool) {
     MEMOIZE.store(enabled, Ordering::SeqCst);
 }
 
-/// Identifies a memoizable run.
-#[derive(Debug, Clone, PartialEq)]
+/// Sets the worker count for [`prefetch`]. `None` restores the
+/// default (one worker per available core).
+pub fn set_jobs(jobs: Option<NonZeroUsize>) {
+    JOBS.store(jobs.map_or(0, NonZeroUsize::get), Ordering::SeqCst);
+}
+
+/// The effective worker count: the last [`set_jobs`] value, or the
+/// host's available parallelism.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Identifies a memoizable run. The full configuration is part of the
+/// key, so two presets that happen to produce the same simulator state
+/// still occupy distinct cache slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunKey {
     /// The workload.
     pub workload: WorkloadId,
@@ -33,38 +66,200 @@ pub struct RunKey {
     pub seed: u64,
 }
 
-fn cache() -> &'static Mutex<Vec<(String, RunReport)>> {
-    static CACHE: std::sync::OnceLock<Mutex<Vec<(String, RunReport)>>> = std::sync::OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+/// Shard count for the memo cache. A small power of two: enough that
+/// a full-width sweep rarely contends on one lock, cheap to scan when
+/// clearing.
+const SHARDS: usize = 16;
+
+struct ShardedCache {
+    shards: [RwLock<HashMap<RunKey, RunReport>>; SHARDS],
 }
 
-fn key_string(key: &RunKey) -> String {
-    // SystemConfig and Scale are serializable; serde_json gives a
-    // stable, collision-free key.
-    format!(
-        "{}|{}|{}|{}",
-        key.workload.name(),
-        serde_json::to_string(&key.config).expect("config serializes"),
-        serde_json::to_string(&key.scale).expect("scale serializes"),
-        key.seed
-    )
+impl ShardedCache {
+    fn new() -> Self {
+        ShardedCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: &RunKey) -> &RwLock<HashMap<RunKey, RunReport>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &RunKey) -> Option<RunReport> {
+        self.shard(key)
+            .read()
+            .expect("cache shard lock")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: RunKey, report: RunReport) {
+        self.shard(&key)
+            .write()
+            .expect("cache shard lock")
+            .insert(key, report);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache shard lock").clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard lock").len())
+            .sum()
+    }
+}
+
+fn cache() -> &'static ShardedCache {
+    static CACHE: OnceLock<ShardedCache> = OnceLock::new();
+    CACHE.get_or_init(ShardedCache::new)
+}
+
+/// Empties the memo cache. Tests use this to force recomputation
+/// between phases; `repro` never needs it.
+pub fn clear_cache() {
+    cache().clear();
+}
+
+/// Number of memoized reports currently held.
+pub fn cache_len() -> usize {
+    cache().len()
+}
+
+/// Computes one report from scratch. Deterministic in the key alone.
+fn compute(key: &RunKey) -> RunReport {
+    let mut w = gvc_workloads::build(key.workload, key.scale, key.seed);
+    GpuSim::new(GpuConfig::default(), key.config).run(&mut *w.source, &w.os)
 }
 
 /// Runs (or retrieves) one simulation.
 pub fn run(workload: WorkloadId, config: SystemConfig, scale: Scale, seed: u64) -> RunReport {
+    let key = RunKey {
+        workload,
+        config,
+        scale,
+        seed,
+    };
     let memoize = MEMOIZE.load(Ordering::SeqCst);
-    let key = key_string(&RunKey { workload, config, scale, seed });
     if memoize {
-        if let Some((_, rep)) = cache().lock().expect("cache lock").iter().find(|(k, _)| *k == key) {
-            return rep.clone();
+        if let Some(report) = cache().get(&key) {
+            return report;
         }
     }
-    let mut w = gvc_workloads::build(workload, scale, seed);
-    let report = GpuSim::new(GpuConfig::default(), config).run(&mut *w.source, &w.os);
+    let report = compute(&key);
     if memoize {
-        cache().lock().expect("cache lock").push((key, report.clone()));
+        cache().insert(key, report.clone());
     }
     report
+}
+
+/// Fans independent runs over a scoped worker pool, filling the memo
+/// cache.
+///
+/// Workers claim jobs through a shared atomic index, so scheduling is
+/// dynamic (long simulations don't serialize behind short ones) but
+/// the set of computed reports is exactly the key set — results land
+/// in the cache keyed by value, and the caller's subsequent serial
+/// [`run`] calls hit the warm cache in whatever order the figure
+/// wants. With memoization disabled this is a no-op: there is nowhere
+/// to park the results, so the caller's own `run` calls do the work.
+pub struct ParallelExecutor {
+    workers: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with the globally configured worker count
+    /// (see [`set_jobs`]).
+    pub fn new() -> Self {
+        ParallelExecutor { workers: jobs() }
+    }
+
+    /// An executor with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Computes every key's report into the memo cache. Keys already
+    /// cached are skipped; duplicate keys in `keys` are computed once.
+    pub fn prefetch(&self, keys: &[RunKey]) {
+        if !MEMOIZE.load(Ordering::SeqCst) {
+            return;
+        }
+        // Deduplicate up front so two workers never burn time on the
+        // same simulation.
+        let mut pending: Vec<RunKey> = Vec::with_capacity(keys.len());
+        let mut seen: std::collections::HashSet<RunKey> = std::collections::HashSet::new();
+        for key in keys {
+            if seen.insert(*key) && cache().get(key).is_none() {
+                pending.push(*key);
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let workers = self.workers.min(pending.len());
+        if workers <= 1 {
+            for key in &pending {
+                let report = compute(key);
+                cache().insert(*key, report);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let pending = &pending;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = pending.get(i) else { break };
+                    let report = compute(key);
+                    cache().insert(*key, report);
+                });
+            }
+        });
+    }
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> Self {
+        ParallelExecutor::new()
+    }
+}
+
+/// Convenience wrapper: prefetches `keys` with the global executor.
+pub fn prefetch(keys: &[RunKey]) {
+    ParallelExecutor::new().prefetch(keys);
+}
+
+/// Builds the key set for one design over a workload list.
+pub fn keys_for(
+    workloads: &[WorkloadId],
+    configs: &[SystemConfig],
+    scale: Scale,
+    seed: u64,
+) -> Vec<RunKey> {
+    let mut keys = Vec::with_capacity(workloads.len() * configs.len());
+    for &workload in workloads {
+        for &config in configs {
+            keys.push(RunKey {
+                workload,
+                config,
+                scale,
+                seed,
+            });
+        }
+    }
+    keys
 }
 
 /// Geometric-mean helper used by several figures.
@@ -85,8 +280,10 @@ pub fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Table-of-workloads run over one design, producing `(id, report)`
-/// pairs in the paper's workload order.
+/// pairs in the paper's workload order. The runs are prefetched in
+/// parallel first; the result order is always `WorkloadId::all()`.
 pub fn run_all(config: SystemConfig, scale: Scale, seed: u64) -> Vec<(WorkloadId, RunReport)> {
+    prefetch(&keys_for(&WorkloadId::all(), &[config], scale, seed));
     WorkloadId::all()
         .into_iter()
         .map(|id| (id, run(id, config, scale, seed)))
@@ -100,8 +297,18 @@ mod tests {
     #[test]
     fn memoization_returns_identical_reports() {
         let scale = Scale::test();
-        let a = run(WorkloadId::Pathfinder, SystemConfig::baseline_512(), scale, 1);
-        let b = run(WorkloadId::Pathfinder, SystemConfig::baseline_512(), scale, 1);
+        let a = run(
+            WorkloadId::Pathfinder,
+            SystemConfig::baseline_512(),
+            scale,
+            1,
+        );
+        let b = run(
+            WorkloadId::Pathfinder,
+            SystemConfig::baseline_512(),
+            scale,
+            1,
+        );
         assert_eq!(a.cycles, b.cycles);
         // Different design: distinct run.
         let c = run(WorkloadId::Pathfinder, SystemConfig::ideal_mmu(), scale, 1);
@@ -114,5 +321,41 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn prefetch_fills_cache_and_run_hits_it() {
+        let scale = Scale::test();
+        let key = RunKey {
+            workload: WorkloadId::Backprop,
+            config: SystemConfig::baseline_512(),
+            scale,
+            seed: 77,
+        };
+        ParallelExecutor::with_workers(2).prefetch(&[key, key]);
+        let a = run(key.workload, key.config, key.scale, key.seed);
+        let b = compute(&key);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem.dram_reads, b.mem.dram_reads);
+    }
+
+    #[test]
+    fn distinct_configs_hash_to_distinct_keys() {
+        let scale = Scale::test();
+        let a = RunKey {
+            workload: WorkloadId::Bfs,
+            config: SystemConfig::baseline_512(),
+            scale,
+            seed: 1,
+        };
+        let b = RunKey {
+            config: SystemConfig::baseline_16k(),
+            ..a
+        };
+        let c = RunKey { seed: 2, ..a };
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let set: std::collections::HashSet<RunKey> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
     }
 }

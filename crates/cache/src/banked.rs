@@ -41,8 +41,12 @@ impl BankedCache {
     pub fn new(bank_config: CacheConfig, n_banks: usize, port_width: u32) -> Self {
         assert!(n_banks > 0, "need at least one bank");
         BankedCache {
-            banks: (0..n_banks).map(|_| SetAssocCache::new(bank_config)).collect(),
-            ports: (0..n_banks).map(|_| ThroughputPort::per_cycle(port_width)).collect(),
+            banks: (0..n_banks)
+                .map(|_| SetAssocCache::new(bank_config))
+                .collect(),
+            ports: (0..n_banks)
+                .map(|_| ThroughputPort::per_cycle(port_width))
+                .collect(),
         }
     }
 
@@ -75,7 +79,13 @@ impl BankedCache {
     }
 
     /// Inserts a line into its bank, returning the victim (if any).
-    pub fn insert(&mut self, key: LineKey, perms: Perms, dirty: bool, now: Cycle) -> Option<CacheLine> {
+    pub fn insert(
+        &mut self,
+        key: LineKey,
+        perms: Perms,
+        dirty: bool,
+        now: Cycle,
+    ) -> Option<CacheLine> {
         let b = self.bank_of(key);
         self.banks[b].insert(key, perms, dirty, now)
     }

@@ -2,7 +2,7 @@
 
 use gvc_engine::time::Cycle;
 use gvc_engine::Counter;
-use gvc_mem::{Asid, Perms, LINE_BYTES, LINES_PER_PAGE};
+use gvc_mem::{Asid, Perms, LINES_PER_PAGE, LINE_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -36,7 +36,7 @@ impl LineKey {
 }
 
 /// Write-handling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WritePolicy {
     /// GPU L1: writes go through; misses do not allocate; lines are
     /// never dirty.
@@ -47,7 +47,7 @@ pub enum WritePolicy {
 }
 
 /// Cache geometry and policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Capacity in bytes.
     pub bytes: u64,
@@ -116,7 +116,9 @@ impl CacheLine {
     /// The line's active lifetime: cached-to-last-access, the Figure 12
     /// metric.
     pub fn active_lifetime(&self) -> u64 {
-        self.last_access.raw().saturating_sub(self.inserted_at.raw())
+        self.last_access
+            .raw()
+            .saturating_sub(self.inserted_at.raw())
     }
 }
 
@@ -182,7 +184,7 @@ impl SetAssocCache {
         let lines = config.lines();
         assert!(lines > 0, "cache must hold at least one line");
         assert!(
-            config.ways > 0 && lines % config.ways == 0,
+            config.ways > 0 && lines.is_multiple_of(config.ways),
             "ways must divide line count"
         );
         SetAssocCache {
@@ -224,11 +226,14 @@ impl SetAssocCache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_index(key);
-        let hit = self.sets[set].iter_mut().find(|s| s.line.key == key).map(|s| {
-            s.last_use = clock;
-            s.line.last_access = now;
-            s.line
-        });
+        let hit = self.sets[set]
+            .iter_mut()
+            .find(|s| s.line.key == key)
+            .map(|s| {
+                s.last_use = clock;
+                s.line.last_access = now;
+                s.line
+            });
         if hit.is_some() {
             self.stats.hits.inc();
         } else {
@@ -240,7 +245,10 @@ impl SetAssocCache {
     /// Peeks without touching recency or statistics.
     pub fn peek(&self, key: LineKey) -> Option<CacheLine> {
         let set = self.set_index(key);
-        self.sets[set].iter().find(|s| s.line.key == key).map(|s| s.line)
+        self.sets[set]
+            .iter()
+            .find(|s| s.line.key == key)
+            .map(|s| s.line)
     }
 
     /// Marks a resident line dirty (write hit under write-back);
@@ -257,7 +265,13 @@ impl SetAssocCache {
 
     /// Inserts a line, returning the victim it displaced (if any).
     /// Reinsertion of a resident key updates it in place.
-    pub fn insert(&mut self, key: LineKey, perms: Perms, dirty: bool, now: Cycle) -> Option<CacheLine> {
+    pub fn insert(
+        &mut self,
+        key: LineKey,
+        perms: Perms,
+        dirty: bool,
+        now: Cycle,
+    ) -> Option<CacheLine> {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_index(key);
@@ -467,10 +481,14 @@ mod tests {
         };
         let mut c = SetAssocCache::new(cfg);
         for i in 0..4 {
-            assert!(c.insert(key(i), Perms::READ_WRITE, false, Cycle::new(i)).is_none());
+            assert!(c
+                .insert(key(i), Perms::READ_WRITE, false, Cycle::new(i))
+                .is_none());
         }
         c.lookup(key(0), Cycle::new(10)); // 0 becomes MRU; 1 is LRU
-        let victim = c.insert(key(9), Perms::READ_WRITE, false, Cycle::new(11)).expect("eviction");
+        let victim = c
+            .insert(key(9), Perms::READ_WRITE, false, Cycle::new(11))
+            .expect("eviction");
         assert_eq!(victim.key, key(1));
         assert_eq!(c.len(), 4);
     }
@@ -485,7 +503,9 @@ mod tests {
         };
         let mut c = SetAssocCache::new(cfg);
         c.insert(key(1), Perms::READ_WRITE, true, Cycle::new(0));
-        let v = c.insert(key(2), Perms::READ_WRITE, false, Cycle::new(1)).unwrap();
+        let v = c
+            .insert(key(2), Perms::READ_WRITE, false, Cycle::new(1))
+            .unwrap();
         assert!(v.dirty);
         assert_eq!(c.stats().writebacks.get(), 1);
     }
@@ -503,7 +523,9 @@ mod tests {
     fn reinsert_updates_in_place() {
         let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
         c.insert(key(3), Perms::READ_ONLY, false, Cycle::new(0));
-        assert!(c.insert(key(3), Perms::READ_WRITE, true, Cycle::new(5)).is_none());
+        assert!(c
+            .insert(key(3), Perms::READ_WRITE, true, Cycle::new(5))
+            .is_none());
         assert_eq!(c.len(), 1);
         let l = c.peek(key(3)).unwrap();
         assert_eq!(l.perms, Perms::READ_WRITE);
@@ -572,7 +594,12 @@ mod tests {
         let k = key(9);
         assert_eq!(m.check(k, Cycle::new(0)), MshrOutcome::Primary);
         m.register(k, Cycle::new(100));
-        assert_eq!(m.check(k, Cycle::new(99)), MshrOutcome::Merged { fill_done: Cycle::new(100) });
+        assert_eq!(
+            m.check(k, Cycle::new(99)),
+            MshrOutcome::Merged {
+                fill_done: Cycle::new(100)
+            }
+        );
         // After the fill lands, the next miss is primary again.
         assert_eq!(m.check(k, Cycle::new(100)), MshrOutcome::Primary);
         assert_eq!(m.merges(), 1);

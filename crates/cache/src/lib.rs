@@ -26,6 +26,8 @@ pub mod inval_filter;
 pub mod lifetime;
 
 pub use banked::BankedCache;
-pub use cache::{CacheConfig, CacheLine, CacheStats, LineKey, MshrFile, SetAssocCache, WritePolicy};
+pub use cache::{
+    CacheConfig, CacheLine, CacheStats, LineKey, MshrFile, SetAssocCache, WritePolicy,
+};
 pub use inval_filter::InvalFilter;
 pub use lifetime::LifetimeTracker;

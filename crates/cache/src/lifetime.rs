@@ -31,12 +31,18 @@ pub struct LifetimeTracker {
 impl LifetimeTracker {
     /// Creates a tracker for a machine running at `clock`.
     pub fn new(clock: Frequency) -> Self {
-        LifetimeTracker { clock, cdf: Cdf::new() }
+        LifetimeTracker {
+            clock,
+            cdf: Cdf::new(),
+        }
     }
 
     /// Records a lifetime measured in cycles.
     pub fn record_cycles(&mut self, cycles: u64) {
-        self.cdf.push(self.clock.duration_to_ns(gvc_engine::time::Duration::new(cycles)));
+        self.cdf.push(
+            self.clock
+                .duration_to_ns(gvc_engine::time::Duration::new(cycles)),
+        );
     }
 
     /// Records the active lifetime of an evicted or end-of-run cache

@@ -9,7 +9,7 @@ use gvc_tlb::tlb::TlbConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which memory-system organization to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MmuDesign {
     /// Physical caches with per-CU TLBs and a shared IOMMU TLB
     /// (Figure 1). The IDEAL MMU is this design with infinite TLBs and
@@ -30,7 +30,7 @@ pub enum MmuDesign {
 
 /// What to do when a synonym access hits a page with read-write
 /// aliasing (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SynonymPolicy {
     /// The paper's design: conservatively fault (GPUs lack precise
     /// recovery).
@@ -41,7 +41,7 @@ pub enum SynonymPolicy {
 }
 
 /// Fixed component latencies, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Latencies {
     /// L1 tag+data access.
     pub l1_hit: u64,
@@ -65,7 +65,7 @@ impl Default for Latencies {
 }
 
 /// Full memory-system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SystemConfig {
     /// Compute units sharing the hierarchy (Table 1: 16).
     pub n_cus: usize,
@@ -144,7 +144,10 @@ impl SystemConfig {
         SystemConfig {
             per_cu_tlb: TlbConfig::infinite(),
             iommu: IommuConfig::ideal(),
-            lat: Latencies { per_cu_tlb: 0, ..Latencies::default() },
+            lat: Latencies {
+                per_cu_tlb: 0,
+                ..Latencies::default()
+            },
             ..Self::base(MmuDesign::Baseline)
         }
     }
@@ -188,13 +191,17 @@ impl SystemConfig {
     /// Table 2 "VC W/O OPT": full virtual hierarchy, 512-entry IOMMU
     /// TLB, no FBT second-level lookup.
     pub fn vc_without_opt() -> Self {
-        Self::base(MmuDesign::VirtualHierarchy { fbt_as_second_level: false })
+        Self::base(MmuDesign::VirtualHierarchy {
+            fbt_as_second_level: false,
+        })
     }
 
     /// Table 2 "VC With OPT": full virtual hierarchy with the FBT as a
     /// 16K-entry second-level TLB behind the 512-entry shared TLB.
     pub fn vc_with_opt() -> Self {
-        Self::base(MmuDesign::VirtualHierarchy { fbt_as_second_level: true })
+        Self::base(MmuDesign::VirtualHierarchy {
+            fbt_as_second_level: true,
+        })
     }
 
     /// §5.4 "L1-Only VC (32)": virtual L1s, physical L2, 32-entry
@@ -241,14 +248,21 @@ impl SystemConfig {
     pub fn label(&self) -> &'static str {
         match self.design {
             MmuDesign::Baseline => {
-                if matches!(self.iommu.tlb.organization, gvc_tlb::tlb::TlbOrganization::Infinite) {
+                if matches!(
+                    self.iommu.tlb.organization,
+                    gvc_tlb::tlb::TlbOrganization::Infinite
+                ) {
                     "IDEAL MMU"
                 } else {
                     "Baseline"
                 }
             }
-            MmuDesign::VirtualHierarchy { fbt_as_second_level: true } => "VC With OPT",
-            MmuDesign::VirtualHierarchy { fbt_as_second_level: false } => "VC W/O OPT",
+            MmuDesign::VirtualHierarchy {
+                fbt_as_second_level: true,
+            } => "VC With OPT",
+            MmuDesign::VirtualHierarchy {
+                fbt_as_second_level: false,
+            } => "VC W/O OPT",
             MmuDesign::L1OnlyVirtual => "L1-Only VC",
         }
     }
@@ -277,7 +291,12 @@ mod tests {
 
         let vc = SystemConfig::vc_with_opt();
         assert_eq!(vc.iommu.tlb, TlbConfig::shared(512));
-        assert!(matches!(vc.design, MmuDesign::VirtualHierarchy { fbt_as_second_level: true }));
+        assert!(matches!(
+            vc.design,
+            MmuDesign::VirtualHierarchy {
+                fbt_as_second_level: true
+            }
+        ));
         assert_eq!(vc.fbt.entries, 16 * 1024);
         assert_eq!(vc.label(), "VC With OPT");
         assert_eq!(SystemConfig::vc_without_opt().label(), "VC W/O OPT");
@@ -286,10 +305,17 @@ mod tests {
     #[test]
     fn sweep_builders() {
         let c = SystemConfig::baseline_512().with_per_cu_tlb_entries(None);
-        assert!(matches!(c.per_cu_tlb.organization, TlbOrganization::Infinite));
+        assert!(matches!(
+            c.per_cu_tlb.organization,
+            TlbOrganization::Infinite
+        ));
         let c = SystemConfig::baseline_16k().with_iommu_port_width(4);
         assert_eq!(c.iommu.port_width, Some(4));
-        assert!(SystemConfig::baseline_512().with_lifetimes().track_lifetimes);
+        assert!(
+            SystemConfig::baseline_512()
+                .with_lifetimes()
+                .track_lifetimes
+        );
     }
 
     #[test]
@@ -303,8 +329,14 @@ mod tests {
 
     #[test]
     fn l1_only_presets() {
-        assert_eq!(SystemConfig::l1_only_vc_32().per_cu_tlb, TlbConfig::per_cu(32));
-        assert_eq!(SystemConfig::l1_only_vc_128().per_cu_tlb, TlbConfig::per_cu(128));
+        assert_eq!(
+            SystemConfig::l1_only_vc_32().per_cu_tlb,
+            TlbConfig::per_cu(32)
+        );
+        assert_eq!(
+            SystemConfig::l1_only_vc_128().per_cu_tlb,
+            TlbConfig::per_cu(128)
+        );
         assert_eq!(SystemConfig::l1_only_vc_32().label(), "L1-Only VC");
     }
 }

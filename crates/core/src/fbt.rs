@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// FBT configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FbtConfig {
     /// BT entries (16 K covers a unique page per L2 line, §4.3).
     pub entries: usize,
@@ -154,7 +154,7 @@ impl Fbt {
     /// Panics if `ways` does not divide `entries`.
     pub fn new(config: FbtConfig) -> Self {
         assert!(
-            config.ways > 0 && config.entries % config.ways == 0,
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
             "ways must divide entries"
         );
         let nsets = config.entries / config.ways;
@@ -206,7 +206,10 @@ impl Fbt {
                 if s.entry.ppn == ppn {
                     s.last_use = clock;
                     self.stats.bt_hits.inc();
-                    return Some(BtIndex { set: set as u32, way: way as u32 });
+                    return Some(BtIndex {
+                        set: set as u32,
+                        way: way as u32,
+                    });
                 }
             }
         }
@@ -329,7 +332,10 @@ impl Fbt {
             },
             last_use: clock,
         });
-        let idx = BtIndex { set: set as u32, way: way as u32 };
+        let idx = BtIndex {
+            set: set as u32,
+            way: way as u32,
+        };
         self.ft.insert(leading, idx);
         self.occupancy += 1;
         self.max_occupancy = self.max_occupancy.max(self.occupancy);
@@ -374,7 +380,10 @@ impl Fbt {
             slots.iter().enumerate().filter_map(move |(way, s)| {
                 s.as_ref().map(|s| {
                     (
-                        BtIndex { set: set as u32, way: way as u32 },
+                        BtIndex {
+                            set: set as u32,
+                            way: way as u32,
+                        },
                         &s.entry,
                     )
                 })
@@ -422,7 +431,10 @@ mod tests {
     }
 
     fn lead(asid: u16, vpn: u64) -> LeadingVa {
-        LeadingVa { asid: Asid(asid), vpn: Vpn::new(vpn) }
+        LeadingVa {
+            asid: Asid(asid),
+            vpn: Vpn::new(vpn),
+        }
     }
 
     #[test]
@@ -442,7 +454,10 @@ mod tests {
     fn translate_acts_as_second_level_tlb() {
         let mut fbt = small();
         fbt.insert(Ppn::new(9), Asid(0), Vpn::new(7), Perms::READ_ONLY);
-        assert_eq!(fbt.translate(Asid(0), Vpn::new(7)), Some((Ppn::new(9), Perms::READ_ONLY)));
+        assert_eq!(
+            fbt.translate(Asid(0), Vpn::new(7)),
+            Some((Ppn::new(9), Perms::READ_ONLY))
+        );
         assert_eq!(fbt.translate(Asid(0), Vpn::new(8)), None);
         let s = fbt.stats();
         assert_eq!(s.ft_lookups.get(), 2);
@@ -452,14 +467,18 @@ mod tests {
     #[test]
     fn eviction_prefers_empty_presence() {
         let mut fbt = small(); // 4 sets x 2 ways
-        // Two pages in the same set (set = ppn % 4): ppn 0 and 4.
+                               // Two pages in the same set (set = ppn % 4): ppn 0 and 4.
         let (i0, _) = fbt.insert(Ppn::new(0), Asid(0), Vpn::new(10), Perms::READ_WRITE);
         let (_i4, _) = fbt.insert(Ppn::new(4), Asid(0), Vpn::new(11), Perms::READ_WRITE);
         // Page 0 has cached lines; page 4 does not. Page 0 is also LRU.
         fbt.entry_mut(i0).presence.set(3);
         let (_, evicted) = fbt.insert(Ppn::new(8), Asid(0), Vpn::new(12), Perms::READ_WRITE);
         let e = evicted.expect("set was full");
-        assert_eq!(e.ppn, Ppn::new(4), "empty-presence entry preferred over LRU");
+        assert_eq!(
+            e.ppn,
+            Ppn::new(4),
+            "empty-presence entry preferred over LRU"
+        );
         fbt.check_consistency();
     }
 
@@ -536,7 +555,12 @@ mod tests {
     fn iter_and_consistency_on_larger_population() {
         let mut fbt = Fbt::new(FbtConfig::default());
         for i in 0..1000 {
-            fbt.insert(Ppn::new(i), Asid(0), Vpn::new(10_000 + i), Perms::READ_WRITE);
+            fbt.insert(
+                Ppn::new(i),
+                Asid(0),
+                Vpn::new(10_000 + i),
+                Perms::READ_WRITE,
+            );
         }
         assert_eq!(fbt.iter().count(), 1000);
         fbt.check_consistency();

@@ -13,11 +13,11 @@ use gvc_mem::{OsLite, Perms};
 impl MemorySystem {
     pub(super) fn access_baseline(&mut self, a: LineAccess, os: &OsLite) -> AccessResult {
         let vpn = a.vaddr.vpn();
-        let (ppn, perms, ready, was_miss) =
-            match self.translate_per_cu(a.cu, a.asid, vpn, a.at, os) {
-                Ok(ok) => ok,
-                Err((done, fault)) => return AccessResult::fault(done, fault),
-            };
+        let (ppn, perms, ready, was_miss) = match self.translate_per_cu(a.cu, a.asid, vpn, a.at, os)
+        {
+            Ok(ok) => ok,
+            Err((done, fault)) => return AccessResult::fault(done, fault),
+        };
         if !perms.covers(Perms::required_for_write(a.is_write)) {
             self.counters.perm_faults.inc();
             return AccessResult::fault(ready, AccessFault::PermissionDenied);
@@ -155,7 +155,10 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::baseline_512());
         let cold = mem.access(read_at(&r, 0, 0, 0), &os);
         assert!(cold.fault.is_none());
-        assert!(cold.done_at > Cycle::new(200), "cold miss crosses TLB+L2+DRAM");
+        assert!(
+            cold.done_at > Cycle::new(200),
+            "cold miss crosses TLB+L2+DRAM"
+        );
         let warm = mem.access(read_at(&r, 0, 0, cold.done_at.raw()), &os);
         assert_eq!(
             warm.done_at,
@@ -218,7 +221,10 @@ mod tests {
         let (os, _pid, r) = setup(1);
         let mut mem = MemorySystem::new(SystemConfig::baseline_512());
         let w = mem.access(
-            LineAccess { is_write: true, ..read_at(&r, 0, 0, 0) },
+            LineAccess {
+                is_write: true,
+                ..read_at(&r, 0, 0, 0)
+            },
             &os,
         );
         assert!(w.fault.is_none());
@@ -237,7 +243,10 @@ mod tests {
         let r = os.mmap(pid, PAGE_BYTES, Perms::READ_ONLY).unwrap();
         let mut mem = MemorySystem::new(SystemConfig::baseline_512());
         let w = mem.access(
-            LineAccess { is_write: true, ..read_at(&r, 0, 0, 0) },
+            LineAccess {
+                is_write: true,
+                ..read_at(&r, 0, 0, 0)
+            },
             &os,
         );
         assert_eq!(w.fault, Some(AccessFault::PermissionDenied));
@@ -269,7 +278,10 @@ mod tests {
         // Infinite per-CU TLBs: repeat accesses never reach the IOMMU.
         let reqs = mem.iommu.stats().requests.get();
         for p in 0..64 {
-            mem.access(read_at(&r, p * PAGE_BYTES, (p % 16) as usize, 1_000_000), &os);
+            mem.access(
+                read_at(&r, p * PAGE_BYTES, (p % 16) as usize, 1_000_000),
+                &os,
+            );
         }
         assert_eq!(mem.iommu.stats().requests.get(), reqs);
     }

@@ -148,7 +148,11 @@ impl MemorySystem {
                 let t_bt = arrive + Duration::new(self.cfg.fbt.lookup_latency);
                 let Some(idx) = self.fbt.lookup_ppn(probe.paddr.ppn()) else {
                     self.counters.probes_filtered.inc();
-                    return ProbeResponse { done_at: t_bt, filtered: true, invalidated: false };
+                    return ProbeResponse {
+                        done_at: t_bt,
+                        filtered: true,
+                        invalidated: false,
+                    };
                 };
                 let line = probe.paddr.line_in_page();
                 let e = *self.fbt.entry(idx);
@@ -280,7 +284,11 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
         let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
         let (pa, _) = os.translate(pid, r.start()).unwrap();
-        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Invalidate, at: t });
+        let resp = mem.handle_probe(Probe {
+            paddr: pa,
+            kind: ProbeKind::Invalidate,
+            at: t,
+        });
         assert!(!resp.filtered);
         assert!(resp.invalidated);
         let key = MemorySystem::virt_key(Asid(0), r.start());
@@ -294,7 +302,11 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
         let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
         let (pa, _) = os.translate(pid, r.start()).unwrap();
-        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Downgrade, at: t });
+        let resp = mem.handle_probe(Probe {
+            paddr: pa,
+            kind: ProbeKind::Downgrade,
+            at: t,
+        });
         assert!(!resp.invalidated);
         let key = MemorySystem::virt_key(Asid(0), r.start());
         assert!(mem.l2.peek(key).is_some());
@@ -306,7 +318,11 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::baseline_512());
         let t = mem.access(read(&r, 0, 0, 0), &os).done_at;
         let (pa, _) = os.translate(pid, r.start()).unwrap();
-        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Invalidate, at: t });
+        let resp = mem.handle_probe(Probe {
+            paddr: pa,
+            kind: ProbeKind::Invalidate,
+            at: t,
+        });
         assert!(resp.invalidated);
         assert_eq!(mem.counters().probe_invals.get(), 1);
     }
@@ -317,7 +333,10 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
         let mut t = 0;
         for p in 0..4u64 {
-            t = mem.access(read(&r, p * PAGE_BYTES, 0, t), &os).done_at.raw();
+            t = mem
+                .access(read(&r, p * PAGE_BYTES, 0, t), &os)
+                .done_at
+                .raw();
         }
         assert!(mem.l2.len() >= 4);
         mem.apply_shootdown(&Shootdown::AllOf { asid: pid.asid() }, Cycle::new(t));

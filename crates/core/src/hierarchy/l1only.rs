@@ -145,14 +145,23 @@ mod tests {
         // CU 1's TLB missed: the IOMMU was consulted again (the L1-only
         // design's weakness versus the full hierarchy).
         assert_eq!(mem.iommu.stats().requests.get(), iommu_before + 1);
-        assert!(b.done_at < a.done_at + Duration::new(400), "L2 hit, not DRAM");
+        assert!(
+            b.done_at < a.done_at + Duration::new(400),
+            "L2 hit, not DRAM"
+        );
     }
 
     #[test]
     fn writes_are_posted_and_reach_physical_l2() {
         let (os, pid, r) = setup(1);
         let mut mem = MemorySystem::new(SystemConfig::l1_only_vc_32());
-        let w = mem.access(LineAccess { is_write: true, ..read(&r, 0, 0, 0) }, &os);
+        let w = mem.access(
+            LineAccess {
+                is_write: true,
+                ..read(&r, 0, 0, 0)
+            },
+            &os,
+        );
         assert_eq!(w.done_at, Cycle::new(1));
         let (pa, _) = os.translate(pid, r.start()).unwrap();
         let pkey = MemorySystem::phys_key(pa.ppn(), r.start());
@@ -168,6 +177,10 @@ mod tests {
             t = mem.access(read(&r, 0, 0, t), &os).done_at.raw();
         }
         assert_eq!(mem.counters().filtered_at_l1.get(), 4);
-        assert_eq!(mem.counters().filtered_at_l2.get(), 0, "physical L2 filters nothing");
+        assert_eq!(
+            mem.counters().filtered_at_l2.get(),
+            0,
+            "physical L2 filters nothing"
+        );
     }
 }

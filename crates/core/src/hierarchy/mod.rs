@@ -78,11 +78,17 @@ pub struct AccessResult {
 
 impl AccessResult {
     pub(crate) fn ok(done_at: Cycle) -> Self {
-        AccessResult { done_at, fault: None }
+        AccessResult {
+            done_at,
+            fault: None,
+        }
     }
 
     pub(crate) fn fault(done_at: Cycle, fault: AccessFault) -> Self {
-        AccessResult { done_at, fault: Some(fault) }
+        AccessResult {
+            done_at,
+            fault: Some(fault),
+        }
     }
 }
 
@@ -161,7 +167,9 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds a memory system for `cfg`.
     pub fn new(cfg: SystemConfig) -> Self {
-        let lifetimes = cfg.track_lifetimes.then(|| Lifetimes::new(Frequency::default()));
+        let lifetimes = cfg
+            .track_lifetimes
+            .then(|| Lifetimes::new(Frequency::default()));
         MemorySystem {
             l1: (0..cfg.n_cus).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             l1_mshr: (0..cfg.n_cus).map(|_| MshrFile::new()).collect(),
@@ -218,9 +226,9 @@ impl MemorySystem {
         }
         match self.cfg.design {
             MmuDesign::Baseline => self.access_baseline(access, os),
-            MmuDesign::VirtualHierarchy { fbt_as_second_level } => {
-                self.access_virtual(access, os, fbt_as_second_level)
-            }
+            MmuDesign::VirtualHierarchy {
+                fbt_as_second_level,
+            } => self.access_virtual(access, os, fbt_as_second_level),
             MmuDesign::L1OnlyVirtual => self.access_l1only(access, os),
         }
     }
@@ -272,7 +280,8 @@ impl MemorySystem {
         }
         if let Some(victim) = self.l1[cu].insert(key, perms, false, now) {
             if virtual_l1 {
-                self.filters[cu].line_evicted(victim.key.asid, gvc_mem::Vpn::new(victim.key.page()));
+                self.filters[cu]
+                    .line_evicted(victim.key.asid, gvc_mem::Vpn::new(victim.key.page()));
             }
             if let Some(lt) = self.lifetimes.as_mut() {
                 lt.l1.record_line(&victim);
@@ -319,7 +328,10 @@ impl MemorySystem {
         let resp = self.iommu.translate(asid, vpn, io_arrival, os, None);
         let Some((ppn, perms)) = resp.outcome.translation() else {
             self.counters.page_faults.inc();
-            return Err((resp.done_at + self.noc.cu_to_iommu(), AccessFault::PageFault));
+            return Err((
+                resp.done_at + self.noc.cu_to_iommu(),
+                AccessFault::PageFault,
+            ));
         };
         let ready = resp.done_at + self.noc.cu_to_iommu();
         if let Some(evicted) = self.tlbs[cu].insert(key, ppn, perms, ready) {
@@ -353,7 +365,7 @@ impl MemorySystem {
     /// tracked) and snapshots every statistic into a [`MemReport`].
     pub fn finish(&mut self, end: Cycle) -> MemReport {
         let mut lifetime_curves = None;
-        if self.lifetimes.is_some() {
+        if let Some(lt) = &mut self.lifetimes {
             let resident_l1: Vec<_> = self.l1.iter().flat_map(|c| c.iter()).collect();
             let resident_l2: Vec<_> = self.l2.iter().collect();
             let resident_tlb: Vec<_> = self
@@ -362,7 +374,6 @@ impl MemorySystem {
                 .flat_map(|t| t.iter())
                 .map(|(_, e)| e.inserted_at)
                 .collect();
-            let lt = self.lifetimes.as_mut().expect("checked");
             for line in resident_l1 {
                 lt.l1.record_line(&line);
             }
@@ -458,7 +469,13 @@ impl MemorySystem {
             .fbt
             .iter()
             .filter(|(_, e)| e.presence.is_exact())
-            .map(|(_, e)| (e.leading.asid, e.leading.vpn, e.presence.iter_set().collect()))
+            .map(|(_, e)| {
+                (
+                    e.leading.asid,
+                    e.leading.vpn,
+                    e.presence.iter_set().collect(),
+                )
+            })
             .collect();
         for (asid, vpn, set_lines) in entries {
             for line in set_lines {

@@ -130,7 +130,12 @@ impl MemorySystem {
             Resolution::Replay { lkey, idx, t } => {
                 AccessResult::ok(self.finish_replay(lkey, idx, t, false))
             }
-            Resolution::Fetch { lkey, idx, perms, t } => {
+            Resolution::Fetch {
+                lkey,
+                idx,
+                perms,
+                t,
+            } => {
                 let filled = self.fetch_line(t);
                 self.fbt.entry_mut(idx).presence.set(a.vaddr.line_in_page());
                 self.insert_l2_virtual(lkey, perms, false, filled);
@@ -178,7 +183,12 @@ impl MemorySystem {
                 self.finish_replay(lkey, idx, t, true);
                 AccessResult::ok(ack)
             }
-            Resolution::Fetch { lkey, idx, perms, t } => {
+            Resolution::Fetch {
+                lkey,
+                idx,
+                perms,
+                t,
+            } => {
                 let filled = self.fetch_line(t);
                 self.fbt.entry_mut(idx).presence.set(a.vaddr.line_in_page());
                 self.insert_l2_virtual(lkey, perms, true, filled);
@@ -200,7 +210,11 @@ impl MemorySystem {
         let vpn = a.vaddr.vpn();
         let io_arrival = miss_at + self.noc.l2_to_iommu();
         let resp = {
-            let MemorySystem { ref mut iommu, ref mut fbt, .. } = *self;
+            let MemorySystem {
+                ref mut iommu,
+                ref mut fbt,
+                ..
+            } = *self;
             if use_fbt_tlb {
                 let mut hook = |asid, v| fbt.translate(asid, v);
                 iommu.translate(a.asid, vpn, io_arrival, os, Some(&mut hook))
@@ -246,7 +260,12 @@ impl MemorySystem {
             if e.presence.test(line) {
                 Resolution::Replay { lkey, idx, t: t_bt }
             } else {
-                Resolution::Fetch { lkey, idx, perms: e.perms, t: t_bt }
+                Resolution::Fetch {
+                    lkey,
+                    idx,
+                    perms: e.perms,
+                    t: t_bt,
+                }
             }
         } else {
             // This virtual page becomes the physical page's leading VA.
@@ -258,7 +277,12 @@ impl MemorySystem {
                 self.fbt.entry_mut(idx).written = true;
             }
             let lkey = LineKey::new(a.asid, vpn.raw() * LINES_PER_PAGE + line as u64);
-            Resolution::Fetch { lkey, idx, perms: page_perms, t: t_bt }
+            Resolution::Fetch {
+                lkey,
+                idx,
+                perms: page_perms,
+                t: t_bt,
+            }
         }
     }
 
@@ -297,11 +321,20 @@ impl MemorySystem {
     /// Inserts into the virtual L2, keeping the BT's presence
     /// information inclusive: the victim's bit clears, and dirty
     /// victims write back using the BT's physical translation.
-    pub(super) fn insert_l2_virtual(&mut self, key: LineKey, perms: Perms, dirty: bool, now: Cycle) {
+    pub(super) fn insert_l2_virtual(
+        &mut self,
+        key: LineKey,
+        perms: Perms,
+        dirty: bool,
+        now: Cycle,
+    ) {
         if let Some(victim) = self.l2.insert(key, perms, dirty, now) {
             let v_vpn = Vpn::new(victim.key.page());
             if let Some(idx) = self.fbt.lookup_va(victim.key.asid, v_vpn) {
-                self.fbt.entry_mut(idx).presence.clear(victim.key.line_in_page());
+                self.fbt
+                    .entry_mut(idx)
+                    .presence
+                    .clear(victim.key.line_in_page());
             } else {
                 debug_assert!(false, "L2 victim {:?} has no FBT entry", victim.key);
             }
@@ -343,7 +376,9 @@ impl MemorySystem {
                 lt.l2.record_line(l);
             }
         }
-        self.counters.fbt_evict_line_invals.add(removed.len() as u64);
+        self.counters
+            .fbt_evict_line_invals
+            .add(removed.len() as u64);
 
         // Broadcast to the L1 invalidation filters.
         for cu in 0..self.cfg.n_cus {
@@ -387,7 +422,10 @@ mod tests {
     }
 
     fn write(r: &VRange, off: u64, cu: usize, at: u64) -> LineAccess {
-        LineAccess { is_write: true, ..read(r, off, cu, at) }
+        LineAccess {
+            is_write: true,
+            ..read(r, off, cu, at)
+        }
     }
 
     #[test]
@@ -403,7 +441,11 @@ mod tests {
         // L2 hit from another CU.
         let t2 = mem.access(read(&r, 0, 5, t1.done_at.raw()), &os);
         assert!(t2.fault.is_none());
-        assert_eq!(mem.iommu.stats().requests.get(), after_cold, "hits are filtered");
+        assert_eq!(
+            mem.iommu.stats().requests.get(),
+            after_cold,
+            "hits are filtered"
+        );
         assert_eq!(mem.counters().filtered_at_l1.get(), 1);
         assert_eq!(mem.counters().filtered_at_l2.get(), 1);
         mem.check_virtual_invariants();
@@ -497,7 +539,10 @@ mod tests {
         }
         assert_eq!(mem.counters().synonym_replays.get(), 1, "no more replays");
         assert!(mem.counters().synonym_remaps.get() >= 4);
-        assert_eq!(mem.counters().filtered_at_l1.get() + mem.counters().filtered_at_l2.get(), 4);
+        assert_eq!(
+            mem.counters().filtered_at_l1.get() + mem.counters().filtered_at_l2.get(),
+            4
+        );
         mem.check_virtual_invariants();
     }
 
@@ -532,7 +577,11 @@ mod tests {
         for _ in 0..3 {
             t = mem.access(read(&alias, 0, 1, t), &os).done_at.raw();
         }
-        assert_eq!(mem.counters().synonym_replays.get(), 3, "non-leading accesses never cache");
+        assert_eq!(
+            mem.counters().synonym_replays.get(),
+            3,
+            "non-leading accesses never cache"
+        );
     }
 
     #[test]
@@ -584,7 +633,10 @@ mod tests {
         for pass in 0..2 {
             for p in 0..32u64 {
                 let off = p * PAGE_BYTES + pass * 256;
-                t = mem.access(read(&r, off, (p % 4) as usize, t), &os).done_at.raw();
+                t = mem
+                    .access(read(&r, off, (p % 4) as usize, t), &os)
+                    .done_at
+                    .raw();
             }
         }
         assert!(
@@ -602,7 +654,10 @@ mod tests {
         let mut mem = MemorySystem::new(cfg);
         let mut t = 0;
         for p in 0..64u64 {
-            t = mem.access(read(&r, p * PAGE_BYTES, 0, t), &os).done_at.raw();
+            t = mem
+                .access(read(&r, p * PAGE_BYTES, 0, t), &os)
+                .done_at
+                .raw();
         }
         assert!(mem.fbt.stats().evictions.get() > 0);
         assert!(mem.counters().fbt_evict_line_invals.get() > 0);
@@ -621,7 +676,10 @@ mod tests {
         for p in 0..512u64 {
             for l in 0..8u64 {
                 t = mem
-                    .access(read(&r, p * PAGE_BYTES + l * 512, (p % 16) as usize, t), &os)
+                    .access(
+                        read(&r, p * PAGE_BYTES + l * 512, (p % 16) as usize, t),
+                        &os,
+                    )
                     .done_at
                     .raw();
             }
@@ -640,11 +698,23 @@ mod tests {
         assert_eq!(r1.start(), r2.start());
         let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
         let a = mem.access(
-            LineAccess { cu: 0, asid: p1.asid(), vaddr: r1.start(), is_write: false, at: Cycle::new(0) },
+            LineAccess {
+                cu: 0,
+                asid: p1.asid(),
+                vaddr: r1.start(),
+                is_write: false,
+                at: Cycle::new(0),
+            },
             &os,
         );
         let b = mem.access(
-            LineAccess { cu: 1, asid: p2.asid(), vaddr: r2.start(), is_write: false, at: a.done_at },
+            LineAccess {
+                cu: 1,
+                asid: p2.asid(),
+                vaddr: r2.start(),
+                is_write: false,
+                at: a.done_at,
+            },
             &os,
         );
         assert!(b.fault.is_none());
@@ -664,11 +734,23 @@ mod tests {
         let shared = os.mmap_shared(p2, p1, r1).unwrap();
         let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
         let a = mem.access(
-            LineAccess { cu: 0, asid: p1.asid(), vaddr: r1.start(), is_write: false, at: Cycle::new(0) },
+            LineAccess {
+                cu: 0,
+                asid: p1.asid(),
+                vaddr: r1.start(),
+                is_write: false,
+                at: Cycle::new(0),
+            },
             &os,
         );
         let b = mem.access(
-            LineAccess { cu: 1, asid: p2.asid(), vaddr: shared.start(), is_write: false, at: a.done_at },
+            LineAccess {
+                cu: 1,
+                asid: p2.asid(),
+                vaddr: shared.start(),
+                is_write: false,
+                at: a.done_at,
+            },
             &os,
         );
         assert!(b.fault.is_none());

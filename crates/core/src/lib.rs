@@ -70,10 +70,10 @@ pub mod remap;
 pub mod report;
 
 pub use bitvec::Presence;
-pub use energy::{EnergyEstimate, EnergyModel};
 pub use config::{Latencies, MmuDesign, SynonymPolicy, SystemConfig};
+pub use energy::{EnergyEstimate, EnergyModel};
 pub use fbt::{BtEntry, BtIndex, Fbt, FbtConfig, LeadingVa};
 pub use hierarchy::coherence::ProbeResponse;
-pub use hierarchy::{AccessFault, AccessResult, LineAccess, Lifetimes, MemorySystem};
+pub use hierarchy::{AccessFault, AccessResult, Lifetimes, LineAccess, MemorySystem};
 pub use remap::{RemapConfig, RemapTable};
 pub use report::{HierCounters, MemReport};

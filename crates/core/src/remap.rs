@@ -20,7 +20,7 @@ use gvc_mem::{Asid, Vpn};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the per-CU synonym remapping tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RemapConfig {
     /// Entries per CU (small: synonym pages are few).
     pub entries: usize,
@@ -117,7 +117,11 @@ impl RemapTable {
     pub fn install(&mut self, asid: Asid, vpn: Vpn, leading: LeadingVa) {
         self.use_clock += 1;
         let clock = self.use_clock;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.asid == asid && e.vpn == vpn) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.asid == asid && e.vpn == vpn)
+        {
             e.leading = leading;
             e.last_use = clock;
             return;
@@ -133,7 +137,12 @@ impl RemapTable {
                 .expect("nonempty");
             self.entries.swap_remove(victim);
         }
-        self.entries.push(Entry { asid, vpn, leading, last_use: clock });
+        self.entries.push(Entry {
+            asid,
+            vpn,
+            leading,
+            last_use: clock,
+        });
     }
 
     /// Drops every mapping (on shootdowns).
@@ -157,7 +166,10 @@ mod tests {
     use super::*;
 
     fn lead(vpn: u64) -> LeadingVa {
-        LeadingVa { asid: Asid(0), vpn: Vpn::new(vpn) }
+        LeadingVa {
+            asid: Asid(0),
+            vpn: Vpn::new(vpn),
+        }
     }
 
     #[test]

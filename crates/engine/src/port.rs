@@ -106,7 +106,7 @@ impl ThroughputPort {
         } else if self.used_at_head < width {
             self.used_at_head += 1;
         } else {
-            self.head = self.head + crate::time::Duration::new(1);
+            self.head += crate::time::Duration::new(1);
             self.used_at_head = 1;
         }
         self.queue_delay_total += self.head.raw().saturating_sub(arrival.raw());
@@ -199,7 +199,7 @@ impl TokenPort {
         let tail = remaining % self.bytes_per_cycle;
         let mut end = self.head + crate::time::Duration::new(full_cycles);
         if tail > 0 {
-            end = end + crate::time::Duration::new(1);
+            end += crate::time::Duration::new(1);
             self.head = end;
             self.used_at_head = tail;
         } else {

@@ -2,13 +2,14 @@
 //!
 //! Every stochastic choice in the workspace (graph generation, address
 //! layout randomization, probe injection) flows through [`SimRng`], a
-//! thin wrapper over a seeded [`rand::rngs::SmallRng`]. Simulations with
-//! the same seed are bit-for-bit reproducible.
+//! self-contained xoshiro256++ generator seeded through SplitMix64.
+//! Simulations with the same seed are bit-for-bit reproducible on any
+//! platform — the generator has no dependency on external crates or
+//! process state, which is what lets the benchmark harness promise
+//! byte-identical output regardless of how many worker threads run
+//! the sweep.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seeded, deterministic random-number generator.
+/// A seeded, deterministic random-number generator (xoshiro256++).
 ///
 /// ```
 /// use gvc_engine::SimRng;
@@ -19,15 +20,34 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     base_seed: u64,
+}
+
+/// One SplitMix64 step; used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
+        // Expand the seed through SplitMix64, as xoshiro's authors
+        // recommend, so low-entropy seeds still fill all 256 state
+        // bits.
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state,
             base_seed: seed,
         }
     }
@@ -36,15 +56,23 @@ impl SimRng {
     /// `stream` values produce independent sequences.
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the stream id through SplitMix64 so nearby ids decorrelate.
-        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SimRng::seeded(self.base_seed.wrapping_add(z ^ (z >> 31)))
+        let mut z = stream;
+        let mixed = splitmix64(&mut z);
+        SimRng::seeded(self.base_seed.wrapping_add(mixed))
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -54,7 +82,17 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be nonzero");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift with rejection: unbiased for every
+        // bound.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            if (m as u64) < threshold {
+                continue;
+            }
+            return (m >> 64) as u64;
+        }
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -64,17 +102,18 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard [0, 1) dyadic lattice.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Picks a uniformly random element of `items`.
@@ -154,5 +193,29 @@ mod tests {
             }
         }
         assert!((4000..6000).contains(&hits));
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::seeded(11);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn values_look_uniform_across_buckets() {
+        let mut r = SimRng::seeded(3);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (9_000..11_000).contains(&b),
+                "bucket count {b} outside 10k ± 1k"
+            );
+        }
     }
 }

@@ -51,6 +51,12 @@ impl Counter {
         self.0
     }
 
+    /// Folds another counter's events into this one. Equivalent to
+    /// having counted both event streams on one counter.
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
+
     /// This counter as a fraction of `denom`; 0.0 when `denom` is zero.
     pub fn ratio_of(self, denom: u64) -> f64 {
         if denom == 0 {
@@ -109,6 +115,29 @@ impl RunningStats {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+    }
+
+    /// Folds another accumulator into this one (Chan et al.'s parallel
+    /// variance combination). The result matches pushing both sample
+    /// streams through a single accumulator, up to floating-point
+    /// rounding.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of samples.
@@ -185,6 +214,20 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Folds another histogram into this one by elementwise bucket
+    /// addition. Exactly equivalent to recording both value streams
+    /// into a single histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -209,9 +252,10 @@ impl Histogram {
 /// 1 µs sampling periods, and summarizes the per-interval counts.
 ///
 /// Events are reported with their cycle timestamps via
-/// [`IntervalSampler::record`]; timestamps may arrive out of order within
-/// a bounded window (the sampler keeps all interval counts and finalizes
-/// on [`IntervalSampler::finish`]).
+/// [`IntervalSampler::record`]; timestamps may arrive in any order —
+/// each event is bucketed by its own timestamp, so arbitrarily late or
+/// early reports land in the right interval. The sampler keeps every
+/// interval count and finalizes on [`IntervalSampler::finish`].
 ///
 /// ```
 /// use gvc_engine::{Cycle, Duration, IntervalSampler};
@@ -263,6 +307,29 @@ impl IntervalSampler {
         self.total += n;
     }
 
+    /// Folds another sampler's events into this one by elementwise
+    /// interval addition — exactly equivalent to recording both event
+    /// streams into a single sampler, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samplers were configured with different interval
+    /// lengths (their buckets would not line up).
+    pub fn merge(&mut self, other: &IntervalSampler) {
+        assert_eq!(
+            self.interval.raw(),
+            other.interval.raw(),
+            "cannot merge samplers with different intervals"
+        );
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Total events recorded so far.
     pub fn total(&self) -> u64 {
         self.total
@@ -277,7 +344,7 @@ impl IntervalSampler {
     /// per-interval counts over every interval in `[0, end)` — including
     /// empty ones, which matter for the mean.
     pub fn finish(&self, end: Cycle) -> IntervalSummary {
-        let n_intervals = ((end.raw() + self.interval.raw() - 1) / self.interval.raw()).max(1) as usize;
+        let n_intervals = end.raw().div_ceil(self.interval.raw()).max(1) as usize;
         let mut stats = RunningStats::new();
         for i in 0..n_intervals {
             let c = self.counts.get(i).copied().unwrap_or(0);
@@ -379,6 +446,14 @@ impl Cdf {
         self.sorted = false;
     }
 
+    /// Folds another CDF's samples into this one. The combined
+    /// distribution is identical to pushing both sample streams into a
+    /// single builder.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -391,7 +466,8 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }
@@ -516,5 +592,102 @@ mod tests {
         let mut c = Cdf::new();
         c.push(1.0);
         let _ = c.quantile(1.5);
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::new();
+        a.add(3);
+        let mut b = Counter::new();
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_single_stream() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0, 9.0];
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..3] {
+            left.push(x);
+        }
+        for &x in &xs[3..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.population_std_dev() - whole.population_std_dev()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn running_stats_merge_empty_sides() {
+        let mut empty = RunningStats::new();
+        let mut s = RunningStats::new();
+        s.push(2.0);
+        s.merge(&RunningStats::new());
+        assert_eq!(s.count(), 1);
+        empty.merge(&s);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[2], 1);
+        assert_eq!(a.buckets()[7], 1);
+        assert!((a.mean() - 103.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_sampler_merge_matches_single_stream() {
+        let mut a = IntervalSampler::new(Duration::new(100));
+        let mut b = IntervalSampler::new(Duration::new(100));
+        a.record_n(Cycle::new(10), 2);
+        b.record(Cycle::new(250));
+        a.merge(&b);
+        let r = a.finish(Cycle::new(300));
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.intervals(), 3);
+        assert_eq!(r.max_per_interval(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn interval_sampler_merge_rejects_mismatched_intervals() {
+        let mut a = IntervalSampler::new(Duration::new(100));
+        let b = IntervalSampler::new(Duration::new(200));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn cdf_merge_combines_samples() {
+        let mut a = Cdf::new();
+        let mut b = Cdf::new();
+        for v in 1..=50 {
+            a.push(v as f64);
+        }
+        for v in 51..=100 {
+            b.push(v as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.quantile(0.9), 90.0);
+        assert_eq!(a.fraction_at_or_below(50.0), 0.5);
     }
 }

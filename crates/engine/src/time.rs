@@ -21,7 +21,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t, Cycle::new(120));
 /// assert_eq!(t - Cycle::new(100), Duration::new(20));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -67,7 +69,9 @@ impl fmt::Display for Cycle {
 }
 
 /// A span of simulated time, measured in clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -158,7 +162,9 @@ impl Frequency {
     /// Panics if `mhz` is zero.
     pub fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0, "frequency must be nonzero");
-        Frequency { hz: mhz * 1_000_000 }
+        Frequency {
+            hz: mhz * 1_000_000,
+        }
     }
 
     /// Creates a frequency from gigahertz.
@@ -200,7 +206,7 @@ impl Default for Frequency {
 
 impl fmt::Display for Frequency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hz % 1_000_000_000 == 0 {
+        if self.hz.is_multiple_of(1_000_000_000) {
             write!(f, "{} GHz", self.hz / 1_000_000_000)
         } else {
             write!(f, "{} MHz", self.hz / 1_000_000)
@@ -224,8 +230,14 @@ mod tests {
 
     #[test]
     fn saturating_since_clamps() {
-        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), Duration::ZERO);
-        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), Duration::new(4));
+        assert_eq!(
+            Cycle::new(5).saturating_since(Cycle::new(9)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Cycle::new(9).saturating_since(Cycle::new(5)),
+            Duration::new(4)
+        );
     }
 
     #[test]

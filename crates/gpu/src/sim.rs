@@ -215,9 +215,9 @@ impl GpuSim {
                 (0..n_cus).map(|_| Outstanding::default()).collect();
 
             let mut queue: EventQueue<WaveReady> = EventQueue::new();
-            for cu in 0..n_cus {
+            for cu_pending in pending.iter_mut() {
                 for _ in 0..self.gpu.max_waves_per_cu {
-                    match pending[cu].pop_front() {
+                    match cu_pending.pop_front() {
                         Some(id) => queue.schedule_at(start, WaveReady(id)),
                         None => break,
                     }
@@ -271,10 +271,16 @@ impl GpuSim {
                                     // One line request leaves the
                                     // coalescer per cycle, subject to
                                     // the MSHR admission limit.
-                                    let at = outstanding[cu]
-                                        .admit(issue + Duration::new(i as u64), cap);
+                                    let at =
+                                        outstanding[cu].admit(issue + Duration::new(i as u64), cap);
                                     let res = self.mem.access(
-                                        LineAccess { cu, asid, vaddr: line, is_write, at },
+                                        LineAccess {
+                                            cu,
+                                            asid,
+                                            vaddr: line,
+                                            is_write,
+                                            at,
+                                        },
                                         os,
                                     );
                                     if res.fault.is_some() {
@@ -325,13 +331,20 @@ mod tests {
         (os, pid, r)
     }
 
-    fn streaming_kernel(r: &VRange, asid: gvc_mem::Asid, waves: usize, ops_per_wave: usize) -> Kernel {
+    fn streaming_kernel(
+        r: &VRange,
+        asid: gvc_mem::Asid,
+        waves: usize,
+        ops_per_wave: usize,
+    ) -> Kernel {
         let mut b = Kernel::builder("stream", asid);
         for w in 0..waves {
             let mut ops = Vec::new();
             for o in 0..ops_per_wave {
                 let base = ((w * ops_per_wave + o) * 32 * 4) as u64 % (r.bytes() - 128);
-                let addrs: Vec<_> = (0..32).map(|l| r.addr_at((base + l * 4) % r.bytes())).collect();
+                let addrs: Vec<_> = (0..32)
+                    .map(|l| r.addr_at((base + l * 4) % r.bytes()))
+                    .collect();
                 ops.push(WaveOp::read(addrs));
                 ops.push(WaveOp::compute(4));
             }
@@ -360,10 +373,8 @@ mod tests {
         let mk = || streaming_kernel(&r, pid.asid(), 2, 2);
         let one = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
             .run(&mut mk().into_source(), &os);
-        let two = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512()).run(
-            &mut KernelList::new("stream2", vec![mk(), mk()]),
-            &os,
-        );
+        let two = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
+            .run(&mut KernelList::new("stream2", vec![mk(), mk()]), &os);
         assert_eq!(two.kernels, 2);
         assert!(two.cycles > one.cycles);
     }
@@ -382,12 +393,18 @@ mod tests {
             }
             b.build()
         };
-        let unlimited = GpuConfig { max_outstanding_per_cu: usize::MAX, ..GpuConfig::default() };
-        let wide = GpuSim::new(unlimited, SystemConfig::ideal_mmu())
-            .run(&mut mk(32).into_source(), &os);
-        let narrow_cfg = GpuConfig { max_waves_per_cu: 1, ..unlimited };
-        let narrow = GpuSim::new(narrow_cfg, SystemConfig::ideal_mmu())
-            .run(&mut mk(32).into_source(), &os);
+        let unlimited = GpuConfig {
+            max_outstanding_per_cu: usize::MAX,
+            ..GpuConfig::default()
+        };
+        let wide =
+            GpuSim::new(unlimited, SystemConfig::ideal_mmu()).run(&mut mk(32).into_source(), &os);
+        let narrow_cfg = GpuConfig {
+            max_waves_per_cu: 1,
+            ..unlimited
+        };
+        let narrow =
+            GpuSim::new(narrow_cfg, SystemConfig::ideal_mmu()).run(&mut mk(32).into_source(), &os);
         assert!(
             wide.cycles <= narrow.cycles,
             "more resident waves must not slow execution"
@@ -398,7 +415,11 @@ mod tests {
     fn scratch_and_compute_do_not_touch_memory() {
         let (os, pid, _r) = setup(1);
         let k = Kernel::builder("scratch", pid.asid())
-            .wave(vec![WaveOp::scratch(64), WaveOp::compute(100), WaveOp::scratch(8)])
+            .wave(vec![
+                WaveOp::scratch(64),
+                WaveOp::compute(100),
+                WaveOp::scratch(8),
+            ])
             .build();
         let rep = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
             .run(&mut k.into_source(), &os);

@@ -21,7 +21,9 @@ const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
 
 /// An address-space identifier distinguishing processes (homonym
 /// disambiguation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Asid(pub u16);
 
 impl fmt::Display for Asid {
@@ -41,19 +43,27 @@ impl fmt::Display for Asid {
 /// assert_eq!(va.line_in_page(), 1);
 /// assert_eq!(va.line_base().raw(), PAGE_BYTES + 128);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VAddr(u64);
 
 /// A physical byte address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PAddr(u64);
 
 /// A virtual page number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Vpn(u64);
 
 /// A physical page number (frame number).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ppn(u64);
 
 macro_rules! addr_common {
@@ -220,7 +230,10 @@ impl VRange {
     /// positive multiple of the page size.
     pub fn new(start: VAddr, bytes: u64) -> Self {
         assert_eq!(start.page_offset(), 0, "range start must be page aligned");
-        assert!(bytes > 0 && bytes % PAGE_BYTES == 0, "range length must be a positive page multiple");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(PAGE_BYTES),
+            "range length must be a positive page multiple"
+        );
         VRange { start, bytes }
     }
 

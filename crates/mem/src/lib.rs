@@ -48,7 +48,7 @@ pub mod perms;
 pub mod phys;
 pub mod space;
 
-pub use addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn, LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES};
+pub use addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
 pub use os::{OsLite, ProcessId, Shootdown};
 pub use page_table::{PageTable, WalkOutcome, WalkPath, PAGES_PER_LARGE, PT_LEVELS};
 pub use perms::Perms;

@@ -83,7 +83,9 @@ impl OsLite {
     }
 
     fn space_mut(&mut self, pid: ProcessId) -> Result<&mut AddressSpace, MemError> {
-        self.spaces.get_mut(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))
+        self.spaces
+            .get_mut(pid.0 as usize)
+            .ok_or(MemError::NoSuchProcess(pid.0))
     }
 
     /// Split-borrow helper: the space and the physical memory at once.
@@ -91,7 +93,10 @@ impl OsLite {
         &mut self,
         pid: ProcessId,
     ) -> Result<(&mut AddressSpace, &mut PhysMem), MemError> {
-        let space = self.spaces.get_mut(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))?;
+        let space = self
+            .spaces
+            .get_mut(pid.0 as usize)
+            .ok_or(MemError::NoSuchProcess(pid.0))?;
         Ok((space, &mut self.phys))
     }
 
@@ -101,7 +106,9 @@ impl OsLite {
     ///
     /// Returns [`MemError::NoSuchProcess`] for an unknown id.
     pub fn space(&self, pid: ProcessId) -> Result<&AddressSpace, MemError> {
-        self.spaces.get(pid.0 as usize).ok_or(MemError::NoSuchProcess(pid.0))
+        self.spaces
+            .get(pid.0 as usize)
+            .ok_or(MemError::NoSuchProcess(pid.0))
     }
 
     /// The simulated physical memory.
@@ -198,13 +205,19 @@ impl OsLite {
     ///
     /// Returns [`MemError::OutOfFrames`] if contiguous memory is
     /// exhausted, or [`MemError::NoSuchProcess`].
-    pub fn mmap_large(&mut self, pid: ProcessId, count: u64, perms: Perms) -> Result<VRange, MemError> {
+    pub fn mmap_large(
+        &mut self,
+        pid: ProcessId,
+        count: u64,
+        perms: Perms,
+    ) -> Result<VRange, MemError> {
         if count == 0 {
             return Err(MemError::BadArgument("count must be positive"));
         }
-        let range = self
-            .space_mut(pid)?
-            .reserve_aligned(count * PAGES_PER_LARGE * crate::addr::PAGE_BYTES, PAGES_PER_LARGE);
+        let range = self.space_mut(pid)?.reserve_aligned(
+            count * PAGES_PER_LARGE * crate::addr::PAGE_BYTES,
+            PAGES_PER_LARGE,
+        );
         for i in 0..count {
             let base = self.phys.alloc_contiguous(PAGES_PER_LARGE)?;
             let vpn = Vpn::new(range.start().vpn().raw() + i * PAGES_PER_LARGE);
@@ -228,7 +241,9 @@ impl OsLite {
         self.large_regions.remove(&(pid.0, vpn.raw()));
         // Contiguous blocks are not refcounted (no aliasing support);
         // frames are intentionally retired with the mapping.
-        let vpns = (0..PAGES_PER_LARGE).map(|i| Vpn::new(vpn.raw() + i)).collect();
+        let vpns = (0..PAGES_PER_LARGE)
+            .map(|i| Vpn::new(vpn.raw() + i))
+            .collect();
         Ok(Shootdown::Pages { asid, vpns })
     }
 
@@ -262,7 +277,12 @@ impl OsLite {
     /// # Errors
     ///
     /// Returns [`MemError::NotMapped`] if any page is unmapped.
-    pub fn mprotect(&mut self, pid: ProcessId, range: VRange, perms: Perms) -> Result<Shootdown, MemError> {
+    pub fn mprotect(
+        &mut self,
+        pid: ProcessId,
+        range: VRange,
+        perms: Perms,
+    ) -> Result<Shootdown, MemError> {
         let asid = self.space(pid)?.asid();
         let mut vpns = Vec::with_capacity(range.page_count() as usize);
         for vpn in range.pages() {
@@ -361,7 +381,9 @@ mod tests {
         let mut os = OsLite::new(8 << 20);
         let pid = os.create_process();
         let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
-        let ro = os.mmap_alias_with(pid, pid, r, Some(Perms::READ_ONLY)).unwrap();
+        let ro = os
+            .mmap_alias_with(pid, pid, r, Some(Perms::READ_ONLY))
+            .unwrap();
         let (_, perms) = os.translate(pid, ro.start()).unwrap();
         assert_eq!(perms, Perms::READ_ONLY);
     }
@@ -435,13 +457,21 @@ mod tests {
         let pid = os.create_process();
         let r = os.mmap_large(pid, 2, Perms::READ_WRITE).unwrap();
         assert_eq!(r.page_count(), 2 * PAGES_PER_LARGE);
-        assert_eq!(r.start().vpn().raw() % PAGES_PER_LARGE, 0, "2 MB aligned VA");
+        assert_eq!(
+            r.start().vpn().raw() % PAGES_PER_LARGE,
+            0,
+            "2 MB aligned VA"
+        );
         // Subpages translate to contiguous frames with 3-level walks.
         let (out, path) = os.walk(pid, Vpn::new(r.start().vpn().raw() + 7)).unwrap();
         assert_eq!(path.accesses(), 3);
-        let WalkOutcome::Mapped { ppn, .. } = out else { panic!("mapped") };
+        let WalkOutcome::Mapped { ppn, .. } = out else {
+            panic!("mapped")
+        };
         let (out0, _) = os.walk(pid, r.start().vpn()).unwrap();
-        let WalkOutcome::Mapped { ppn: base, .. } = out0 else { panic!("mapped") };
+        let WalkOutcome::Mapped { ppn: base, .. } = out0 else {
+            panic!("mapped")
+        };
         assert_eq!(ppn.raw(), base.raw() + 7);
         assert_eq!(base.raw() % PAGES_PER_LARGE, 0, "2 MB aligned PA");
     }

@@ -32,7 +32,9 @@ const PTE_PPN_MASK: u64 = (1 << 36) - 1;
 pub const PAGES_PER_LARGE: u64 = 512;
 
 fn pte_encode(ppn: Ppn, perms: Perms) -> u64 {
-    PTE_PRESENT | ((perms.bits() as u64) << PTE_PERM_SHIFT) | ((ppn.raw() & PTE_PPN_MASK) << PTE_PPN_SHIFT)
+    PTE_PRESENT
+        | ((perms.bits() as u64) << PTE_PERM_SHIFT)
+        | ((ppn.raw() & PTE_PPN_MASK) << PTE_PPN_SHIFT)
 }
 
 fn pte_encode_large(ppn: Ppn, perms: Perms) -> u64 {
@@ -117,7 +119,10 @@ impl PageTable {
     /// the root.
     pub fn new(pm: &mut PhysMem) -> Result<Self, MemError> {
         let root = pm.alloc_frame()?;
-        Ok(PageTable { root, mapped_pages: 0 })
+        Ok(PageTable {
+            root,
+            mapped_pages: 0,
+        })
     }
 
     /// The root frame (CR3 equivalent).
@@ -147,7 +152,9 @@ impl PageTable {
     /// paper's §4.3 subpage optimization.
     pub fn walk(&self, pm: &PhysMem, vpn: Vpn) -> (WalkOutcome, WalkPath) {
         let mut node = self.root;
-        let mut path = WalkPath { entries: Vec::with_capacity(PT_LEVELS) };
+        let mut path = WalkPath {
+            entries: Vec::with_capacity(PT_LEVELS),
+        };
         for level in 0..PT_LEVELS {
             let ea = Self::entry_addr(node, Self::index_at(vpn, level));
             path.entries.push(ea);
@@ -167,7 +174,10 @@ impl PageTable {
             }
             if level == PT_LEVELS - 1 {
                 return (
-                    WalkOutcome::Mapped { ppn: pte_ppn(pte), perms: pte_perms(pte) },
+                    WalkOutcome::Mapped {
+                        ppn: pte_ppn(pte),
+                        perms: pte_perms(pte),
+                    },
                     path,
                 );
             }
@@ -186,8 +196,15 @@ impl PageTable {
     /// [`MemError::AlreadyMapped`] if the slot is occupied, or
     /// [`MemError::OutOfFrames`] if an intermediate node cannot be
     /// allocated.
-    pub fn map_large(&mut self, pm: &mut PhysMem, vpn: Vpn, ppn: Ppn, perms: Perms) -> Result<(), MemError> {
-        if vpn.raw() % PAGES_PER_LARGE != 0 || ppn.raw() % PAGES_PER_LARGE != 0 {
+    pub fn map_large(
+        &mut self,
+        pm: &mut PhysMem,
+        vpn: Vpn,
+        ppn: Ppn,
+        perms: Perms,
+    ) -> Result<(), MemError> {
+        if !vpn.raw().is_multiple_of(PAGES_PER_LARGE) || !ppn.raw().is_multiple_of(PAGES_PER_LARGE)
+        {
             return Err(MemError::BadArgument("large mappings must be 2 MB aligned"));
         }
         let mut node = self.root;
@@ -218,7 +235,7 @@ impl PageTable {
     /// Returns [`MemError::NotMapped`] if no large mapping is present
     /// at `vpn`, or [`MemError::BadArgument`] on misalignment.
     pub fn unmap_large(&mut self, pm: &mut PhysMem, vpn: Vpn) -> Result<Ppn, MemError> {
-        if vpn.raw() % PAGES_PER_LARGE != 0 {
+        if !vpn.raw().is_multiple_of(PAGES_PER_LARGE) {
             return Err(MemError::BadArgument("large mappings must be 2 MB aligned"));
         }
         let mut node = self.root;
@@ -256,7 +273,13 @@ impl PageTable {
     /// Returns [`MemError::AlreadyMapped`] if the page is mapped, or
     /// [`MemError::OutOfFrames`] if an intermediate node cannot be
     /// allocated.
-    pub fn map(&mut self, pm: &mut PhysMem, vpn: Vpn, ppn: Ppn, perms: Perms) -> Result<(), MemError> {
+    pub fn map(
+        &mut self,
+        pm: &mut PhysMem,
+        vpn: Vpn,
+        ppn: Ppn,
+        perms: Perms,
+    ) -> Result<(), MemError> {
         let mut node = self.root;
         for level in 0..PT_LEVELS - 1 {
             let ea = Self::entry_addr(node, Self::index_at(vpn, level));
@@ -286,7 +309,9 @@ impl PageTable {
     ///
     /// Returns [`MemError::NotMapped`] if the page is not mapped.
     pub fn unmap(&mut self, pm: &mut PhysMem, vpn: Vpn) -> Result<Ppn, MemError> {
-        let leaf = self.leaf_addr(pm, vpn).ok_or(MemError::NotMapped(vpn.base()))?;
+        let leaf = self
+            .leaf_addr(pm, vpn)
+            .ok_or(MemError::NotMapped(vpn.base()))?;
         let pte = pm.read_u64(leaf);
         if !pte_present(pte) {
             return Err(MemError::NotMapped(vpn.base()));
@@ -302,7 +327,9 @@ impl PageTable {
     ///
     /// Returns [`MemError::NotMapped`] if the page is not mapped.
     pub fn protect(&mut self, pm: &mut PhysMem, vpn: Vpn, perms: Perms) -> Result<(), MemError> {
-        let leaf = self.leaf_addr(pm, vpn).ok_or(MemError::NotMapped(vpn.base()))?;
+        let leaf = self
+            .leaf_addr(pm, vpn)
+            .ok_or(MemError::NotMapped(vpn.base()))?;
         let pte = pm.read_u64(leaf);
         if !pte_present(pte) {
             return Err(MemError::NotMapped(vpn.base()));
@@ -339,9 +366,16 @@ mod tests {
     fn map_then_walk_finds_translation() {
         let (mut pm, mut pt) = setup();
         let frame = pm.alloc_frame().unwrap();
-        pt.map(&mut pm, Vpn::new(0xABCDE), frame, Perms::READ_ONLY).unwrap();
+        pt.map(&mut pm, Vpn::new(0xABCDE), frame, Perms::READ_ONLY)
+            .unwrap();
         let (out, path) = pt.walk(&pm, Vpn::new(0xABCDE));
-        assert_eq!(out, WalkOutcome::Mapped { ppn: frame, perms: Perms::READ_ONLY });
+        assert_eq!(
+            out,
+            WalkOutcome::Mapped {
+                ppn: frame,
+                perms: Perms::READ_ONLY
+            }
+        );
         assert_eq!(path.accesses(), PT_LEVELS);
         assert_eq!(pt.mapped_pages(), 1);
     }
@@ -359,8 +393,10 @@ mod tests {
         let (mut pm, mut pt) = setup();
         let f1 = pm.alloc_frame().unwrap();
         let f2 = pm.alloc_frame().unwrap();
-        pt.map(&mut pm, Vpn::new(0x100), f1, Perms::READ_WRITE).unwrap();
-        pt.map(&mut pm, Vpn::new(0x101), f2, Perms::READ_WRITE).unwrap();
+        pt.map(&mut pm, Vpn::new(0x100), f1, Perms::READ_WRITE)
+            .unwrap();
+        pt.map(&mut pm, Vpn::new(0x101), f2, Perms::READ_WRITE)
+            .unwrap();
         let (_, p1) = pt.walk(&pm, Vpn::new(0x100));
         let (_, p2) = pt.walk(&pm, Vpn::new(0x101));
         // Same root/mid nodes; only the leaf entry differs.
@@ -374,7 +410,8 @@ mod tests {
         let f1 = pm.alloc_frame().unwrap();
         let f2 = pm.alloc_frame().unwrap();
         pt.map(&mut pm, Vpn::new(0), f1, Perms::READ_WRITE).unwrap();
-        pt.map(&mut pm, Vpn::new(1 << 27), f2, Perms::READ_WRITE).unwrap();
+        pt.map(&mut pm, Vpn::new(1 << 27), f2, Perms::READ_WRITE)
+            .unwrap();
         let (_, p1) = pt.walk(&pm, Vpn::new(0));
         let (_, p2) = pt.walk(&pm, Vpn::new(1 << 27));
         assert_eq!(p1.entries[0].ppn(), p2.entries[0].ppn(), "same root frame");
@@ -401,7 +438,10 @@ mod tests {
         assert_eq!(pt.unmap(&mut pm, Vpn::new(9)).unwrap(), f);
         assert_eq!(pt.walk(&pm, Vpn::new(9)).0, WalkOutcome::Fault);
         assert_eq!(pt.mapped_pages(), 0);
-        assert!(matches!(pt.unmap(&mut pm, Vpn::new(9)), Err(MemError::NotMapped(_))));
+        assert!(matches!(
+            pt.unmap(&mut pm, Vpn::new(9)),
+            Err(MemError::NotMapped(_))
+        ));
     }
 
     #[test]
@@ -421,14 +461,18 @@ mod tests {
     fn large_page_walk_is_one_level_shorter() {
         let (mut pm, mut pt) = setup();
         let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
-        pt.map_large(&mut pm, Vpn::new(512), base, Perms::READ_WRITE).unwrap();
+        pt.map_large(&mut pm, Vpn::new(512), base, Perms::READ_WRITE)
+            .unwrap();
         assert_eq!(pt.mapped_pages(), PAGES_PER_LARGE);
         // Any subpage translates to its own subframe with 3 accesses.
         let (out, path) = pt.walk(&pm, Vpn::new(512 + 37));
         assert_eq!(path.accesses(), 3);
         assert_eq!(
             out,
-            WalkOutcome::Mapped { ppn: Ppn::new(base.raw() + 37), perms: Perms::READ_WRITE }
+            WalkOutcome::Mapped {
+                ppn: Ppn::new(base.raw() + 37),
+                perms: Perms::READ_WRITE
+            }
         );
         let freed = pt.unmap_large(&mut pm, Vpn::new(512)).unwrap();
         assert_eq!(freed, base);
@@ -458,7 +502,8 @@ mod tests {
     fn large_and_base_pages_coexist() {
         let (mut pm, mut pt) = setup();
         let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
-        pt.map_large(&mut pm, Vpn::new(1024), base, Perms::READ_ONLY).unwrap();
+        pt.map_large(&mut pm, Vpn::new(1024), base, Perms::READ_ONLY)
+            .unwrap();
         let f = pm.alloc_frame().unwrap();
         pt.map(&mut pm, Vpn::new(5), f, Perms::READ_WRITE).unwrap();
         assert_eq!(pt.translate(&pm, Vpn::new(5)), Some((f, Perms::READ_WRITE)));

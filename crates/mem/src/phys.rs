@@ -47,7 +47,10 @@ impl PhysMem {
     /// Panics if `bytes` is smaller than one page.
     pub fn new(bytes: u64) -> Self {
         let total_frames = bytes / PAGE_BYTES;
-        assert!(total_frames > 0, "physical memory must hold at least one frame");
+        assert!(
+            total_frames > 0,
+            "physical memory must hold at least one frame"
+        );
         PhysMem {
             total_frames,
             next_fresh: 0,

@@ -149,7 +149,11 @@ impl ProbeInjector {
         } else {
             ProbeKind::Downgrade
         };
-        Some(Probe { paddr: base.offset(offset), kind, at })
+        Some(Probe {
+            paddr: base.offset(offset),
+            kind,
+            at,
+        })
     }
 
     /// Generates the time-ordered probes in `[from, to)`. Returns an

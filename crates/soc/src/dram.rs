@@ -6,7 +6,7 @@ use gvc_mem::LINE_BYTES;
 use serde::{Deserialize, Serialize};
 
 /// DRAM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DramConfig {
     /// Access latency in cycles (row activation + transfer start).
     pub latency: u64,
@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn latency_plus_bandwidth() {
-        let mut d = Dram::new(DramConfig { latency: 100, bytes_per_cycle: 128 });
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            bytes_per_cycle: 128,
+        });
         assert_eq!(d.read_line(Cycle::new(0)), Cycle::new(100));
         // Same-cycle second line queues one cycle of bandwidth.
         assert_eq!(d.read_line(Cycle::new(0)), Cycle::new(101));
@@ -114,7 +117,10 @@ mod tests {
 
     #[test]
     fn writes_do_not_block_demand_reads() {
-        let mut d = Dram::new(DramConfig { latency: 100, bytes_per_cycle: 128 });
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            bytes_per_cycle: 128,
+        });
         // A writeback charged deep in the future (a queued fill time)...
         let wb = d.write_line(Cycle::new(10_000));
         assert_eq!(wb, Cycle::new(10_000), "posted write: no latency charged");

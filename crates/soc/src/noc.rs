@@ -10,7 +10,7 @@ use gvc_engine::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// One-way hop latencies, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NocConfig {
     /// CU ↔ shared-L2 hop (dance-hall).
     pub cu_to_l2: u64,

@@ -22,7 +22,7 @@ use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn, WalkOutcome};
 use serde::{Deserialize, Serialize};
 
 /// IOMMU configuration (Table 1 / Table 2 presets below).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IommuConfig {
     /// Shared TLB organization.
     pub tlb: TlbConfig,
@@ -188,7 +188,7 @@ impl Iommu {
             pwc: Pwc::new(config.pwc),
             sampler: IntervalSampler::new(Duration::new(config.sample_interval)),
             config,
-        stats: IommuStats::default(),
+            stats: IommuStats::default(),
         }
     }
 
@@ -244,7 +244,10 @@ impl Iommu {
             return IommuResponse {
                 service_at,
                 done_at: lookup_done,
-                outcome: IommuOutcome::TlbHit { ppn: entry.ppn, perms: entry.perms },
+                outcome: IommuOutcome::TlbHit {
+                    ppn: entry.ppn,
+                    perms: entry.perms,
+                },
             };
         }
 
@@ -267,7 +270,9 @@ impl Iommu {
         let (walker, start) = self.walkers.acquire(t);
         let (outcome, path) = os.walk_asid(asid, vpn).unwrap_or((
             WalkOutcome::Fault,
-            gvc_mem::WalkPath { entries: Vec::new() },
+            gvc_mem::WalkPath {
+                entries: Vec::new(),
+            },
         ));
         let mut latency = 0u64;
         for (level, pte_addr) in path.entries.iter().enumerate() {
@@ -381,14 +386,21 @@ mod tests {
         let (os, pid, r) = setup(1);
         let mut iommu = Iommu::new(IommuConfig::small());
         let vpn = r.start().vpn();
-        let (ppn, perms) = os.space(pid).unwrap().table().translate(os.phys(), vpn).unwrap();
+        let (ppn, perms) = os
+            .space(pid)
+            .unwrap()
+            .table()
+            .translate(os.phys(), vpn)
+            .unwrap();
         let mut hook = |_a: Asid, _v: Vpn| Some((ppn, perms));
         let resp = iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, Some(&mut hook));
         assert!(matches!(resp.outcome, IommuOutcome::SecondLevelHit { .. }));
         assert_eq!(iommu.stats().walks.get(), 0);
         assert_eq!(
             resp.done_at,
-            Cycle::new(IommuConfig::small().tlb_latency + IommuConfig::small().second_level_latency)
+            Cycle::new(
+                IommuConfig::small().tlb_latency + IommuConfig::small().second_level_latency
+            )
         );
         // And the shared TLB was filled.
         let again = iommu.translate(pid.asid(), vpn, Cycle::new(100), &os, Some(&mut hook));
@@ -400,7 +412,13 @@ mod tests {
         let (os, pid, r) = setup(1);
         let mut iommu = Iommu::new(IommuConfig::small());
         let mut hook = |_a: Asid, _v: Vpn| None;
-        let resp = iommu.translate(pid.asid(), r.start().vpn(), Cycle::new(0), &os, Some(&mut hook));
+        let resp = iommu.translate(
+            pid.asid(),
+            r.start().vpn(),
+            Cycle::new(0),
+            &os,
+            Some(&mut hook),
+        );
         assert!(matches!(resp.outcome, IommuOutcome::Walked { .. }));
         assert_eq!(iommu.stats().second_level_hits.get(), 0);
     }
@@ -422,9 +440,18 @@ mod tests {
         let base = r.start().vpn().raw();
         let first = iommu.translate(pid.asid(), Vpn::new(base), Cycle::new(0), &os, None);
         let cold = first.done_at.raw();
-        let second = iommu.translate(pid.asid(), Vpn::new(base + 1), Cycle::new(10_000), &os, None);
+        let second = iommu.translate(
+            pid.asid(),
+            Vpn::new(base + 1),
+            Cycle::new(10_000),
+            &os,
+            None,
+        );
         let warm = second.done_at.raw() - 10_000;
-        assert!(warm < cold, "PWC must accelerate sibling walks: cold {cold}, warm {warm}");
+        assert!(
+            warm < cold,
+            "PWC must accelerate sibling walks: cold {cold}, warm {warm}"
+        );
     }
 
     #[test]

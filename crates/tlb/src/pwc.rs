@@ -12,7 +12,7 @@ use gvc_mem::PAddr;
 use serde::{Deserialize, Serialize};
 
 /// PWC configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PwcConfig {
     /// Capacity in PTE entries (8 KB / 8 B = 1024 by default).
     pub entries: usize,
@@ -77,7 +77,7 @@ impl Pwc {
     /// Panics if `ways` does not divide `entries`.
     pub fn new(config: PwcConfig) -> Self {
         assert!(
-            config.ways > 0 && config.entries % config.ways == 0,
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
             "ways must divide entries"
         );
         Pwc {
@@ -125,7 +125,10 @@ impl Pwc {
                 .expect("nonempty set");
             slots.swap_remove(victim);
         }
-        slots.push(PwcSlot { tag: pte_addr, last_use: clock });
+        slots.push(PwcSlot {
+            tag: pte_addr,
+            last_use: clock,
+        });
         false
     }
 

@@ -53,12 +53,14 @@ pub struct Evicted {
 impl Evicted {
     /// Cycles the entry spent resident.
     pub fn lifetime(&self) -> u64 {
-        self.evicted_at.raw().saturating_sub(self.entry.inserted_at.raw())
+        self.evicted_at
+            .raw()
+            .saturating_sub(self.entry.inserted_at.raw())
     }
 }
 
 /// How the TLB is organized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TlbOrganization {
     /// Fully associative with true LRU (the paper's per-CU TLBs).
     FullyAssociative {
@@ -77,7 +79,7 @@ pub enum TlbOrganization {
 }
 
 /// TLB configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TlbConfig {
     /// Size/associativity.
     pub organization: TlbOrganization,
@@ -261,14 +263,21 @@ impl Tlb {
             self.unbounded.get(&key).copied()
         } else {
             let set = self.set_index(key);
-            self.sets[set].iter().find(|s| s.key == key).map(|s| s.entry)
+            self.sets[set]
+                .iter()
+                .find(|s| s.key == key)
+                .map(|s| s.entry)
         }
     }
 
     /// Inserts a translation (replacing any stale entry for the key)
     /// and returns the entry it displaced, if any.
     pub fn insert(&mut self, key: TlbKey, ppn: Ppn, perms: Perms, now: Cycle) -> Option<Evicted> {
-        let entry = TlbEntry { ppn, perms, inserted_at: now };
+        let entry = TlbEntry {
+            ppn,
+            perms,
+            inserted_at: now,
+        };
         if self.is_infinite() {
             self.unbounded.insert(key, entry);
             return None;
@@ -298,7 +307,11 @@ impl Tlb {
                 evicted_at: now,
             });
         }
-        slots.push(Slot { key, entry, last_use: clock });
+        slots.push(Slot {
+            key,
+            entry,
+            last_use: clock,
+        });
         displaced
     }
 
@@ -366,7 +379,12 @@ mod tests {
 
     fn fill(tlb: &mut Tlb, range: std::ops::Range<u64>) {
         for (i, v) in range.enumerate() {
-            tlb.insert(key(v), Ppn::new(v + 100), Perms::READ_WRITE, Cycle::new(i as u64));
+            tlb.insert(
+                key(v),
+                Ppn::new(v + 100),
+                Perms::READ_WRITE,
+                Cycle::new(i as u64),
+            );
         }
     }
 
@@ -388,7 +406,9 @@ mod tests {
         // Touch 0 and 1; 2 becomes LRU.
         tlb.lookup(key(0), Cycle::new(10));
         tlb.lookup(key(1), Cycle::new(11));
-        let ev = tlb.insert(key(9), Ppn::new(9), Perms::READ_WRITE, Cycle::new(12)).unwrap();
+        let ev = tlb
+            .insert(key(9), Ppn::new(9), Perms::READ_WRITE, Cycle::new(12))
+            .unwrap();
         assert_eq!(ev.key, key(2));
         assert_eq!(tlb.stats().evictions.get(), 1);
     }
@@ -397,7 +417,9 @@ mod tests {
     fn eviction_reports_lifetime() {
         let mut tlb = Tlb::new(TlbConfig::per_cu(1));
         tlb.insert(key(1), Ppn::new(1), Perms::READ_WRITE, Cycle::new(100));
-        let ev = tlb.insert(key(2), Ppn::new(2), Perms::READ_WRITE, Cycle::new(350)).unwrap();
+        let ev = tlb
+            .insert(key(2), Ppn::new(2), Perms::READ_WRITE, Cycle::new(350))
+            .unwrap();
         assert_eq!(ev.lifetime(), 250);
         assert_eq!(ev.entry.inserted_at, Cycle::new(100));
     }
@@ -405,13 +427,19 @@ mod tests {
     #[test]
     fn set_associative_conflicts_stay_within_set() {
         let mut tlb = Tlb::new(TlbConfig {
-            organization: TlbOrganization::SetAssociative { entries: 8, ways: 2 },
+            organization: TlbOrganization::SetAssociative {
+                entries: 8,
+                ways: 2,
+            },
         });
         // Keys 0, 4, 8 share set 0 (4 sets).
         fill(&mut tlb, 0..1);
         tlb.insert(key(4), Ppn::new(104), Perms::READ_WRITE, Cycle::new(1));
         tlb.insert(key(8), Ppn::new(108), Perms::READ_WRITE, Cycle::new(2));
-        assert!(tlb.lookup(key(0), Cycle::new(3)).is_none(), "0 was the set's LRU");
+        assert!(
+            tlb.lookup(key(0), Cycle::new(3)).is_none(),
+            "0 was the set's LRU"
+        );
         assert!(tlb.peek(key(4)).is_some());
         assert!(tlb.peek(key(8)).is_some());
     }
@@ -420,7 +448,9 @@ mod tests {
     fn infinite_never_evicts() {
         let mut tlb = Tlb::new(TlbConfig::infinite());
         for v in 0..10_000 {
-            assert!(tlb.insert(key(v), Ppn::new(v), Perms::READ_WRITE, Cycle::new(v)).is_none());
+            assert!(tlb
+                .insert(key(v), Ppn::new(v), Perms::READ_WRITE, Cycle::new(v))
+                .is_none());
         }
         assert_eq!(tlb.len(), 10_000);
         assert!(tlb.lookup(key(0), Cycle::new(1)).is_some());
@@ -430,7 +460,9 @@ mod tests {
     fn reinserting_same_key_updates_in_place() {
         let mut tlb = Tlb::new(TlbConfig::per_cu(2));
         tlb.insert(key(1), Ppn::new(1), Perms::READ_ONLY, Cycle::new(0));
-        assert!(tlb.insert(key(1), Ppn::new(2), Perms::READ_WRITE, Cycle::new(1)).is_none());
+        assert!(tlb
+            .insert(key(1), Ppn::new(2), Perms::READ_WRITE, Cycle::new(1))
+            .is_none());
         assert_eq!(tlb.len(), 1);
         assert_eq!(tlb.peek(key(1)).unwrap().ppn, Ppn::new(2));
     }
@@ -450,7 +482,12 @@ mod tests {
     fn invalidate_single_and_asid() {
         let mut tlb = Tlb::new(TlbConfig::shared(16));
         for v in 0..8 {
-            tlb.insert(TlbKey::new(Asid((v % 2) as u16), Vpn::new(v)), Ppn::new(v), Perms::READ_WRITE, Cycle::new(v));
+            tlb.insert(
+                TlbKey::new(Asid((v % 2) as u16), Vpn::new(v)),
+                Ppn::new(v),
+                Perms::READ_WRITE,
+                Cycle::new(v),
+            );
         }
         assert!(tlb.invalidate(TlbKey::new(Asid(0), Vpn::new(0))));
         assert!(!tlb.invalidate(TlbKey::new(Asid(0), Vpn::new(0))));
@@ -482,7 +519,10 @@ mod tests {
     #[should_panic(expected = "ways must divide")]
     fn bad_geometry_rejected() {
         let _ = Tlb::new(TlbConfig {
-            organization: TlbOrganization::SetAssociative { entries: 10, ways: 4 },
+            organization: TlbOrganization::SetAssociative {
+                entries: 10,
+                ways: 4,
+            },
         });
     }
 }

@@ -95,7 +95,11 @@ impl WalkerPool {
     ///
     /// Panics if `id` is out of range or the walker was not acquired.
     pub fn release(&mut self, id: usize, end: Cycle) {
-        assert_eq!(self.next_free[id], Cycle::new(u64::MAX), "walker {id} was not acquired");
+        assert_eq!(
+            self.next_free[id],
+            Cycle::new(u64::MAX),
+            "walker {id} was not acquired"
+        );
         self.next_free[id] = end;
     }
 

@@ -35,7 +35,11 @@ impl DevArray {
         let range = os
             .mmap(pid, len * elem_bytes, Perms::READ_WRITE)
             .expect("workload input exceeds simulated physical memory");
-        DevArray { range, elem_bytes, len }
+        DevArray {
+            range,
+            elem_bytes,
+            len,
+        }
     }
 
     /// Number of elements.
@@ -71,7 +75,9 @@ impl DevArray {
 
     /// Addresses of elements `[start, start+count)` assigned to lanes.
     pub fn lane_addrs(&self, start: u64, count: u64) -> Vec<VAddr> {
-        (start..(start + count).min(self.len)).map(|i| self.addr(i)).collect()
+        (start..(start + count).min(self.len))
+            .map(|i| self.addr(i))
+            .collect()
     }
 }
 

@@ -76,11 +76,15 @@ pub fn gather_waves(
         let mut ops: Vec<WaveOp> = Vec::new();
         // Per-vertex metadata reads.
         for arr in &spec.vertex_reads {
-            ops.push(WaveOp::read(chunk.iter().map(|&v| arr.addr(v as u64)).collect()));
+            ops.push(WaveOp::read(
+                chunk.iter().map(|&v| arr.addr(v as u64)).collect(),
+            ));
         }
         // CSR offsets (two loads in real code: off[v] and off[v+1];
         // they share lines, one read models both).
-        ops.push(WaveOp::read(chunk.iter().map(|&v| spec.offsets.addr(v as u64)).collect()));
+        ops.push(WaveOp::read(
+            chunk.iter().map(|&v| spec.offsets.addr(v as u64)).collect(),
+        ));
 
         let rounds = chunk
             .iter()
@@ -108,7 +112,9 @@ pub fn gather_waves(
                 ops.push(WaveOp::read(edge_idx.iter().map(|&e| es.addr(e)).collect()));
             }
             for ga in &spec.gather {
-                ops.push(WaveOp::read(neighbors.iter().map(|&t| ga.addr(t as u64)).collect()));
+                ops.push(WaveOp::read(
+                    neighbors.iter().map(|&t| ga.addr(t as u64)).collect(),
+                ));
             }
             if let Some((arr, pred)) = target_write {
                 let writes: Vec<VAddr> = neighbors
@@ -125,7 +131,9 @@ pub fn gather_waves(
             }
         }
         for arr in &spec.vertex_writes {
-            ops.push(WaveOp::write(chunk.iter().map(|&v| arr.addr(v as u64)).collect()));
+            ops.push(WaveOp::write(
+                chunk.iter().map(|&v| arr.addr(v as u64)).collect(),
+            ));
         }
         ops.push(WaveOp::compute(4));
         waves.push(ops);
@@ -180,7 +188,7 @@ mod tests {
             .iter()
             .filter(|op| matches!(op, WaveOp::Read(_)))
             .count();
-        assert!(reads >= 1 + 2 * 4, "4 rounds of (targets, gather) expected");
+        assert!(reads > 2 * 4, "4 rounds of (targets, gather) expected");
     }
 
     #[test]
@@ -207,8 +215,12 @@ mod tests {
         let none = |_t: u32| false;
         let with_writes = gather_waves(&spec, &active, Some((&flags, &all)));
         let without = gather_waves(&spec, &active, Some((&flags, &none)));
-        let count =
-            |ws: &Vec<Vec<WaveOp>>| ws.iter().flatten().filter(|o| matches!(o, WaveOp::Write(_))).count();
+        let count = |ws: &Vec<Vec<WaveOp>>| {
+            ws.iter()
+                .flatten()
+                .filter(|o| matches!(o, WaveOp::Write(_)))
+                .count()
+        };
         assert!(count(&with_writes) > 0);
         assert_eq!(count(&without), 0);
     }
@@ -217,7 +229,9 @@ mod tests {
     fn hash_is_deterministic_and_spread() {
         assert_eq!(hash_u32(5, 1), hash_u32(5, 1));
         assert_ne!(hash_u32(5, 1), hash_u32(5, 2));
-        let low = (0..1000).filter(|&x| hash_u32(x, 0) % 2 == 0).count();
+        let low = (0..1000)
+            .filter(|&x| hash_u32(x, 0).is_multiple_of(2))
+            .count();
         assert!((400..600).contains(&low));
     }
 }

@@ -48,10 +48,17 @@ impl KernelSource for BfsSource {
             let mut ops = vec![WaveOp::read(
                 chunk.iter().map(|&v| self.mask.addr(v as u64)).collect(),
             )];
-            let active: Vec<u32> = chunk.iter().copied().filter(|v| frontier.contains(v)).collect();
+            let active: Vec<u32> = chunk
+                .iter()
+                .copied()
+                .filter(|v| frontier.contains(v))
+                .collect();
             if !active.is_empty() {
                 ops.push(WaveOp::read(
-                    active.iter().map(|&v| self.offsets.addr(v as u64)).collect(),
+                    active
+                        .iter()
+                        .map(|&v| self.offsets.addr(v as u64))
+                        .collect(),
                 ));
                 let rounds = active
                     .iter()

@@ -34,8 +34,7 @@ impl ColorSource {
     /// uncolored at the round's start.
     fn advance(&mut self) -> Vec<u32> {
         let g = self.spec.graph.clone();
-        let active: Vec<u32> =
-            (0..g.n).filter(|&v| !self.colored[v as usize]).collect();
+        let active: Vec<u32> = (0..g.n).filter(|&v| !self.colored[v as usize]).collect();
         let mut winners = Vec::new();
         for &v in &active {
             let mut is_max = true;

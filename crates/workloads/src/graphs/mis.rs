@@ -113,7 +113,9 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
     let prio_arr = DevArray::alloc(&mut os, pid, n as u64, 4);
     let status_arr = DevArray::alloc(&mut os, pid, n as u64, 4);
-    let prio: Vec<u32> = (0..n).map(|v| hash_u32(v, (seed as u32) ^ 0x4D15)).collect();
+    let prio: Vec<u32> = (0..n)
+        .map(|v| hash_u32(v, (seed as u32) ^ 0x4D15))
+        .collect();
     let mut spec = GatherSpec::new(graph, offsets, targets);
     spec.max_rounds = 16;
     Workload {

@@ -70,7 +70,11 @@ impl Graph {
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u32);
         }
-        Graph { n, offsets, targets }
+        Graph {
+            n,
+            offsets,
+            targets,
+        }
     }
 
     /// Generates a uniform random graph (for contrast in tests).
@@ -86,7 +90,11 @@ impl Graph {
             }
             offsets.push(targets.len() as u32);
         }
-        Graph { n, offsets, targets }
+        Graph {
+            n,
+            offsets,
+            targets,
+        }
     }
 
     /// Breadth-first levels from `root`: `levels[v]` is the hop count,

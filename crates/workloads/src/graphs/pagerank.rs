@@ -37,7 +37,7 @@ impl KernelSource for PagerankSource {
             return None;
         }
         // Ping-pong the rank arrays between sweeps.
-        let (src, dst) = if self.iter % 2 == 0 {
+        let (src, dst) = if self.iter.is_multiple_of(2) {
             (self.rank_a, self.rank_b)
         } else {
             (self.rank_b, self.rank_a)

@@ -89,8 +89,21 @@ impl WorkloadId {
     pub fn all() -> [WorkloadId; 15] {
         use WorkloadId::*;
         [
-            Bc, ColorMaxmin, ColorMax, Fw, FwBlock, Mis, Pagerank, PagerankSpmv, Kmeans,
-            Backprop, Bfs, Hotspot, Lud, Nw, Pathfinder,
+            Bc,
+            ColorMaxmin,
+            ColorMax,
+            Fw,
+            FwBlock,
+            Mis,
+            Pagerank,
+            PagerankSpmv,
+            Kmeans,
+            Backprop,
+            Bfs,
+            Hotspot,
+            Lud,
+            Nw,
+            Pathfinder,
         ]
     }
 
@@ -187,6 +200,17 @@ impl Scale {
     /// Scales `base`, clamping below at `min`.
     pub fn apply(&self, base: u64, min: u64) -> u64 {
         ((base as f64 * self.factor) as u64).max(min)
+    }
+}
+
+// The scale factor is never NaN (all constructors use literals), so
+// bit-pattern equality is a valid equivalence and can back a hash —
+// letting Scale participate in the benchmark runner's memo-cache key.
+impl Eq for Scale {}
+
+impl std::hash::Hash for Scale {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.factor.to_bits().hash(state);
     }
 }
 

@@ -32,7 +32,11 @@ impl KernelSource for BackpropSource {
         }
         let backward = self.phase == 1;
         self.phase += 1;
-        let name = if backward { "backprop_bwd" } else { "backprop_fwd" };
+        let name = if backward {
+            "backprop_bwd"
+        } else {
+            "backprop_fwd"
+        };
         let mut b = Kernel::builder(name, self.asid);
         for u0 in (0..self.n).step_by(32) {
             let units: Vec<u64> = (u0..(u0 + 32).min(self.n)).collect();
@@ -40,7 +44,12 @@ impl KernelSource for BackpropSource {
                 // Input activations: coalesced.
                 WaveOp::read(units.iter().map(|&u| self.input.addr(u)).collect()),
                 // Weight rows: each lane reads its unit's 64 B row.
-                WaveOp::read(units.iter().map(|&u| self.weights.addr(u * HIDDEN)).collect()),
+                WaveOp::read(
+                    units
+                        .iter()
+                        .map(|&u| self.weights.addr(u * HIDDEN))
+                        .collect(),
+                ),
                 WaveOp::compute(HIDDEN as u32 * 2),
                 // Hidden-layer accumulation (hot line).
                 WaveOp::read((0..HIDDEN / 8).map(|h| self.hidden.addr(h * 8)).collect()),
@@ -48,7 +57,10 @@ impl KernelSource for BackpropSource {
             if backward {
                 // Weight update writes the row back.
                 ops.push(WaveOp::write(
-                    units.iter().map(|&u| self.weights.addr(u * HIDDEN)).collect(),
+                    units
+                        .iter()
+                        .map(|&u| self.weights.addr(u * HIDDEN))
+                        .collect(),
                 ));
             } else {
                 ops.push(WaveOp::write(vec![self.hidden.addr(0)]));

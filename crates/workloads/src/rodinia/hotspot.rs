@@ -22,7 +22,9 @@ struct HotspotSource {
 
 impl HotspotSource {
     fn row(&self, arr: &DevArray, r: u64, c0: u64) -> Vec<VAddr> {
-        (c0..(c0 + 32).min(self.dim)).map(|c| arr.addr(r * self.dim + c)).collect()
+        (c0..(c0 + 32).min(self.dim))
+            .map(|c| arr.addr(r * self.dim + c))
+            .collect()
     }
 }
 
@@ -35,7 +37,7 @@ impl KernelSource for HotspotSource {
         if self.iter >= ITERATIONS {
             return None;
         }
-        let (src, dst) = if self.iter % 2 == 0 {
+        let (src, dst) = if self.iter.is_multiple_of(2) {
             (self.temp_a, self.temp_b)
         } else {
             (self.temp_b, self.temp_a)

@@ -39,10 +39,16 @@ impl KernelSource for KmeansSource {
             let pts: Vec<u64> = (p0..(p0 + 32).min(self.n)).collect();
             let ops = vec![
                 // Each lane streams its point's 64 B feature block.
-                WaveOp::read(pts.iter().map(|&p| self.points.addr(p * FEATURES)).collect()),
+                WaveOp::read(
+                    pts.iter()
+                        .map(|&p| self.points.addr(p * FEATURES))
+                        .collect(),
+                ),
                 // Hot centroid table (fits in the L1).
                 WaveOp::read(
-                    (0..CENTROIDS).map(|c| self.centroids.addr(c * FEATURES)).collect(),
+                    (0..CENTROIDS)
+                        .map(|c| self.centroids.addr(c * FEATURES))
+                        .collect(),
                 ),
                 // Distance evaluation: d x k MACs per point, lanes in
                 // parallel across points.

@@ -27,10 +27,18 @@ impl NwSource {
     fn tile_ops(&self, tr: u64, tc: u64) -> Vec<WaveOp> {
         let r0 = tr * TILE;
         let c0 = tc * TILE;
-        let top: Vec<VAddr> = (c0..c0 + TILE).map(|c| self.score.addr(r0.saturating_sub(1) * self.n + c)).collect();
-        let left: Vec<VAddr> = (r0..r0 + TILE).map(|r| self.score.addr(r * self.n + c0.saturating_sub(1))).collect();
-        let refr: Vec<VAddr> = (r0..r0 + TILE).map(|r| self.reference.addr(r * self.n + c0)).collect();
-        let out: Vec<VAddr> = (r0..r0 + TILE).map(|r| self.score.addr(r * self.n + c0)).collect();
+        let top: Vec<VAddr> = (c0..c0 + TILE)
+            .map(|c| self.score.addr(r0.saturating_sub(1) * self.n + c))
+            .collect();
+        let left: Vec<VAddr> = (r0..r0 + TILE)
+            .map(|r| self.score.addr(r * self.n + c0.saturating_sub(1)))
+            .collect();
+        let refr: Vec<VAddr> = (r0..r0 + TILE)
+            .map(|r| self.reference.addr(r * self.n + c0))
+            .collect();
+        let out: Vec<VAddr> = (r0..r0 + TILE)
+            .map(|r| self.score.addr(r * self.n + c0))
+            .collect();
         vec![
             WaveOp::read(top),
             WaveOp::read(left),
@@ -105,7 +113,11 @@ mod tests {
     fn tiles_are_scratchpad_heavy() {
         let mut w = build(Scale::test(), 0);
         let k = w.source.next_kernel().unwrap();
-        let ops: Vec<_> = k.waves.into_iter().flat_map(|p| p.collect::<Vec<_>>()).collect();
+        let ops: Vec<_> = k
+            .waves
+            .into_iter()
+            .flat_map(|p| p.collect::<Vec<_>>())
+            .collect();
         assert!(ops.iter().any(|o| matches!(o, WaveOp::Scratch(_))));
     }
 }

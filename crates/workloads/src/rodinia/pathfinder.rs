@@ -39,7 +39,10 @@ impl KernelSource for PathfinderSource {
         let mut b = Kernel::builder(format!("pathfinder_block{}", self.next_block), self.asid);
         for c0 in (0..self.cols).step_by(COLS_PER_WAVE as usize) {
             let span = (c0..(c0 + COLS_PER_WAVE).min(self.cols)).step_by(32);
-            let seg: Vec<VAddr> = span.clone().map(|c| self.grid.addr(r0 * self.cols + c)).collect();
+            let seg: Vec<VAddr> = span
+                .clone()
+                .map(|c| self.grid.addr(r0 * self.cols + c))
+                .collect();
             let out: Vec<VAddr> = span.map(|c| self.result.addr(c)).collect();
             let mut ops = vec![WaveOp::read(seg)];
             for _ in 0..ROWS_PER_BLOCK {
@@ -93,12 +96,22 @@ mod tests {
     fn scratch_dominates_ops() {
         let mut w = build(Scale::test(), 0);
         let k = w.source.next_kernel().unwrap();
-        let ops: Vec<_> = k.waves.into_iter().flat_map(|p| p.collect::<Vec<_>>()).collect();
-        let scratch = ops.iter().filter(|o| matches!(o, WaveOp::Scratch(_))).count();
+        let ops: Vec<_> = k
+            .waves
+            .into_iter()
+            .flat_map(|p| p.collect::<Vec<_>>())
+            .collect();
+        let scratch = ops
+            .iter()
+            .filter(|o| matches!(o, WaveOp::Scratch(_)))
+            .count();
         let mem = ops
             .iter()
             .filter(|o| matches!(o, WaveOp::Read(_) | WaveOp::Write(_)))
             .count();
-        assert!(scratch > mem, "scratchpad traffic dominates: {scratch} vs {mem}");
+        assert!(
+            scratch > mem,
+            "scratchpad traffic dominates: {scratch} vs {mem}"
+        );
     }
 }

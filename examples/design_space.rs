@@ -22,7 +22,10 @@ fn run(cfg: SystemConfig) -> gvc_gpu::RunReport {
 
 fn main() {
     let ideal = run(SystemConfig::ideal_mmu());
-    println!("pagerank (quick scale); IDEAL MMU = {} cycles\n", ideal.cycles);
+    println!(
+        "pagerank (quick scale); IDEAL MMU = {} cycles\n",
+        ideal.cycles
+    );
 
     println!("FBT capacity sweep (VC With OPT):");
     println!(
@@ -48,7 +51,10 @@ fn main() {
     println!("   that, extra entries buy nothing (the paper's §4.3 argument).\n");
 
     println!("IOMMU port width sweep (baseline 16K — the brute-force alternative):");
-    println!("{:>10} {:>10} {:>9} {:>14}", "width", "cycles", "rel", "queue delay");
+    println!(
+        "{:>10} {:>10} {:>9} {:>14}",
+        "width", "cycles", "rel", "queue delay"
+    );
     for width in [1u32, 2, 4] {
         let rep = run(SystemConfig::baseline_16k().with_iommu_port_width(width));
         println!(

@@ -18,7 +18,7 @@ use gvc_workloads::{build, Scale, WorkloadId};
 fn main() {
     let scale = Scale::quick();
     for id in [WorkloadId::Pagerank, WorkloadId::Bfs, WorkloadId::ColorMax] {
-        println!("== {} (power-law graph, {} scale) ==", id.name(), "quick");
+        println!("== {} (power-law graph, quick scale) ==", id.name());
         let ideal = {
             let mut w = build(id, scale, 42);
             GpuSim::new(GpuConfig::default(), SystemConfig::ideal_mmu()).run(&mut *w.source, &w.os)

@@ -44,7 +44,10 @@ fn main() -> Result<(), MemError> {
         ("VC With OPT", SystemConfig::vc_with_opt()),
     ];
     let mut ideal_cycles = None;
-    println!("{:<14} {:>10} {:>10} {:>12} {:>14}", "design", "cycles", "rel.time", "TLB miss%", "IOMMU acc/cyc");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14}",
+        "design", "cycles", "rel.time", "TLB miss%", "IOMMU acc/cyc"
+    );
     for (name, cfg) in designs {
         let mut rng = SimRng::seeded(7);
         let kernel = gather_kernel(&buf, pid.asid(), 256, &mut rng);

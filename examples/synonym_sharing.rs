@@ -15,7 +15,13 @@ use gvc_mem::{MemError, OsLite, Perms};
 use gvc_soc::{Probe, ProbeKind};
 
 fn read(asid: gvc_mem::Asid, vaddr: gvc_mem::VAddr, cu: usize, at: u64) -> LineAccess {
-    LineAccess { cu, asid, vaddr, is_write: false, at: Cycle::new(at) }
+    LineAccess {
+        cu,
+        asid,
+        vaddr,
+        is_write: false,
+        at: Cycle::new(at),
+    }
 }
 
 fn main() -> Result<(), MemError> {
@@ -39,13 +45,19 @@ fn main() -> Result<(), MemError> {
             .done_at
             .raw();
     }
-    println!("producer cached 16 pages; FBT holds {} entries", mem.fbt().occupancy());
+    println!(
+        "producer cached 16 pages; FBT holds {} entries",
+        mem.fbt().occupancy()
+    );
 
     // 2. The consumer reads through its alias: every access is a
     //    synonym, detected at the BT and replayed through the leading
     //    VA — no duplicate caching.
     for page in 0..16 {
-        let r = mem.access(read(consumer.asid(), shared.addr_at(page * 4096), 5, t), &os);
+        let r = mem.access(
+            read(consumer.asid(), shared.addr_at(page * 4096), 5, t),
+            &os,
+        );
         assert!(r.fault.is_none());
         t = r.done_at.raw();
     }
@@ -87,7 +99,11 @@ fn main() -> Result<(), MemError> {
     // 4. A CPU coherence probe arrives with a *physical* address; the
     //    BT reverse-translates it and invalidates the line.
     let (pa, _) = os.translate(producer, buf.addr_at(4096)).expect("mapped");
-    let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Invalidate, at: Cycle::new(t) });
+    let resp = mem.handle_probe(Probe {
+        paddr: pa,
+        kind: ProbeKind::Invalidate,
+        at: Cycle::new(t),
+    });
     println!(
         "CPU probe to {pa}: filtered={} invalidated={}",
         resp.filtered, resp.invalidated

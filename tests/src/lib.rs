@@ -11,7 +11,9 @@ use gvc_mem::{OsLite, Perms, ProcessId, VRange, PAGE_BYTES};
 pub fn os_with_region(pages: u64) -> (OsLite, ProcessId, VRange) {
     let mut os = OsLite::new(512 << 20);
     let pid = os.create_process();
-    let region = os.mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE).expect("fits");
+    let region = os
+        .mmap(pid, pages * PAGE_BYTES, Perms::READ_WRITE)
+        .expect("fits");
     (os, pid, region)
 }
 

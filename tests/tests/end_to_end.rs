@@ -17,7 +17,10 @@ fn every_workload_runs_fault_free_under_every_design() {
             let rep = run(id, cfg, 42);
             assert_eq!(rep.faults, 0, "{id} under {name} must not fault");
             assert!(rep.cycles > 0, "{id} under {name} must make progress");
-            assert!(rep.mem_instructions > 0 || rep.scratch_ops > 0, "{id} issues work");
+            assert!(
+                rep.mem_instructions > 0 || rep.scratch_ops > 0,
+                "{id} issues work"
+            );
         }
     }
 }
@@ -48,8 +51,14 @@ fn front_end_work_is_design_invariant() {
         let reference = run(id, SystemConfig::ideal_mmu(), 42);
         for (name, cfg) in all_designs() {
             let rep = run(id, cfg, 42);
-            assert_eq!(rep.mem_instructions, reference.mem_instructions, "{id} under {name}");
-            assert_eq!(rep.line_requests, reference.line_requests, "{id} under {name}");
+            assert_eq!(
+                rep.mem_instructions, reference.mem_instructions,
+                "{id} under {name}"
+            );
+            assert_eq!(
+                rep.line_requests, reference.line_requests,
+                "{id} under {name}"
+            );
             assert_eq!(rep.waves, reference.waves, "{id} under {name}");
             assert_eq!(rep.kernels, reference.kernels, "{id} under {name}");
         }
@@ -73,14 +82,20 @@ fn virtual_hierarchy_filters_translation_traffic() {
             vc.mem.iommu.requests.get(),
             base.mem.iommu.requests.get()
         );
-        assert!(vc.mem.filter_ratio() > 0.3, "{id}: VC should filter a sizable fraction");
+        assert!(
+            vc.mem.filter_ratio() > 0.3,
+            "{id}: VC should filter a sizable fraction"
+        );
     }
 }
 
 #[test]
 fn scratchpad_heavy_workloads_bypass_translation() {
     let rep = run(WorkloadId::Nw, SystemConfig::baseline_512(), 42);
-    assert!(rep.scratch_ops > 0, "nw stages tiles through the scratchpad");
+    assert!(
+        rep.scratch_ops > 0,
+        "nw stages tiles through the scratchpad"
+    );
     // Scratch traffic generates no line requests.
     assert!(rep.scratch_ops > rep.mem_instructions);
 }
@@ -104,14 +119,26 @@ fn counters_are_internally_consistent() {
             c.reads.get() + c.writes.get(),
             "{name}: access split"
         );
-        assert_eq!(rep.line_requests, c.accesses.get(), "{name}: front end matches memory side");
+        assert_eq!(
+            rep.line_requests,
+            c.accesses.get(),
+            "{name}: front end matches memory side"
+        );
         let tlb = &rep.mem.per_cu_tlb;
-        assert_eq!(tlb.lookups.get(), tlb.hits.get() + tlb.misses.get(), "{name}: TLB split");
+        assert_eq!(
+            tlb.lookups.get(),
+            tlb.hits.get() + tlb.misses.get(),
+            "{name}: TLB split"
+        );
         let breakdown = c.tlb_miss_data_in_l1.get()
             + c.tlb_miss_data_in_l2.get()
             + c.tlb_miss_data_in_mem.get();
         if matches!(cfg.design, gvc::MmuDesign::Baseline) {
-            assert_eq!(breakdown, tlb.misses.get(), "{name}: every TLB miss classified");
+            assert_eq!(
+                breakdown,
+                tlb.misses.get(),
+                "{name}: every TLB miss classified"
+            );
         }
     }
 }

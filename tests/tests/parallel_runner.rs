@@ -1,0 +1,101 @@
+//! The parallel sweep executor's headline guarantee: results are
+//! independent of the worker count. `repro --jobs N` must be
+//! byte-identical to `--jobs 1`, which reduces to every `RunReport`
+//! being identical whether it was computed serially or by a worker
+//! pool.
+//!
+//! These tests share one process (and therefore one memo cache), so
+//! each clears the cache before forcing recomputation under a
+//! different worker count.
+
+use gvc::SystemConfig;
+use gvc_bench::runner::{self, ParallelExecutor, RunKey};
+use gvc_workloads::{Scale, WorkloadId};
+
+/// Serializes a full run_all sweep to canonical JSON for
+/// byte-comparison (RunReport has no PartialEq; JSON is the same
+/// representation `repro --json` writes).
+fn sweep_json(config: SystemConfig, workers: usize, seed: u64) -> String {
+    runner::clear_cache();
+    let scale = Scale::test();
+    let keys: Vec<RunKey> = WorkloadId::all()
+        .into_iter()
+        .map(|workload| RunKey {
+            workload,
+            config,
+            scale,
+            seed,
+        })
+        .collect();
+    ParallelExecutor::with_workers(workers).prefetch(&keys);
+    let reports: Vec<_> = WorkloadId::all()
+        .into_iter()
+        .map(|id| runner::run(id, config, scale, seed))
+        .collect();
+    serde_json::to_string_pretty(&reports).expect("reports serialize")
+}
+
+#[test]
+fn one_worker_and_four_workers_produce_identical_reports() {
+    let config = SystemConfig::baseline_512();
+    let serial = sweep_json(config, 1, 42);
+    let parallel = sweep_json(config, 4, 42);
+    assert_eq!(serial, parallel, "worker count changed a RunReport");
+}
+
+#[test]
+fn same_seed_reruns_are_bit_identical() {
+    let config = SystemConfig::vc_with_opt();
+    let first = sweep_json(config, 4, 7);
+    let second = sweep_json(config, 4, 7);
+    assert_eq!(first, second, "same-seed rerun diverged");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let config = SystemConfig::baseline_512();
+    let a = sweep_json(config, 2, 1);
+    let b = sweep_json(config, 2, 2);
+    assert_ne!(a, b, "seed is not reaching the workloads");
+}
+
+#[test]
+fn prefetch_covers_every_workload() {
+    runner::clear_cache();
+    let scale = Scale::test();
+    let config = SystemConfig::ideal_mmu();
+    let keys: Vec<RunKey> = WorkloadId::all()
+        .into_iter()
+        .map(|workload| RunKey {
+            workload,
+            config,
+            scale,
+            seed: 3,
+        })
+        .collect();
+    ParallelExecutor::with_workers(4).prefetch(&keys);
+    assert_eq!(runner::cache_len(), WorkloadId::all().len());
+}
+
+#[test]
+fn run_all_is_worker_count_invariant_per_workload() {
+    let scale = Scale::test();
+    let config = SystemConfig::baseline_16k();
+
+    runner::clear_cache();
+    runner::set_jobs(Some(std::num::NonZeroUsize::new(1).unwrap()));
+    let serial = runner::run_all(config, scale, 11);
+
+    runner::clear_cache();
+    runner::set_jobs(Some(std::num::NonZeroUsize::new(4).unwrap()));
+    let parallel = runner::run_all(config, scale, 11);
+    runner::set_jobs(None);
+
+    assert_eq!(serial.len(), parallel.len());
+    for ((id_a, rep_a), (id_b, rep_b)) in serial.iter().zip(&parallel) {
+        assert_eq!(id_a, id_b);
+        let a = serde_json::to_string(rep_a).expect("serializes");
+        let b = serde_json::to_string(rep_b).expect("serializes");
+        assert_eq!(a, b, "workload {id_a} differs between 1 and 4 workers");
+    }
+}

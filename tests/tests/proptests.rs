@@ -26,12 +26,12 @@ proptest! {
             let vpn = Vpn::new(page * 0x40_0081 % (1 << 30));
             match op {
                 0 => {
-                    if !model.contains_key(&vpn.raw()) {
+                    model.entry(vpn.raw()).or_insert_with(|| {
                         let frame = Ppn::new(0x1000 + next_frame);
                         next_frame += 1;
                         pt.map(&mut pm, vpn, frame, Perms::READ_WRITE).unwrap();
-                        model.insert(vpn.raw(), (frame, Perms::READ_WRITE));
-                    }
+                        (frame, Perms::READ_WRITE)
+                    });
                 }
                 1 => {
                     let expected = model.remove(&vpn.raw());

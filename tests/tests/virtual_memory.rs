@@ -8,7 +8,13 @@ use gvc_mem::{Asid, Perms, Shootdown, PAGE_BYTES};
 use gvc_soc::{Probe, ProbeInjector, ProbeKind};
 
 fn read(asid: Asid, vaddr: gvc_mem::VAddr, cu: usize, at: u64) -> LineAccess {
-    LineAccess { cu, asid, vaddr, is_write: false, at: Cycle::new(at) }
+    LineAccess {
+        cu,
+        asid,
+        vaddr,
+        is_write: false,
+        at: Cycle::new(at),
+    }
 }
 
 #[test]
@@ -22,7 +28,10 @@ fn alias_heavy_stream_preserves_invariants() {
         let line = (i * 5) % 32;
         let off = page * PAGE_BYTES + line * 128;
         let base = if i % 3 == 0 { &alias } else { &region };
-        let r = mem.access(read(pid.asid(), base.addr_at(off), (i % 16) as usize, t), &os);
+        let r = mem.access(
+            read(pid.asid(), base.addr_at(off), (i % 16) as usize, t),
+            &os,
+        );
         assert!(r.fault.is_none(), "read-only synonyms never fault");
         t = r.done_at.raw();
         if i % 500 == 0 {
@@ -41,7 +50,15 @@ fn shootdown_storm_mid_stream_stays_consistent() {
     // Touch everything.
     for page in 0..128u64 {
         t = mem
-            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), (page % 16) as usize, t), &os)
+            .access(
+                read(
+                    pid.asid(),
+                    region.addr_at(page * PAGE_BYTES),
+                    (page % 16) as usize,
+                    t,
+                ),
+                &os,
+            )
             .done_at
             .raw();
     }
@@ -54,8 +71,15 @@ fn shootdown_storm_mid_stream_stays_consistent() {
         let r = mem.access(read(pid.asid(), survivor, 3, t), &os);
         assert!(r.fault.is_none(), "surviving pages stay accessible");
         t = r.done_at.raw();
-        let dead = mem.access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 4, t), &os);
-        assert_eq!(dead.fault, Some(AccessFault::PageFault), "unmapped page faults");
+        let dead = mem.access(
+            read(pid.asid(), region.addr_at(page * PAGE_BYTES), 4, t),
+            &os,
+        );
+        assert_eq!(
+            dead.fault,
+            Some(AccessFault::PageFault),
+            "unmapped page faults"
+        );
         t = dead.done_at.raw();
     }
     mem.check_virtual_invariants();
@@ -105,7 +129,10 @@ fn probe_storm_against_running_stream() {
             next = inj.next_probe(p.at);
         }
         let off = ((i * 31) % (32 * PAGE_BYTES)) & !127;
-        let r = mem.access(read(pid.asid(), region.addr_at(off), (i % 16) as usize, t), &os);
+        let r = mem.access(
+            read(pid.asid(), region.addr_at(off), (i % 16) as usize, t),
+            &os,
+        );
         assert!(r.fault.is_none());
         t = r.done_at.raw();
     }
@@ -120,15 +147,24 @@ fn bt_inclusivity_makes_probe_filtering_sound() {
     let mut t = 0;
     for page in 0..4u64 {
         t = mem
-            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+            .access(
+                read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t),
+                &os,
+            )
             .done_at
             .raw();
     }
     // Probes to the 4 cached pages must not be filtered; probes to
     // the 4 never-touched pages must be.
     for page in 0..8u64 {
-        let (pa, _) = os.translate(pid, region.addr_at(page * PAGE_BYTES)).expect("mapped");
-        let resp = mem.handle_probe(Probe { paddr: pa, kind: ProbeKind::Downgrade, at: Cycle::new(t) });
+        let (pa, _) = os
+            .translate(pid, region.addr_at(page * PAGE_BYTES))
+            .expect("mapped");
+        let resp = mem.handle_probe(Probe {
+            paddr: pa,
+            kind: ProbeKind::Downgrade,
+            at: Cycle::new(t),
+        });
         assert_eq!(resp.filtered, page >= 4, "page {page}");
     }
 }
@@ -137,12 +173,17 @@ fn bt_inclusivity_makes_probe_filtering_sound() {
 fn process_teardown_clears_all_its_state() {
     let (mut os, pid, region) = os_with_region(16);
     let other = os.create_process();
-    let other_region = os.mmap(other, 4 * PAGE_BYTES, Perms::READ_WRITE).expect("fits");
+    let other_region = os
+        .mmap(other, 4 * PAGE_BYTES, Perms::READ_WRITE)
+        .expect("fits");
     let mut mem = MemorySystem::new(SystemConfig::vc_with_opt());
     let mut t = 0;
     for page in 0..16u64 {
         t = mem
-            .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+            .access(
+                read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t),
+                &os,
+            )
             .done_at
             .raw();
     }
@@ -151,7 +192,11 @@ fn process_teardown_clears_all_its_state() {
         .done_at
         .raw();
     mem.apply_shootdown(&Shootdown::AllOf { asid: pid.asid() }, Cycle::new(t));
-    assert_eq!(mem.fbt().occupancy(), 1, "only the other process's page survives");
+    assert_eq!(
+        mem.fbt().occupancy(),
+        1,
+        "only the other process's page survives"
+    );
     mem.check_virtual_invariants();
 }
 
@@ -163,7 +208,10 @@ fn baseline_and_l1only_apply_shootdowns_too() {
         let mut t = 0;
         for page in 0..8u64 {
             t = mem
-                .access(read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t), &os)
+                .access(
+                    read(pid.asid(), region.addr_at(page * PAGE_BYTES), 0, t),
+                    &os,
+                )
                 .done_at
                 .raw();
         }
@@ -188,7 +236,10 @@ fn large_pages_work_through_the_whole_hierarchy() {
         let mut t = 0;
         for i in 0..256u64 {
             let off = (i * 31 * 4096 + (i % 32) * 128) % big.bytes();
-            let r = mem.access(read(pid.asid(), big.addr_at(off & !127), (i % 16) as usize, t), &os);
+            let r = mem.access(
+                read(pid.asid(), big.addr_at(off & !127), (i % 16) as usize, t),
+                &os,
+            );
             assert!(r.fault.is_none(), "large-page access faulted");
             t = r.done_at.raw();
         }
@@ -200,7 +251,10 @@ fn large_pages_work_through_the_whole_hierarchy() {
     let sd = os.munmap_large(pid, big.start().vpn()).expect("mapped");
     mem.apply_shootdown(&sd, r.done_at);
     assert_eq!(mem.fbt().occupancy(), 0);
-    let dead = mem.access(read(pid.asid(), big.start(), 0, r.done_at.raw() + 100_000), &os);
+    let dead = mem.access(
+        read(pid.asid(), big.start(), 0, r.done_at.raw() + 100_000),
+        &os,
+    );
     assert_eq!(dead.fault, Some(AccessFault::PageFault));
     mem.check_virtual_invariants();
 }

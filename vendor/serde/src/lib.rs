@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the small serialization surface it actually uses: derived
+//! `Serialize`/`Deserialize` on plain structs and enums, plus
+//! `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! Instead of serde's visitor architecture, both traits go through an
+//! owned tree, [`Value`]. Maps preserve insertion (declaration) order,
+//! so serialized output is deterministic — a property the benchmark
+//! harness relies on for byte-identical `repro` output across worker
+//! counts.
+
+pub use self::de::Deserialize;
+pub use self::ser::Serialize;
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization tree. JSON-shaped, with integers kept exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (all unsigned types, and `u64` exactly).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+/// A serialization or deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// "expected TYPE, found VALUE".
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, found {got:?}"))
+    }
+
+    /// Unknown enum variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Extracts the map entries of `v`, or errors naming `ty`.
+pub fn expect_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(Error::expected(ty, other)),
+    }
+}
+
+/// Extracts a sequence of exactly `len` elements, or errors naming `ty`.
+pub fn expect_seq<'v>(v: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Seq(s) if s.len() == len => Ok(s),
+        other => Err(Error::expected(ty, other)),
+    }
+}
+
+/// Looks up field `name` in a derived struct's map.
+pub fn map_field<'m>(m: &'m [(String, Value)], name: &str, ty: &str) -> Result<&'m Value, Error> {
+    m.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}` in {ty}")))
+}
+
+mod ser {
+    use super::Value;
+
+    /// Converts a value into the serialization tree.
+    pub trait Serialize {
+        /// This value as a [`Value`].
+        fn to_value(&self) -> Value;
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    macro_rules! ser_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::UInt(*self as u64)
+                }
+            }
+        )*};
+    }
+    ser_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    let v = *self as i64;
+                    if v >= 0 {
+                        Value::UInt(v as u64)
+                    } else {
+                        Value::Int(v)
+                    }
+                }
+            }
+        )*};
+    }
+    ser_int!(i8, i16, i32, i64, isize);
+
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self)
+        }
+    }
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self as f64)
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    macro_rules! ser_tuple {
+        ($($idx:tt : $t:ident),+) => {
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Seq(vec![$(self.$idx.to_value()),+])
+                }
+            }
+        };
+    }
+    ser_tuple!(0: A);
+    ser_tuple!(0: A, 1: B);
+    ser_tuple!(0: A, 1: B, 2: C);
+    ser_tuple!(0: A, 1: B, 2: C, 3: D);
+    ser_tuple!(0: A, 1: B, 2: C, 3: D, 4: E);
+    ser_tuple!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
+}
+
+mod de {
+    use super::{Error, Value};
+
+    /// Reconstructs a value from the serialization tree.
+    pub trait Deserialize: Sized {
+        /// Parses `v` into `Self`.
+        fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                other => Err(Error::expected("bool", other)),
+            }
+        }
+    }
+
+    fn as_u64(v: &Value, what: &str) -> Result<u64, Error> {
+        match v {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Ok(*f as u64)
+            }
+            other => Err(Error::expected(what, other)),
+        }
+    }
+
+    fn as_i64(v: &Value, what: &str) -> Result<i64, Error> {
+        match v {
+            Value::UInt(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+            Value::Int(n) => Ok(*n),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(Error::expected(what, other)),
+        }
+    }
+
+    macro_rules! de_uint {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let n = as_u64(v, stringify!($t))?;
+                    <$t>::try_from(n).map_err(|_| Error::msg(
+                        format!("{n} out of range for {}", stringify!($t)),
+                    ))
+                }
+            }
+        )*};
+    }
+    de_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! de_int {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let n = as_i64(v, stringify!($t))?;
+                    <$t>::try_from(n).map_err(|_| Error::msg(
+                        format!("{n} out of range for {}", stringify!($t)),
+                    ))
+                }
+            }
+        )*};
+    }
+    de_int!(i8, i16, i32, i64, isize);
+
+    impl Deserialize for f64 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Float(f) => Ok(*f),
+                Value::UInt(n) => Ok(*n as f64),
+                Value::Int(n) => Ok(*n as f64),
+                // serde_json emits non-finite floats as null.
+                Value::Null => Ok(f64::NAN),
+                other => Err(Error::expected("f64", other)),
+            }
+        }
+    }
+
+    impl Deserialize for f32 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            f64::from_value(v).map(|f| f as f32)
+        }
+    }
+
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(Error::expected("string", other)),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Seq(s) => s.iter().map(T::from_value).collect(),
+                other => Err(Error::expected("sequence", other)),
+            }
+        }
+    }
+
+    macro_rules! de_tuple {
+        ($len:literal; $($idx:tt : $t:ident),+) => {
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let s = super::expect_seq(v, $len, concat!("tuple of ", $len))?;
+                    Ok(($($t::from_value(&s[$idx])?,)+))
+                }
+            }
+        };
+    }
+    de_tuple!(1; 0: A);
+    de_tuple!(2; 0: A, 1: B);
+    de_tuple!(3; 0: A, 1: B, 2: C);
+    de_tuple!(4; 0: A, 1: B, 2: C, 3: D);
+    de_tuple!(5; 0: A, 1: B, 2: C, 3: D, 4: E);
+    de_tuple!(6; 0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        let v: Vec<u64> = Deserialize::from_value(&vec![1u64, 2, 3].to_value()).unwrap();
+        assert_eq!(v, [1, 2, 3]);
+        let t: (u64, bool) = Deserialize::from_value(&(7u64, false).to_value()).unwrap();
+        assert_eq!(t, (7, false));
+        let o: Option<u64> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn errors_name_the_expectation() {
+        let e = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.to_string().contains("u64"));
+        assert!(map_field(&[], "f", "S").is_err());
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde implementation (see `vendor/serde`). This
+//! proc-macro crate derives that implementation's `Serialize` and
+//! `Deserialize` traits for the shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and wider),
+//! * unit structs,
+//! * enums whose variants are unit, named-field, or tuple.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not
+//! supported; deriving on such an item is a compile error. The macro
+//! parses the item's token stream directly (no `syn`/`quote`, which
+//! are equally unavailable offline) and emits the impl as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    /// `struct S;` or enum variant `V`.
+    Unit,
+    /// `struct S { a: T, b: U }` — the field names, in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — the field count.
+    Tuple(usize),
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The derivable item shapes.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` (the vendored JSON-value trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct(name, fields) => gen_struct_serialize(name, fields),
+        Item::Enum(name, variants) => gen_enum_serialize(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored JSON-value trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct(name, fields) => gen_struct_deserialize(name, fields),
+        Item::Enum(name, variants) => gen_enum_deserialize(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes, doc comments, and visibility.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                let _ = it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` possibly followed by `(crate)` etc.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = it.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    if kind == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(name, Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(name, Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` (named-field body), returning field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes / docs / visibility before the field name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token before field name: {other}"),
+                None => return names,
+            }
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        // Consume the type: everything up to a comma at angle-depth 0.
+        // Parens/brackets/braces arrive as whole groups, so only `<`/`>`
+        // need explicit depth tracking.
+        let mut angle = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return names,
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple body `T, U, ...`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    let mut angle = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                saw_token = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                saw_token = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                saw_token = false;
+            }
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes / docs before the variant name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = it.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in enum body: {other}"),
+                None => return variants,
+            }
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                ),
+                Fields::Named(fs) => {
+                    let binds = fs.join(", ");
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Map(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(::std::vec![{}])", vals.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(__m, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = ::serde::expect_map(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = ::serde::expect_seq(__v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})")
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_field(__fm, \"{f}\", \"{name}::{vn}\")?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let __fm = ::serde::expect_map(__inner, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                )),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let __s = ::serde::expect_seq(__inner, {n}, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Str(__s) = __v {{\n\
+                 return match __s.as_str() {{\n\
+                     {},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::unknown_variant(__s, \"{name}\")),\n\
+                 }};\n\
+             }}",
+            unit_arms.join(",\n")
+        )
+    };
+    let data_match = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Map(__m) = __v {{\n\
+                 if __m.len() == 1 {{\n\
+                     let (__k, __inner) = &__m[0];\n\
+                     return match __k.as_str() {{\n\
+                         {},\n\
+                         _ => ::std::result::Result::Err(::serde::Error::unknown_variant(__k, \"{name}\")),\n\
+                     }};\n\
+                 }}\n\
+             }}",
+            data_arms.join(",\n")
+        )
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {unit_match}\n\
+                 {data_match}\n\
+                 ::std::result::Result::Err(::serde::Error::expected(\"{name}\", __v))\n\
+             }}\n\
+         }}"
+    )
+}
