@@ -14,6 +14,15 @@ echo "== cargo build --release"
 cargo build --release --workspace
 
 echo "== cargo test"
-cargo test -q --workspace
+# Bounded fuzz budget for the property/differential suites; override
+# with PROPTEST_CASES=N (0 skips generated cases entirely).
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --workspace
+
+echo "== paranoid invariant sweep (release)"
+# All 15 workloads under every design with the gvc::check invariant
+# checker on (tests/tests/paranoid.rs also covers one workload per
+# access-pattern class — streaming, blocked, divergent — in the
+# default suite above).
+cargo test --release -q -p gvc-integration --test paranoid -- --include-ignored
 
 echo "CI OK"

@@ -20,7 +20,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [table1|table2|fig2|fig3|fig4|fig5|fig8|fig9|fig10|fig11|fig12|ablations|energy|all]... \
-         [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N]"
+         [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid]"
     );
     std::process::exit(2);
 }
@@ -56,6 +56,9 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 runner::set_jobs(Some(n));
             }
+            // Run every simulation under the gvc::check invariant
+            // checker; any violated invariant aborts the repro run.
+            "--paranoid" => runner::set_force_paranoid(true),
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }

@@ -31,6 +31,20 @@ static MEMOIZE: AtomicBool = AtomicBool::new(true);
 /// [`std::thread::available_parallelism`].
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 
+/// When set, every computed run gets [`SystemConfig::with_paranoid`]
+/// applied (`repro --paranoid`). Applied at [`compute`] so the figure
+/// collectors stay untouched; the checker is a pure observer, so
+/// reports are identical either way — runs just abort on any invariant
+/// violation.
+static FORCE_PARANOID: AtomicBool = AtomicBool::new(false);
+
+/// Forces paranoid invariant checking onto every run (see
+/// [`FORCE_PARANOID`]). Flip this before any run is computed: memoized
+/// reports are keyed by the *pre-force* config and are not recomputed.
+pub fn set_force_paranoid(enabled: bool) {
+    FORCE_PARANOID.store(enabled, Ordering::SeqCst);
+}
+
 /// Enables or disables run memoization (see [`run`]).
 pub fn set_memoization(enabled: bool) {
     MEMOIZE.store(enabled, Ordering::SeqCst);
@@ -136,7 +150,12 @@ pub fn cache_len() -> usize {
 /// Computes one report from scratch. Deterministic in the key alone.
 fn compute(key: &RunKey) -> RunReport {
     let mut w = gvc_workloads::build(key.workload, key.scale, key.seed);
-    GpuSim::new(GpuConfig::default(), key.config).run(&mut *w.source, &w.os)
+    let config = if FORCE_PARANOID.load(Ordering::SeqCst) {
+        key.config.with_paranoid()
+    } else {
+        key.config
+    };
+    GpuSim::new(GpuConfig::default(), config).run(&mut *w.source, &w.os)
 }
 
 /// Runs (or retrieves) one simulation.

@@ -138,6 +138,7 @@ impl BankedCache {
             total.lookups.add(s.lookups.get());
             total.hits.add(s.hits.get());
             total.misses.add(s.misses.get());
+            total.fills.add(s.fills.get());
             total.evictions.add(s.evictions.get());
             total.writebacks.add(s.writebacks.get());
             total.invalidations.add(s.invalidations.get());

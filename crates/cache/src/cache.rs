@@ -131,6 +131,11 @@ pub struct CacheStats {
     pub hits: Counter,
     /// Misses.
     pub misses: Counter,
+    /// Lines newly allocated by [`SetAssocCache::insert`] (in-place
+    /// updates of resident keys are not fills). For an L2 that
+    /// allocates exactly once per memory fetch this equals the DRAM
+    /// lines read — one of the conservation laws paranoid mode checks.
+    pub fills: Counter,
     /// Capacity/conflict evictions.
     pub evictions: Counter,
     /// Dirty evictions (write-backs).
@@ -216,8 +221,12 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, key: LineKey) -> usize {
-        (((key.line >> self.config.index_shift) ^ ((key.asid.0 as u64) << 13))
-            % self.sets.len() as u64) as usize
+        // Fold the ASID below the set-index width with an odd-constant
+        // multiply; a plain left shift (the old `<< 13`) sat above the
+        // modulus for every real geometry (64..128 sets), so homonyms
+        // of one line index conflict-thrashed a single set.
+        let mix = (key.asid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (((key.line >> self.config.index_shift) ^ mix) % self.sets.len() as u64) as usize
     }
 
     /// Looks up a line; a hit updates recency and `last_access`.
@@ -298,6 +307,7 @@ impl SetAssocCache {
             }
             victim = Some(v);
         }
+        self.stats.fills.inc();
         slots.push(Slot {
             line: CacheLine {
                 key,
@@ -545,6 +555,53 @@ mod tests {
         assert!(removed.iter().all(|l| l.key.page() == 0));
         assert_eq!(c.len(), 32);
         assert!(c.iter().all(|l| l.key.page() == 1));
+    }
+
+    #[test]
+    fn fills_count_new_allocations_only() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        c.insert(key(1), Perms::READ_WRITE, false, Cycle::new(0));
+        c.insert(key(1), Perms::READ_WRITE, true, Cycle::new(1)); // in place
+        c.insert(key(2), Perms::READ_WRITE, false, Cycle::new(2));
+        assert_eq!(c.stats().fills.get(), 2);
+    }
+
+    #[test]
+    fn homonym_asids_use_distinct_sets_for_real_geometries() {
+        // Regression: the ASID used to be shifted left by 13 before the
+        // XOR, above the 64- and 128-set index widths of the L1 and L2
+        // bank, so the modulus erased it.
+        for cfg in [CacheConfig::gpu_l1(), CacheConfig::gpu_l2_bank()] {
+            let c = SetAssocCache::new(cfg);
+            let line = 0x42u64 << cfg.index_shift;
+            let a = c.set_index(LineKey::new(Asid(1), line));
+            let b = c.set_index(LineKey::new(Asid(2), line));
+            assert_ne!(
+                a,
+                b,
+                "ASIDs 1 and 2 sharing line {line} must index different sets \
+                 ({} sets)",
+                cfg.sets()
+            );
+        }
+    }
+
+    #[test]
+    fn homonyms_spread_across_sets_without_thrashing() {
+        // ways+1 homonyms of one line index in the 4-way L1: with the
+        // ASID folded into the index they occupy distinct sets and
+        // nothing is evicted (pre-fix they shared one set and thrashed).
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        for a in 0..5u16 {
+            c.insert(
+                LineKey::new(Asid(a), 7),
+                Perms::READ_WRITE,
+                false,
+                Cycle::new(a as u64),
+            );
+        }
+        assert_eq!(c.stats().evictions.get(), 0, "homonyms must not thrash");
+        assert_eq!(c.len(), 5);
     }
 
     #[test]

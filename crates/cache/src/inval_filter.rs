@@ -89,6 +89,19 @@ impl InvalFilter {
         self.counters.len()
     }
 
+    /// The filter's line count for `(asid, vpn)` — 0 when untracked.
+    /// Correctness requires this never under-counts the L1's true
+    /// per-page residency; the paranoid checker asserts exactly that.
+    pub fn line_count(&self, asid: Asid, vpn: Vpn) -> u32 {
+        self.counters.get(&(asid, vpn)).copied().unwrap_or(0)
+    }
+
+    /// Iterates over tracked pages and their line counts (diagnostics
+    /// and invariants).
+    pub fn iter(&self) -> impl Iterator<Item = ((Asid, Vpn), u32)> + '_ {
+        self.counters.iter().map(|(&k, &c)| (k, c))
+    }
+
     /// High-water mark of tracked pages (to size the real structure;
     /// the paper budgets ~1 KB per 32 KB L1).
     pub fn max_occupancy(&self) -> usize {

@@ -112,6 +112,13 @@ pub struct SystemConfig {
     pub dynamic_synonym_remapping: bool,
     /// Per-CU synonym remapping table geometry.
     pub remap: RemapConfig,
+    /// Paranoid mode: after every memory-system step, assert the
+    /// structural invariants the paper's correctness argument rests on
+    /// (FBT↔L2 inclusivity, leading-VPN discipline, invalidation-filter
+    /// conservatism) plus the stats conservation laws. Off by default;
+    /// when off the checker never runs and behavior is unchanged. See
+    /// [`crate::check`].
+    pub paranoid: bool,
 }
 
 impl SystemConfig {
@@ -135,6 +142,7 @@ impl SystemConfig {
             use_inval_filter: true,
             dynamic_synonym_remapping: false,
             remap: RemapConfig::default(),
+            paranoid: false,
         }
     }
 
@@ -244,6 +252,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables paranoid invariant checking (see [`crate::check`]).
+    pub fn with_paranoid(mut self) -> Self {
+        self.paranoid = true;
+        self
+    }
+
     /// Short design label for reports.
     pub fn label(&self) -> &'static str {
         match self.design {
@@ -316,6 +330,8 @@ mod tests {
                 .with_lifetimes()
                 .track_lifetimes
         );
+        assert!(!SystemConfig::vc_with_opt().paranoid, "off by default");
+        assert!(SystemConfig::vc_with_opt().with_paranoid().paranoid);
     }
 
     #[test]

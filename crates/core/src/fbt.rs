@@ -226,6 +226,12 @@ impl Fbt {
         idx
     }
 
+    /// Peeks the FT by (leading) virtual page without touching
+    /// statistics — for invariant checks that must not perturb counts.
+    pub fn peek_va(&self, asid: Asid, vpn: Vpn) -> Option<BtIndex> {
+        self.ft.get(&LeadingVa { asid, vpn }).copied()
+    }
+
     /// Forward-translates a leading virtual page (the second-level-TLB
     /// use of the FBT, "VC With OPT").
     pub fn translate(&mut self, asid: Asid, vpn: Vpn) -> Option<(Ppn, Perms)> {

@@ -36,6 +36,17 @@ impl MemorySystem {
     /// Applies an OS TLB shootdown at `now`; returns when the
     /// acknowledge would be sent.
     pub fn apply_shootdown(&mut self, sd: &Shootdown, now: Cycle) -> Cycle {
+        let done = self.apply_shootdown_inner(sd, now);
+        if self.cfg.paranoid {
+            // Shootdowns are where inclusivity is easiest to break, so
+            // force a full sweep instead of waiting for the next one.
+            self.steps_since_sweep = 0;
+            self.check_invariants();
+        }
+        done
+    }
+
+    fn apply_shootdown_inner(&mut self, sd: &Shootdown, now: Cycle) -> Cycle {
         match sd {
             Shootdown::Pages { asid, vpns } => {
                 let mut t = now;
@@ -121,6 +132,15 @@ impl MemorySystem {
 
     /// Handles a CPU coherence probe.
     pub fn handle_probe(&mut self, probe: Probe) -> ProbeResponse {
+        let resp = self.handle_probe_inner(probe);
+        if self.cfg.paranoid {
+            self.steps_since_sweep = 0;
+            self.check_invariants();
+        }
+        resp
+    }
+
+    fn handle_probe_inner(&mut self, probe: Probe) -> ProbeResponse {
         self.counters.probes.inc();
         let arrive = probe.at + self.noc.dir_to_gpu();
         match self.cfg.design {

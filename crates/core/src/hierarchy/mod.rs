@@ -162,6 +162,9 @@ pub struct MemorySystem {
     pub(crate) srt: Vec<RemapTable>,
     pub(crate) counters: HierCounters,
     pub(crate) lifetimes: Option<Lifetimes>,
+    /// Accesses processed since the last full paranoid sweep (see
+    /// [`crate::check`]).
+    pub(crate) steps_since_sweep: u32,
 }
 
 impl MemorySystem {
@@ -186,6 +189,7 @@ impl MemorySystem {
             srt: (0..cfg.n_cus).map(|_| RemapTable::new(cfg.remap)).collect(),
             counters: HierCounters::default(),
             lifetimes,
+            steps_since_sweep: 0,
             cfg,
         }
     }
@@ -224,13 +228,17 @@ impl MemorySystem {
         } else {
             self.counters.reads.inc();
         }
-        match self.cfg.design {
+        let result = match self.cfg.design {
             MmuDesign::Baseline => self.access_baseline(access, os),
             MmuDesign::VirtualHierarchy {
                 fbt_as_second_level,
             } => self.access_virtual(access, os, fbt_as_second_level),
             MmuDesign::L1OnlyVirtual => self.access_l1only(access, os),
+        };
+        if self.cfg.paranoid {
+            self.paranoid_step();
         }
+        result
     }
 
     // ------------------------------------------------------------------
@@ -399,6 +407,7 @@ impl MemorySystem {
             l1.lookups.add(s.lookups.get());
             l1.hits.add(s.hits.get());
             l1.misses.add(s.misses.get());
+            l1.fills.add(s.fills.get());
             l1.evictions.add(s.evictions.get());
             l1.writebacks.add(s.writebacks.get());
             l1.invalidations.add(s.invalidations.get());
@@ -438,7 +447,7 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics on any violated invariant.
-    pub fn check_virtual_invariants(&mut self) {
+    pub fn check_virtual_invariants(&self) {
         if !matches!(self.cfg.design, MmuDesign::VirtualHierarchy { .. }) {
             return;
         }
@@ -450,7 +459,7 @@ impl MemorySystem {
             let vpn = gvc_mem::Vpn::new(key.page());
             let idx = self
                 .fbt
-                .lookup_va(key.asid, vpn)
+                .peek_va(key.asid, vpn)
                 .unwrap_or_else(|| panic!("L2 line {key:?} has no FBT entry"));
             let e = self.fbt.entry(idx);
             assert_eq!(e.leading.asid, key.asid, "leading ASID mismatch");

@@ -30,6 +30,11 @@
 //!   including shootdowns and CPU coherence probes.
 //! * [`report`] — [`MemReport`], the statistics snapshot every figure
 //!   harness consumes.
+//! * [`check`] — the paranoid invariant checker: executable forms of
+//!   the paper's correctness invariants (FBT inclusivity, the leading
+//!   discipline, invalidation-filter conservatism) plus the stats
+//!   conservation laws, run after every access when
+//!   [`SystemConfig::with_paranoid`] is set.
 //!
 //! # Quick start
 //!
@@ -62,6 +67,7 @@
 //! ```
 
 pub mod bitvec;
+pub mod check;
 pub mod config;
 pub mod energy;
 pub mod fbt;

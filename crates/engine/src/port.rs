@@ -180,12 +180,24 @@ impl TokenPort {
 
     /// Schedules an `nbytes` transfer arriving at `arrival`; returns the
     /// cycle at which the last byte has moved.
+    ///
+    /// A zero-byte transfer consumes no bandwidth and completes in the
+    /// first cycle at or after `arrival` with any free bandwidth — if
+    /// the head cycle's bandwidth is already fully consumed, that is
+    /// the following cycle, never the exhausted one.
     pub fn transfer(&mut self, arrival: Cycle, nbytes: u64) -> Cycle {
         self.transfers += 1;
         self.bytes_total += nbytes;
         if arrival > self.head {
             self.head = arrival;
             self.used_at_head = 0;
+        }
+        if nbytes == 0 {
+            return if self.used_at_head < self.bytes_per_cycle {
+                self.head
+            } else {
+                self.head + crate::time::Duration::new(1)
+            };
         }
         let mut remaining = nbytes;
         // Consume the partial cycle at head first, then whole cycles.
@@ -281,6 +293,23 @@ mod tests {
         assert_eq!(d.transfer(Cycle::new(0), 1), Cycle::new(4));
         assert_eq!(d.bytes_total(), 401);
         assert_eq!(d.transfers(), 4);
+    }
+
+    #[test]
+    fn token_port_zero_byte_transfer_edges() {
+        // On an idle pipe a zero-byte transfer completes at arrival.
+        let mut d = TokenPort::new(100);
+        assert_eq!(d.transfer(Cycle::new(5), 0), Cycle::new(5));
+        // After an exactly-full head cycle, zero bytes cannot complete
+        // in the exhausted cycle (regression: it used to return head).
+        let mut d = TokenPort::new(100);
+        assert_eq!(d.transfer(Cycle::new(0), 100), Cycle::new(0));
+        assert_eq!(d.transfer(Cycle::new(0), 0), Cycle::new(1));
+        // Zero-byte transfers consume no bandwidth: a following real
+        // transfer is scheduled as if they never happened.
+        assert_eq!(d.transfer(Cycle::new(1), 100), Cycle::new(1));
+        assert_eq!(d.bytes_total(), 200);
+        assert_eq!(d.transfers(), 3);
     }
 
     #[test]

@@ -299,6 +299,11 @@ impl GpuSim {
             now = kernel_end;
         }
 
+        if self.mem.config().paranoid {
+            // End-of-run sweep: the whole run must leave the hierarchy
+            // in an invariant-respecting state, not just each window.
+            self.mem.check_invariants();
+        }
         let mem = self.mem.finish(now);
         RunReport {
             workload,

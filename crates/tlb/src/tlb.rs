@@ -224,7 +224,11 @@ impl Tlb {
 
     fn set_index(&self, key: TlbKey) -> usize {
         // Mix the ASID in so homonym-heavy workloads spread across sets.
-        ((key.vpn.raw() ^ (key.asid.0 as u64) << 17) % self.sets.len() as u64) as usize
+        // An odd-constant multiply folds ASID bits below the set-index
+        // width; a plain left shift would put them above the modulus
+        // (at most 2^11 sets here) and be discarded entirely.
+        let mix = (key.asid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((key.vpn.raw() ^ mix) % self.sets.len() as u64) as usize
     }
 
     /// Looks up a translation, updating recency on a hit.
@@ -496,6 +500,46 @@ mod tests {
         assert_eq!(tlb.len(), 3);
         assert_eq!(tlb.flush(), 3);
         assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn homonym_asids_use_distinct_sets_for_real_geometries() {
+        // Regression: the ASID used to be shifted left by 17 before the
+        // XOR, above every real set-index width (64..2048 sets), so the
+        // modulus erased it and homonyms conflict-thrashed one set.
+        for entries in [512usize, 16 * 1024] {
+            let tlb = Tlb::new(TlbConfig::shared(entries));
+            let vpn = Vpn::new(0x42);
+            let a = tlb.set_index(TlbKey::new(Asid(1), vpn));
+            let b = tlb.set_index(TlbKey::new(Asid(2), vpn));
+            assert_ne!(
+                a, b,
+                "ASIDs 1 and 2 sharing VPN {vpn:?} must index different sets \
+                 ({entries} entries)"
+            );
+        }
+    }
+
+    #[test]
+    fn homonyms_spread_across_sets_without_thrashing() {
+        // Nine homonyms of one VPN in the 8-way shared TLB: with the
+        // ASID folded into the index they land in distinct sets, so
+        // none evicts another (pre-fix they all shared one set and the
+        // ninth insert displaced the first).
+        let mut tlb = Tlb::new(TlbConfig::shared(512));
+        let vpn = Vpn::new(7);
+        for a in 0..9u16 {
+            tlb.insert(
+                TlbKey::new(Asid(a), vpn),
+                Ppn::new(a as u64),
+                Perms::READ_WRITE,
+                Cycle::new(a as u64),
+            );
+        }
+        assert_eq!(tlb.stats().evictions.get(), 0, "homonyms must not thrash");
+        for a in 0..9u16 {
+            assert!(tlb.peek(TlbKey::new(Asid(a), vpn)).is_some());
+        }
     }
 
     #[test]

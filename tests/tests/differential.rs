@@ -1,0 +1,298 @@
+//! The cross-design differential oracle.
+//!
+//! Table 2's five MMU designs are five *timing* models of the same
+//! architecture: whatever they cost in cycles, they must agree on every
+//! architectural outcome. This harness generates random access streams
+//! with synonyms (same-process aliases and cross-process shared
+//! mappings), homonyms (two processes reusing the same virtual
+//! addresses), TLB shootdowns (`munmap` and `mprotect`), and CPU
+//! coherence probes, replays each stream through every preset with
+//! paranoid checking enabled, and asserts that all designs produce:
+//!
+//! * the identical per-access fault sequence, and
+//! * the identical final write-back state (the set of dirty physical
+//!   lines), which must equal the trace's own ground truth.
+//!
+//! Traces are constructed so no design ever writes back to DRAM (writes
+//! go only to small private regions that are never unmapped, probed, or
+//! reprotected; synonym and doomed regions are read-only), so the dirty
+//! resident lines *are* the final memory image and can be compared
+//! exactly.
+
+use gvc::{AccessFault, LineAccess, MemorySystem, SystemConfig};
+use gvc_engine::Cycle;
+use gvc_mem::{OsLite, Perms, ProcessId, VRange, PAGE_BYTES};
+use gvc_soc::{Probe, ProbeKind};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One step of a generated trace, already resolved against the fixed
+/// region layout below (kind, page, line, cu).
+type RawOp = (u8, u64, u64, u8);
+
+const PRIV_PAGES: u64 = 8;
+const RO_PAGES: u64 = 4;
+const DOOMED_PAGES: u64 = 2;
+const PROT_PAGES: u64 = 2;
+
+/// The fixed memory layout every trace runs against. Rebuilt from
+/// scratch per design so `munmap`/`mprotect` effects cannot leak.
+struct World {
+    os: OsLite,
+    p0: ProcessId,
+    p1: ProcessId,
+    /// Private read-write regions — the only write targets. `priv0` and
+    /// `priv1` start at the same virtual address in different address
+    /// spaces: true homonyms.
+    priv0: VRange,
+    priv1: VRange,
+    /// Read-only region plus a same-process alias and a cross-process
+    /// shared mapping of it (synonyms).
+    ro: VRange,
+    ro_alias: VRange,
+    ro_shared: VRange,
+    /// Read-only region a trace event may unmap.
+    doomed: VRange,
+    /// Read-write region a trace event may downgrade to read-only;
+    /// never written while writable.
+    prot: VRange,
+}
+
+impl World {
+    fn build() -> Self {
+        let mut os = OsLite::new(256 << 20);
+        let p0 = os.create_process();
+        let p1 = os.create_process();
+        let priv0 = os
+            .mmap(p0, PRIV_PAGES * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let priv1 = os
+            .mmap(p1, PRIV_PAGES * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        assert_eq!(
+            priv0.start(),
+            priv1.start(),
+            "layout must produce true homonyms"
+        );
+        let ro = os
+            .mmap(p0, RO_PAGES * PAGE_BYTES, Perms::READ_ONLY)
+            .unwrap();
+        let ro_alias = os.mmap_alias(p0, ro).unwrap();
+        let ro_shared = os.mmap_shared(p1, p0, ro).unwrap();
+        let doomed = os
+            .mmap(p0, DOOMED_PAGES * PAGE_BYTES, Perms::READ_ONLY)
+            .unwrap();
+        let prot = os
+            .mmap(p0, PROT_PAGES * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        World {
+            os,
+            p0,
+            p1,
+            priv0,
+            priv1,
+            ro,
+            ro_alias,
+            ro_shared,
+            doomed,
+            prot,
+        }
+    }
+}
+
+/// The architectural outcome of one replay.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    faults: Vec<Option<AccessFault>>,
+    dirty: BTreeSet<u64>,
+    dram_writes: u64,
+}
+
+/// Replays `ops` through one design. Returns the outcome plus the
+/// trace's own ground truth of written physical lines (identical for
+/// every design because the layout is rebuilt identically).
+fn replay(cfg: SystemConfig, ops: &[RawOp]) -> (Outcome, BTreeSet<u64>) {
+    let mut w = World::build();
+    let mut mem = MemorySystem::new(cfg.with_paranoid());
+    let mut t = Cycle::ZERO;
+    let mut faults = Vec::with_capacity(ops.len());
+    let mut expected_written = BTreeSet::new();
+    let mut doomed_gone = false;
+    let mut prot_ro = false;
+
+    for &(kind, page, line, cu) in ops {
+        let cu = cu as usize % 16;
+        let off = |pages: u64| (page % pages) * PAGE_BYTES + (line % 32) * 128;
+        let access = |mem: &mut MemorySystem, t: &mut Cycle, pid: ProcessId, va, is_write| {
+            let r = mem.access(
+                LineAccess {
+                    cu,
+                    asid: pid.asid(),
+                    vaddr: va,
+                    is_write,
+                    at: *t,
+                },
+                &w.os,
+            );
+            *t = r.done_at;
+            r.fault
+        };
+        match kind {
+            // Reads and writes to the private homonym regions — the
+            // only writes any trace performs.
+            0 | 1 => {
+                let (pid, region) = if kind == 0 {
+                    (w.p0, w.priv0)
+                } else {
+                    (w.p1, w.priv1)
+                };
+                let va = region.addr_at(off(PRIV_PAGES));
+                let is_write = line % 2 == 0;
+                if is_write {
+                    let (pa, _) = w.os.translate(pid, va).unwrap();
+                    expected_written.insert(pa.line_index());
+                }
+                faults.push(access(&mut mem, &mut t, pid, va, is_write));
+            }
+            // Synonym reads: the same physical page through its leading
+            // name, a same-process alias, or another process's shared
+            // mapping.
+            2 => {
+                let (pid, region) = match line % 3 {
+                    0 => (w.p0, w.ro),
+                    1 => (w.p0, w.ro_alias),
+                    _ => (w.p1, w.ro_shared),
+                };
+                let va = region.addr_at(off(RO_PAGES));
+                faults.push(access(&mut mem, &mut t, pid, va, false));
+            }
+            // Doomed region: reads fault uniformly once it is unmapped.
+            3 => {
+                let va = w.doomed.addr_at(off(DOOMED_PAGES));
+                let fault = access(&mut mem, &mut t, w.p0, va, false);
+                if doomed_gone {
+                    assert_eq!(fault, Some(AccessFault::PageFault));
+                }
+                faults.push(fault);
+            }
+            // Protected region: reads while writable, write attempts
+            // (uniform PermissionDenied) once downgraded.
+            4 => {
+                let va = w.prot.addr_at(off(PROT_PAGES));
+                let fault = access(&mut mem, &mut t, w.p0, va, prot_ro);
+                if prot_ro {
+                    assert_eq!(fault, Some(AccessFault::PermissionDenied));
+                }
+                faults.push(fault);
+            }
+            // OS / coherence events.
+            _ => match line % 3 {
+                0 if !doomed_gone => {
+                    doomed_gone = true;
+                    let sd = w.os.munmap(w.p0, w.doomed).unwrap();
+                    t = t.max(mem.apply_shootdown(&sd, t));
+                }
+                1 if !prot_ro => {
+                    prot_ro = true;
+                    let sd = w.os.mprotect(w.p0, w.prot, Perms::READ_ONLY).unwrap();
+                    t = t.max(mem.apply_shootdown(&sd, t));
+                }
+                _ => {
+                    // Probe a read-only physical page: clean data, so
+                    // invalidation never writes back in any design.
+                    let va = w.ro.addr_at((page % RO_PAGES) * PAGE_BYTES);
+                    let (pa, _) = w.os.translate(w.p0, va).unwrap();
+                    let resp = mem.handle_probe(Probe {
+                        paddr: pa,
+                        kind: ProbeKind::Invalidate,
+                        at: t,
+                    });
+                    t = t.max(resp.done_at);
+                }
+            },
+        }
+    }
+
+    mem.check_invariants();
+    let dirty = mem.dirty_physical_lines();
+    let report = mem.finish(t);
+    (
+        Outcome {
+            faults,
+            dirty,
+            dram_writes: report.dram_writes,
+        },
+        expected_written,
+    )
+}
+
+fn presets() -> [(&'static str, SystemConfig); 5] {
+    [
+        ("IDEAL MMU", SystemConfig::ideal_mmu()),
+        ("Baseline 512", SystemConfig::baseline_512()),
+        ("Baseline 16K", SystemConfig::baseline_16k()),
+        ("VC Without OPT", SystemConfig::vc_without_opt()),
+        ("VC With OPT", SystemConfig::vc_with_opt()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// All five Table 2 designs agree on every architectural outcome of
+    /// a randomized trace, and their final write-back state matches the
+    /// trace's ground truth.
+    #[test]
+    fn designs_agree_on_architectural_state(
+        ops in prop::collection::vec((0u8..6, 0u64..8, 0u64..96, 0u8..16), 1..160)
+    ) {
+        let mut reference: Option<(Outcome, BTreeSet<u64>)> = None;
+        for (name, cfg) in presets() {
+            let (outcome, expected) = replay(cfg, &ops);
+            prop_assert_eq!(
+                outcome.dram_writes, 0,
+                "{}: trace must stay small enough to never write back", name
+            );
+            prop_assert_eq!(
+                &outcome.dirty, &expected,
+                "{}: final dirty lines != lines the trace wrote", name
+            );
+            if let Some((ref first, _)) = reference {
+                prop_assert_eq!(
+                    &outcome.faults, &first.faults,
+                    "{}: fault sequence diverged from {}", name, presets()[0].0
+                );
+                prop_assert_eq!(
+                    &outcome.dirty, &first.dirty,
+                    "{}: write-back state diverged from {}", name, presets()[0].0
+                );
+            } else {
+                reference = Some((outcome, expected));
+            }
+        }
+    }
+}
+
+/// A deterministic smoke trace exercising every op kind, so the oracle
+/// path itself is covered even with `PROPTEST_CASES=0`.
+#[test]
+fn oracle_smoke_trace_agrees() {
+    let ops: Vec<RawOp> = (0u8..96)
+        .map(|i| (i % 6, i as u64 / 6 % 8, (i as u64 * 7) % 96, i % 16))
+        .collect();
+    let mut dirty: Option<BTreeSet<u64>> = None;
+    for (_, cfg) in presets() {
+        let (outcome, expected) = replay(cfg, &ops);
+        assert_eq!(outcome.dram_writes, 0);
+        assert_eq!(outcome.dirty, expected);
+        if let Some(d) = &dirty {
+            assert_eq!(&outcome.dirty, d);
+        } else {
+            assert!(
+                !outcome.dirty.is_empty(),
+                "smoke trace must write something"
+            );
+            dirty = Some(outcome.dirty);
+        }
+    }
+}

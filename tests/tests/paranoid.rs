@@ -1,0 +1,73 @@
+//! Paranoid-mode coverage: full workloads run under the invariant
+//! checker with zero violations.
+//!
+//! The checker (`gvc::check`) asserts the FBT↔cache inclusivity
+//! invariants, the leading-VPN discipline, invalidation-filter
+//! conservatism, and the stats conservation laws after every access
+//! window — so simply completing a run *is* the assertion. One workload
+//! per access-pattern class keeps the default suite fast; the `#[ignore]`d
+//! exhaustive sweep covers all 15 workloads (CI runs it in release).
+
+use gvc::SystemConfig;
+use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc_integration::all_designs;
+use gvc_workloads::{build, Scale, WorkloadId};
+
+fn run_paranoid(id: WorkloadId, cfg: SystemConfig, seed: u64) -> RunReport {
+    let mut w = build(id, Scale::test(), seed);
+    GpuSim::new(GpuConfig::default(), cfg.with_paranoid()).run(&mut *w.source, &w.os)
+}
+
+/// One workload per access-pattern class: Backprop streams
+/// sequentially, FwBlock is blocked/tiled, Bfs is divergent
+/// graph-chasing.
+fn class_representatives() -> [WorkloadId; 3] {
+    [WorkloadId::Backprop, WorkloadId::FwBlock, WorkloadId::Bfs]
+}
+
+#[test]
+fn class_representatives_hold_invariants_under_every_design() {
+    for id in class_representatives() {
+        for (name, cfg) in all_designs() {
+            let rep = run_paranoid(id, cfg, 42);
+            assert_eq!(rep.faults, 0, "{id} under {name} must not fault");
+            assert!(rep.cycles > 0, "{id} under {name} must make progress");
+        }
+    }
+}
+
+#[test]
+fn paranoid_mode_does_not_change_results() {
+    // The checker must be an observer: identical timing and stats with
+    // it on or off.
+    for (name, cfg) in all_designs() {
+        let mut w = build(WorkloadId::Bfs, Scale::test(), 42);
+        let plain = GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os);
+        let checked = run_paranoid(WorkloadId::Bfs, cfg, 42);
+        assert_eq!(plain.cycles, checked.cycles, "{name}: timing changed");
+        assert_eq!(
+            plain.mem.iommu.requests.get(),
+            checked.mem.iommu.requests.get(),
+            "{name}: IOMMU traffic changed"
+        );
+        assert_eq!(
+            plain.mem.l2.hits.get(),
+            checked.mem.l2.hits.get(),
+            "{name}: L2 behavior changed"
+        );
+    }
+}
+
+/// The acceptance sweep: all 15 workloads under every design with the
+/// checker on. Slow in debug builds, so ignored by default; CI runs it
+/// with `--release -- --ignored`.
+#[test]
+#[ignore = "exhaustive; run in release (ci.sh does)"]
+fn every_workload_holds_invariants_under_every_design() {
+    for id in WorkloadId::all() {
+        for (name, cfg) in all_designs() {
+            let rep = run_paranoid(id, cfg, 42);
+            assert_eq!(rep.faults, 0, "{id} under {name} must not fault");
+        }
+    }
+}

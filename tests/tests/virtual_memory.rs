@@ -258,3 +258,42 @@ fn large_pages_work_through_the_whole_hierarchy() {
     assert_eq!(dead.fault, Some(AccessFault::PageFault));
     mem.check_virtual_invariants();
 }
+
+#[test]
+fn inval_filter_matches_l1_exactly_through_flush_and_refill() {
+    // Satellite of the paranoid checker: drive the FBT-eviction →
+    // must_flush → full-L1-flush → filter-clear path with a tiny FBT,
+    // then keep refilling, and require the filters to agree *exactly*
+    // with true per-page L1 residency at every stage — not just the
+    // conservative ≥ direction the paranoid sweep asserts.
+    let (os, pid, region) = os_with_region(64);
+    let mut cfg = SystemConfig::vc_with_opt();
+    cfg.fbt = cfg.fbt.with_entries(8); // force constant FBT evictions
+    let mut mem = MemorySystem::new(cfg.with_paranoid());
+    let mut t = 0;
+    for i in 0..1500u64 {
+        // A strided sweep over 64 pages against an 8-entry FBT evicts
+        // entries with cached lines, which invalidates L1 data through
+        // the filters (virtual_hier's must_flush path).
+        let off = ((i * 17) % 64) * PAGE_BYTES + ((i * 5) % 32) * 128;
+        let r = mem.access(
+            read(pid.asid(), region.addr_at(off), (i % 16) as usize, t),
+            &os,
+        );
+        assert!(r.fault.is_none());
+        t = r.done_at.raw();
+        if i % 250 == 249 {
+            mem.assert_filters_match_l1();
+        }
+    }
+    assert!(
+        mem.counters().l1_flushes.get() > 0,
+        "the sweep must actually exercise the flush path"
+    );
+    assert!(
+        mem.fbt().stats().dirty_evictions.get() > 0,
+        "the tiny FBT must evict entries that still cover lines"
+    );
+    mem.assert_filters_match_l1();
+    mem.check_invariants();
+}

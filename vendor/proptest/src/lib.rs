@@ -42,8 +42,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable by the `PROPTEST_CASES` environment
+    /// variable (the CI fuzz-budget knob, mirroring upstream proptest;
+    /// unparsable values are ignored).
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
