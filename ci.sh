@@ -25,4 +25,14 @@ echo "== paranoid invariant sweep (release)"
 # default suite above).
 cargo test --release -q -p gvc-integration --test paranoid -- --include-ignored
 
+echo "== release-mode event-queue regression"
+# The past-timestamp clamp must behave identically with debug_asserts
+# compiled out; run the engine suite in release to prove it.
+cargo test --release -q -p gvc-engine
+
+echo "== seeded injection soak (release)"
+# Deterministic fault injection (DESIGN.md §9): 2 designs x 3
+# workloads under paranoid checking with inject seed 42.
+cargo test --release -q -p gvc-integration --test inject -- --include-ignored
+
 echo "CI OK"

@@ -5,11 +5,15 @@
 //! cargo run --release -p gvc-bench --bin repro -- fig9 --scale quick
 //! cargo run --release -p gvc-bench --bin repro -- fig2 fig8 --json out/
 //! cargo run --release -p gvc-bench --bin repro -- all --jobs 4
+//! cargo run --release -p gvc-bench --bin repro -- fig4 --inject 0.02 --paranoid
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: workers only
 //! warm the memo cache, and each figure assembles its output serially
-//! from that cache.
+//! from that cache. That also holds under `--inject`: fault injection
+//! is seeded (`--seed` reaches the injectors too), so an injected run
+//! is just as replayable as a clean one. `--max-cycles` arms a
+//! deterministic per-run watchdog; a cut run reports partial stats.
 
 use gvc_bench::figures::*;
 use gvc_bench::runner;
@@ -20,7 +24,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [table1|table2|fig2|fig3|fig4|fig5|fig8|fig9|fig10|fig11|fig12|ablations|energy|all]... \
-         [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid]"
+         [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid] \
+         [--inject RATE] [--max-cycles N]"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn main() {
     let mut scale = Scale::paper();
     let mut seed = 42u64;
     let mut json_dir: Option<String> = None;
+    let mut inject_rate: Option<f64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,9 +65,34 @@ fn main() {
             // Run every simulation under the gvc::check invariant
             // checker; any violated invariant aborts the repro run.
             "--paranoid" => runner::set_force_paranoid(true),
+            // Deterministic fault injection: RATE is a per-event-class
+            // probability per memory instruction (e.g. 0.02 = 2%).
+            // Resolved to an InjectConfig after the arg loop so
+            // `--seed` works in either order.
+            "--inject" => {
+                let rate: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+                inject_rate = Some(rate);
+            }
+            // Deterministic per-run watchdog: runs cut at N simulated
+            // cycles report partial stats instead of spinning forever.
+            "--max-cycles" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                runner::set_max_cycles(Some(n));
+            }
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
+    }
+    if let Some(rate) = inject_rate {
+        let ppm = (rate * 1e6).round() as u32;
+        runner::set_force_inject(Some(gvc::InjectConfig::uniform(ppm, seed)));
     }
     if targets.is_empty() {
         usage();

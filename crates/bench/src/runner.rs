@@ -13,15 +13,31 @@
 //! worker count: parallelism only changes *when* a report is computed,
 //! never *which* report a key maps to, and the serial assembly loop
 //! fixes the output order.
+//!
+//! The runner is hardened against individual runs going bad:
+//!
+//! * a worker that panics is isolated ([`std::panic::catch_unwind`]),
+//!   retried a bounded number of times, and finally reported as a
+//!   structured [`RunError::Panicked`] instead of aborting the sweep
+//!   (use [`ParallelExecutor::sweep`] / [`try_run`]);
+//! * a run that trips a watchdog ([`set_max_cycles`] /
+//!   [`set_wall_budget_ms`]) surfaces as [`RunError::Timeout`]
+//!   carrying its partial stats;
+//! * a memo-cache shard poisoned by a panicking worker is recovered on
+//!   the next touch — the possibly-torn entry is evicted and the
+//!   poison flag cleared — so one bad run can't wedge the cache for
+//!   the rest of the process.
 
-use gvc::SystemConfig;
-use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc::{InjectConfig, SystemConfig};
+use gvc_gpu::{GpuConfig, GpuSim, RunReport, Truncation};
 use gvc_workloads::{Scale, WorkloadId};
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError, RwLock};
 
 /// Whether [`run`] memoizes results (default). The Criterion benches
 /// disable it so every iteration measures real simulation work.
@@ -38,11 +54,62 @@ static JOBS: AtomicUsize = AtomicUsize::new(0);
 /// violation.
 static FORCE_PARANOID: AtomicBool = AtomicBool::new(false);
 
+/// Times a panicking run is retried before it is reported as
+/// [`RunError::Panicked`]. Simulation is deterministic, so a panic
+/// normally reproduces — the retry only buys anything against
+/// host-side transients — hence a small default.
+static MAX_RETRIES: AtomicUsize = AtomicUsize::new(1);
+
+/// Watchdog: simulated-cycle budget per run (0 = unlimited). See
+/// [`set_max_cycles`].
+static MAX_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Watchdog: wall-clock budget per run in milliseconds (0 =
+/// unlimited). See [`set_wall_budget_ms`].
+static WALL_BUDGET_MS: AtomicU64 = AtomicU64::new(0);
+
+/// When set, every computed run whose key carries no injection config
+/// of its own gets this one (`repro --inject`). Like
+/// [`FORCE_PARANOID`], applied at [`compute`] so figure collectors
+/// stay untouched.
+static FORCE_INJECT: RwLock<Option<InjectConfig>> = RwLock::new(None);
+
 /// Forces paranoid invariant checking onto every run (see
 /// [`FORCE_PARANOID`]). Flip this before any run is computed: memoized
 /// reports are keyed by the *pre-force* config and are not recomputed.
 pub fn set_force_paranoid(enabled: bool) {
     FORCE_PARANOID.store(enabled, Ordering::SeqCst);
+}
+
+/// Sets how many times a panicking run is retried before the panic is
+/// reported as a structured [`RunError::Panicked`].
+pub fn set_max_retries(retries: usize) {
+    MAX_RETRIES.store(retries, Ordering::SeqCst);
+}
+
+/// Caps every computed run at `limit` simulated cycles (`None` or
+/// `Some(0)` lifts the cap). A capped run comes back as
+/// [`RunError::Timeout`] with partial stats. Like
+/// [`set_force_paranoid`], set this before any run is computed:
+/// memoized reports are not re-cut.
+pub fn set_max_cycles(limit: Option<u64>) {
+    MAX_CYCLES.store(limit.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Gives every computed run a wall-clock budget in milliseconds
+/// (`None`/`Some(0)` = unlimited). The cut point depends on host
+/// speed, so never combine this with byte-reproducibility claims; use
+/// [`set_max_cycles`] for deterministic cuts.
+pub fn set_wall_budget_ms(budget: Option<u64>) {
+    WALL_BUDGET_MS.store(budget.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Arms deterministic fault injection on every computed run that does
+/// not already carry an [`InjectConfig`] in its key. Set before any
+/// run is computed (memoized reports are keyed by the pre-force
+/// config, exactly as with [`set_force_paranoid`]).
+pub fn set_force_inject(cfg: Option<InjectConfig>) {
+    *FORCE_INJECT.write().unwrap_or_else(PoisonError::into_inner) = cfg;
 }
 
 /// Enables or disables run memoization (see [`run`]).
@@ -103,30 +170,41 @@ impl ShardedCache {
     }
 
     fn get(&self, key: &RunKey) -> Option<RunReport> {
-        self.shard(key)
-            .read()
-            .expect("cache shard lock")
-            .get(key)
-            .cloned()
+        let lock = self.shard(key);
+        if let Ok(shard) = lock.read() {
+            return shard.get(key).cloned();
+        }
+        // A worker died while holding this shard. The map itself is
+        // structurally sound (std collections keep their invariants on
+        // panic), but the entry being touched may be half-updated —
+        // evict it, clear the poison flag, and report a miss so it is
+        // recomputed. (The poisoned read error — which still owns a
+        // read guard — was dropped with the `if let` above; holding it
+        // here would deadlock the write acquisition.)
+        let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
+        shard.remove(key);
+        lock.clear_poison();
+        None
     }
 
     fn insert(&self, key: RunKey, report: RunReport) {
-        self.shard(&key)
-            .write()
-            .expect("cache shard lock")
-            .insert(key, report);
+        let lock = self.shard(&key);
+        let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
+        lock.clear_poison();
+        shard.insert(key, report);
     }
 
     fn clear(&self) {
-        for shard in &self.shards {
-            shard.write().expect("cache shard lock").clear();
+        for lock in &self.shards {
+            lock.write().unwrap_or_else(PoisonError::into_inner).clear();
+            lock.clear_poison();
         }
     }
 
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard lock").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 }
@@ -147,15 +225,126 @@ pub fn cache_len() -> usize {
     cache().len()
 }
 
-/// Computes one report from scratch. Deterministic in the key alone.
+/// The memory-system config actually simulated for `key`: the key's
+/// own config plus whatever [`set_force_paranoid`] /
+/// [`set_force_inject`] add on top.
+fn effective_config(key: &RunKey) -> SystemConfig {
+    let mut config = key.config;
+    if FORCE_PARANOID.load(Ordering::SeqCst) {
+        config = config.with_paranoid();
+    }
+    if config.inject.is_none() {
+        if let Some(ic) = *FORCE_INJECT.read().unwrap_or_else(PoisonError::into_inner) {
+            config = config.with_inject(ic);
+        }
+    }
+    config
+}
+
+/// The GPU front-end config for computed runs: defaults plus the
+/// process-wide watchdog budgets.
+fn gpu_config() -> GpuConfig {
+    let mut gpu = GpuConfig::default();
+    match MAX_CYCLES.load(Ordering::SeqCst) {
+        0 => {}
+        limit => gpu.max_cycles = Some(limit),
+    }
+    match WALL_BUDGET_MS.load(Ordering::SeqCst) {
+        0 => {}
+        budget => gpu.wall_budget_ms = Some(budget),
+    }
+    gpu
+}
+
+/// Computes one report from scratch. Deterministic in the key alone
+/// (given fixed process-wide force/watchdog settings).
 fn compute(key: &RunKey) -> RunReport {
     let mut w = gvc_workloads::build(key.workload, key.scale, key.seed);
-    let config = if FORCE_PARANOID.load(Ordering::SeqCst) {
-        key.config.with_paranoid()
+    GpuSim::new(gpu_config(), effective_config(key)).run(&mut *w.source, &mut w.os)
+}
+
+/// Why a run could not produce a full report. `Clone` so a sweep can
+/// hand the same failure to every duplicate of a key.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The simulation panicked on every attempt. The panic payload is
+    /// preserved as text.
+    Panicked {
+        /// The last attempt's panic message.
+        message: String,
+        /// Attempts made (1 + configured retries).
+        attempts: u32,
+    },
+    /// A watchdog cut the run; `partial` holds everything simulated up
+    /// to the cut point.
+    Timeout {
+        /// Which budget was exceeded.
+        truncation: Truncation,
+        /// The partial report (boxed: it is much larger than the Ok
+        /// variant's absence).
+        partial: Box<RunReport>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked { message, attempts } => {
+                write!(f, "run panicked after {attempts} attempt(s): {message}")
+            }
+            RunError::Timeout {
+                truncation,
+                partial,
+            } => {
+                let budget = match truncation {
+                    Truncation::MaxCycles => "simulated-cycle",
+                    Truncation::WallClock => "wall-clock",
+                };
+                write!(
+                    f,
+                    "run exceeded its {budget} budget at cycle {} ({} mem instructions done)",
+                    partial.cycles, partial.mem_instructions
+                )
+            }
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
     } else {
-        key.config
-    };
-    GpuSim::new(GpuConfig::default(), config).run(&mut *w.source, &w.os)
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`compute`] with panic isolation and bounded retry.
+fn compute_caught(key: &RunKey) -> Result<RunReport, RunError> {
+    let attempts = MAX_RETRIES.load(Ordering::SeqCst) as u32 + 1;
+    let mut message = String::new();
+    for _ in 0..attempts {
+        match catch_unwind(AssertUnwindSafe(|| compute(key))) {
+            Ok(report) => return Ok(report),
+            Err(payload) => message = panic_message(payload.as_ref()),
+        }
+    }
+    Err(RunError::Panicked { message, attempts })
+}
+
+/// Maps a computed report to the hardened result: a truncated report
+/// becomes [`RunError::Timeout`] carrying the partial stats.
+fn settle(report: RunReport) -> Result<RunReport, RunError> {
+    match report.truncated {
+        Some(truncation) => Err(RunError::Timeout {
+            truncation,
+            partial: Box::new(report),
+        }),
+        None => Ok(report),
+    }
 }
 
 /// Runs (or retrieves) one simulation.
@@ -177,6 +366,36 @@ pub fn run(workload: WorkloadId, config: SystemConfig, scale: Scale, seed: u64) 
         cache().insert(key, report.clone());
     }
     report
+}
+
+/// Hardened variant of [`run`]: panics are caught and retried
+/// ([`set_max_retries`]), watchdog cuts surface as
+/// [`RunError::Timeout`]. Truncated reports are memoized like complete
+/// ones — under a fixed [`set_max_cycles`] budget the cut is
+/// deterministic in the key.
+pub fn try_run(
+    workload: WorkloadId,
+    config: SystemConfig,
+    scale: Scale,
+    seed: u64,
+) -> Result<RunReport, RunError> {
+    let key = RunKey {
+        workload,
+        config,
+        scale,
+        seed,
+    };
+    let memoize = MEMOIZE.load(Ordering::SeqCst);
+    if memoize {
+        if let Some(report) = cache().get(&key) {
+            return settle(report);
+        }
+    }
+    let report = compute_caught(&key)?;
+    if memoize {
+        cache().insert(key, report.clone());
+    }
+    settle(report)
 }
 
 /// Fans independent runs over a scoped worker pool, filling the memo
@@ -246,6 +465,101 @@ impl ParallelExecutor {
                 });
             }
         });
+    }
+
+    /// Panic-isolating [`prefetch`]: every key is computed through
+    /// [`compute_caught`], successful reports land in the memo cache,
+    /// and the failures come back keyed by run. A worker that panics
+    /// keeps claiming jobs — one poisoned run never takes its siblings
+    /// down with it. With memoization disabled nothing is prefetched
+    /// (there is nowhere to park results) and the map is empty.
+    fn prefetch_checked(&self, keys: &[RunKey]) -> HashMap<RunKey, RunError> {
+        let mut failures = HashMap::new();
+        if !MEMOIZE.load(Ordering::SeqCst) {
+            return failures;
+        }
+        let mut pending: Vec<RunKey> = Vec::with_capacity(keys.len());
+        let mut seen: std::collections::HashSet<RunKey> = std::collections::HashSet::new();
+        for key in keys {
+            if seen.insert(*key) && cache().get(key).is_none() {
+                pending.push(*key);
+            }
+        }
+        if pending.is_empty() {
+            return failures;
+        }
+        let failed: Mutex<Vec<(RunKey, RunError)>> = Mutex::new(Vec::new());
+        let workers = self.workers.min(pending.len());
+        let work = |key: &RunKey| match compute_caught(key) {
+            Ok(report) => cache().insert(*key, report),
+            Err(err) => failed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((*key, err)),
+        };
+        if workers <= 1 {
+            for key in &pending {
+                work(key);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let pending = &pending;
+            let next = &next;
+            let work = &work;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(key) = pending.get(i) else { break };
+                        work(key);
+                    });
+                }
+            });
+        }
+        failures.extend(failed.into_inner().unwrap_or_else(PoisonError::into_inner));
+        failures
+    }
+
+    /// Runs every key to a structured result: parallel prefetch with
+    /// panic isolation, then serial assembly in the caller's key order
+    /// (duplicates included), so output is byte-identical for any
+    /// worker count. A sweep never aborts: a panicking run yields
+    /// [`RunError::Panicked`] after bounded retries, a watchdogged run
+    /// yields [`RunError::Timeout`] with partial stats, and everything
+    /// else completes normally.
+    pub fn sweep(&self, keys: &[RunKey]) -> SweepReport {
+        let failures = self.prefetch_checked(keys);
+        let results = keys
+            .iter()
+            .map(|key| {
+                let result = match failures.get(key) {
+                    Some(err) => Err(err.clone()),
+                    None => try_run(key.workload, key.config, key.scale, key.seed),
+                };
+                (*key, result)
+            })
+            .collect();
+        SweepReport { results }
+    }
+}
+
+/// Outcome of a hardened sweep: one entry per input key, in input
+/// order.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// `(key, report-or-error)` pairs, in the caller's key order.
+    pub results: Vec<(RunKey, Result<RunReport, RunError>)>,
+}
+
+impl SweepReport {
+    /// Keys that produced a full report.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|(_, r)| r.is_ok()).count()
+    }
+
+    /// Keys that ended in a structured error.
+    pub fn err_count(&self) -> usize {
+        self.results.len() - self.ok_count()
     }
 }
 
@@ -356,6 +670,38 @@ mod tests {
         let b = compute(&key);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem.dram_reads, b.mem.dram_reads);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        let key = RunKey {
+            workload: WorkloadId::Nw,
+            config: SystemConfig::vc_without_opt(),
+            scale: Scale::test(),
+            seed: 913,
+        };
+        let first = run(key.workload, key.config, key.scale, key.seed);
+        assert!(cache().get(&key).is_some());
+
+        // Poison the key's shard: a thread dies holding the write lock.
+        let lock = cache().shard(&key);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = lock.write().expect("not yet poisoned");
+                panic!("worker dies mid-insert");
+            });
+            assert!(handle.join().is_err(), "thread must have panicked");
+        });
+        assert!(lock.is_poisoned());
+
+        // Recovery: the touched entry is evicted and the flag cleared,
+        // then normal service resumes with a recomputed (identical)
+        // report.
+        assert!(cache().get(&key).is_none(), "torn entry must be evicted");
+        assert!(!lock.is_poisoned(), "poison flag must be cleared");
+        let again = run(key.workload, key.config, key.scale, key.seed);
+        assert_eq!(first.cycles, again.cycles);
+        assert!(cache().get(&key).is_some(), "cache is writable again");
     }
 
     #[test]

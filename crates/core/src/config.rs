@@ -1,6 +1,7 @@
 //! System configuration and the paper's MMU design presets (Table 2).
 
 use crate::fbt::FbtConfig;
+use crate::inject::InjectConfig;
 use crate::remap::RemapConfig;
 use gvc_cache::CacheConfig;
 use gvc_soc::{DramConfig, NocConfig};
@@ -119,6 +120,10 @@ pub struct SystemConfig {
     /// when off the checker never runs and behavior is unchanged. See
     /// [`crate::check`].
     pub paranoid: bool,
+    /// Deterministic fault injection (see [`crate::inject`]). `None`
+    /// (the default for every preset) injects nothing and leaves
+    /// behavior bit-identical to earlier revisions.
+    pub inject: Option<InjectConfig>,
 }
 
 impl SystemConfig {
@@ -143,6 +148,7 @@ impl SystemConfig {
             dynamic_synonym_remapping: false,
             remap: RemapConfig::default(),
             paranoid: false,
+            inject: None,
         }
     }
 
@@ -258,6 +264,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables deterministic fault injection (see [`crate::inject`]).
+    pub fn with_inject(mut self, inject: InjectConfig) -> Self {
+        self.inject = Some(inject);
+        self
+    }
+
     /// Short design label for reports.
     pub fn label(&self) -> &'static str {
         match self.design {
@@ -332,6 +344,9 @@ mod tests {
         );
         assert!(!SystemConfig::vc_with_opt().paranoid, "off by default");
         assert!(SystemConfig::vc_with_opt().with_paranoid().paranoid);
+        let ic = InjectConfig::uniform(1000, 5);
+        assert_eq!(SystemConfig::vc_with_opt().inject, None, "off by default");
+        assert_eq!(SystemConfig::vc_with_opt().with_inject(ic).inject, Some(ic));
     }
 
     #[test]

@@ -143,6 +143,11 @@ pub struct Fbt {
     use_clock: u64,
     occupancy: usize,
     max_occupancy: usize,
+    /// How many ways new inserts may allocate into or evict from
+    /// (normally `config.ways`). Fault injection shrinks this to force
+    /// the §4.2 overflow/flush path; entries already resident in the
+    /// disabled ways stay valid and findable for the window.
+    usable_ways: usize,
     stats: FbtStats,
 }
 
@@ -161,12 +166,26 @@ impl Fbt {
         Fbt {
             sets: vec![vec![None; config.ways]; nsets],
             ft: HashMap::new(),
-            config,
             use_clock: 0,
             occupancy: 0,
             max_occupancy: 0,
+            usable_ways: config.ways,
+            config,
             stats: FbtStats::default(),
         }
+    }
+
+    /// Restricts new allocations (and victim selection) to the first
+    /// `ways` ways of every set — the fault-injection knob for §4.2
+    /// capacity pressure. Clamped to `[1, config.ways]`; pass
+    /// `config.ways` to restore full capacity.
+    pub fn set_usable_ways(&mut self, ways: usize) {
+        self.usable_ways = ways.clamp(1, self.config.ways);
+    }
+
+    /// Ways currently available to new allocations.
+    pub fn usable_ways(&self) -> usize {
+        self.usable_ways
     }
 
     /// The configuration.
@@ -271,7 +290,9 @@ impl Fbt {
     ///
     /// Victim preference: empty way, then LRU among entries with no
     /// cached lines, then LRU overall. Locked entries are never
-    /// evicted.
+    /// evicted. Only the first [`Fbt::usable_ways`] ways of the set
+    /// participate (all of them unless fault injection shrank the
+    /// table).
     ///
     /// # Panics
     ///
@@ -294,13 +315,14 @@ impl Fbt {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_of(ppn);
+        let usable = self.usable_ways;
         let slots = &mut self.sets[set];
 
-        let way = if let Some(w) = slots.iter().position(Option::is_none) {
+        let way = if let Some(w) = slots[..usable].iter().position(Option::is_none) {
             w
         } else {
             // Prefer a victim with no cached lines.
-            let victim = slots
+            let victim = slots[..usable]
                 .iter()
                 .enumerate()
                 .filter_map(|(w, s)| s.as_ref().map(|s| (w, s)))
@@ -569,6 +591,46 @@ mod tests {
             );
         }
         assert_eq!(fbt.iter().count(), 1000);
+        fbt.check_consistency();
+    }
+
+    #[test]
+    fn shrunken_usable_ways_forces_conflict_evictions() {
+        let mut fbt = small(); // 4 sets x 2 ways
+        fbt.set_usable_ways(1);
+        assert_eq!(fbt.usable_ways(), 1);
+        // Same set (ppn % 4 == 0): with one usable way the second
+        // insert must evict the first even though way 1 is empty.
+        let (_, ev0) = fbt.insert(Ppn::new(0), Asid(0), Vpn::new(10), Perms::READ_WRITE);
+        assert!(ev0.is_none());
+        let (_, ev1) = fbt.insert(Ppn::new(4), Asid(0), Vpn::new(11), Perms::READ_WRITE);
+        assert_eq!(ev1.expect("pressure evicts").ppn, Ppn::new(0));
+        fbt.check_consistency();
+        // Restoring capacity reopens way 1.
+        fbt.set_usable_ways(2);
+        let (_, ev2) = fbt.insert(Ppn::new(8), Asid(0), Vpn::new(12), Perms::READ_WRITE);
+        assert!(ev2.is_none(), "full capacity uses the empty way again");
+        // Out-of-range values clamp instead of panicking.
+        fbt.set_usable_ways(0);
+        assert_eq!(fbt.usable_ways(), 1);
+        fbt.set_usable_ways(99);
+        assert_eq!(fbt.usable_ways(), 2);
+    }
+
+    #[test]
+    fn resident_entries_outside_usable_ways_stay_findable() {
+        let mut fbt = small();
+        // Fill both ways of set 0 at full capacity.
+        let (_, _) = fbt.insert(Ppn::new(0), Asid(0), Vpn::new(10), Perms::READ_WRITE);
+        let (i4, _) = fbt.insert(Ppn::new(4), Asid(0), Vpn::new(11), Perms::READ_WRITE);
+        assert_eq!(i4.way, 1);
+        fbt.set_usable_ways(1);
+        // The way-1 entry is immune from eviction during the window...
+        let (_, ev) = fbt.insert(Ppn::new(8), Asid(0), Vpn::new(12), Perms::READ_WRITE);
+        assert_eq!(ev.expect("way 0 evicted").ppn, Ppn::new(0));
+        // ...and still resolves by both directions.
+        assert_eq!(fbt.lookup_ppn(Ppn::new(4)), Some(i4));
+        assert_eq!(fbt.lookup_va(Asid(0), Vpn::new(11)), Some(i4));
         fbt.check_consistency();
     }
 

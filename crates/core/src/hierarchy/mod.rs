@@ -165,6 +165,9 @@ pub struct MemorySystem {
     /// Accesses processed since the last full paranoid sweep (see
     /// [`crate::check`]).
     pub(crate) steps_since_sweep: u32,
+    /// Accesses left in the active FBT-pressure window (fault
+    /// injection); 0 = no window. See [`MemorySystem::inject_fbt_pressure`].
+    fbt_pressure_left: u32,
 }
 
 impl MemorySystem {
@@ -173,6 +176,17 @@ impl MemorySystem {
         let lifetimes = cfg
             .track_lifetimes
             .then(|| Lifetimes::new(Frequency::default()));
+        let mut iommu = Iommu::new(cfg.iommu);
+        if let Some(ic) = cfg.inject {
+            if ic.fault_ppm > 0 || ic.spike_ppm > 0 {
+                iommu.set_inject(gvc_tlb::iommu::WalkInjectConfig {
+                    seed: ic.walker_seed(),
+                    fault_ppm: ic.fault_ppm,
+                    spike_ppm: ic.spike_ppm,
+                    spike_cycles: ic.spike_cycles,
+                });
+            }
+        }
         MemorySystem {
             l1: (0..cfg.n_cus).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             l1_mshr: (0..cfg.n_cus).map(|_| MshrFile::new()).collect(),
@@ -181,7 +195,7 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram),
             dir: Directory::default(),
             noc: Noc::new(cfg.noc),
-            iommu: Iommu::new(cfg.iommu),
+            iommu,
             tlbs: (0..cfg.n_cus).map(|_| Tlb::new(cfg.per_cu_tlb)).collect(),
             tlb_inflight: (0..cfg.n_cus).map(|_| HashMap::new()).collect(),
             fbt: Fbt::new(cfg.fbt),
@@ -190,6 +204,7 @@ impl MemorySystem {
             counters: HierCounters::default(),
             lifetimes,
             steps_since_sweep: 0,
+            fbt_pressure_left: 0,
             cfg,
         }
     }
@@ -214,6 +229,17 @@ impl MemorySystem {
         self.lifetimes.as_mut()
     }
 
+    /// Opens an FBT capacity-pressure window (fault injection): new
+    /// FBT allocations are squeezed into `ways` ways for the next
+    /// `window` accesses, forcing the §4.2 overflow/flush path, after
+    /// which full capacity returns. A second call before the window
+    /// closes restarts it.
+    pub fn inject_fbt_pressure(&mut self, ways: usize, window: u32) {
+        self.fbt.set_usable_ways(ways);
+        self.fbt_pressure_left = window.max(1);
+        self.counters.fbt_pressure_windows.inc();
+    }
+
     /// Issues one line access. Accesses must be fed in nondecreasing
     /// `at` order.
     ///
@@ -222,6 +248,12 @@ impl MemorySystem {
     /// Panics if `access.cu` is out of range.
     pub fn access(&mut self, access: LineAccess, os: &OsLite) -> AccessResult {
         assert!(access.cu < self.cfg.n_cus, "CU {} out of range", access.cu);
+        if self.fbt_pressure_left > 0 {
+            self.fbt_pressure_left -= 1;
+            if self.fbt_pressure_left == 0 {
+                self.fbt.set_usable_ways(self.cfg.fbt.ways);
+            }
+        }
         self.counters.accesses.inc();
         if access.is_write {
             self.counters.writes.inc();

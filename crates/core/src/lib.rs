@@ -72,6 +72,7 @@ pub mod config;
 pub mod energy;
 pub mod fbt;
 pub mod hierarchy;
+pub mod inject;
 pub mod remap;
 pub mod report;
 
@@ -81,5 +82,6 @@ pub use energy::{EnergyEstimate, EnergyModel};
 pub use fbt::{BtEntry, BtIndex, Fbt, FbtConfig, LeadingVa};
 pub use hierarchy::coherence::ProbeResponse;
 pub use hierarchy::{AccessFault, AccessResult, Lifetimes, LineAccess, MemorySystem};
+pub use inject::{InjectConfig, InjectEvent, InjectPlan, InjectReport};
 pub use remap::{RemapConfig, RemapTable};
 pub use report::{HierCounters, MemReport};

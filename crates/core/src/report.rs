@@ -62,6 +62,8 @@ pub struct HierCounters {
     pub probes_filtered: Counter,
     /// Probe-induced L2 invalidations.
     pub probe_invals: Counter,
+    /// FBT capacity-pressure windows opened by fault injection.
+    pub fbt_pressure_windows: Counter,
 }
 
 /// Lifetime CDFs for Figure 12, evaluated at fixed points.

@@ -40,13 +40,17 @@ impl<E> Ord for Scheduled<E> {
 /// may be scheduled at absolute times ([`schedule_at`]) or relative to
 /// `now` ([`schedule_in`]).
 ///
-/// # Panics
-///
-/// Scheduling an event in the past (before `now`) panics in debug builds;
-/// it would violate causality.
+/// Scheduling an event in the past (before `now`) would violate
+/// causality, so [`schedule_at`] clamps such timestamps to `now` and
+/// counts them in [`clamped_past_total`] — identically in debug and
+/// release builds, so release never silently enqueues a stale
+/// timestamp that a debug run would have rejected. Callers that want
+/// past scheduling to be an error use [`try_schedule_at`].
 ///
 /// [`schedule_at`]: EventQueue::schedule_at
 /// [`schedule_in`]: EventQueue::schedule_in
+/// [`try_schedule_at`]: EventQueue::try_schedule_at
+/// [`clamped_past_total`]: EventQueue::clamped_past_total
 ///
 /// # Example
 ///
@@ -67,6 +71,7 @@ pub struct EventQueue<E> {
     now: Cycle,
     next_seq: u64,
     scheduled_total: u64,
+    clamped_past: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -77,6 +82,7 @@ impl<E> EventQueue<E> {
             now: Cycle::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            clamped_past: 0,
         }
     }
 
@@ -89,19 +95,37 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `at` is before [`now`](Self::now).
+    /// A timestamp before [`now`](Self::now) is clamped to `now` (the
+    /// event fires immediately, never retroactively) and counted in
+    /// [`clamped_past_total`](Self::clamped_past_total). Use
+    /// [`try_schedule_at`](Self::try_schedule_at) to treat past
+    /// scheduling as an error instead.
     pub fn schedule_at(&mut self, at: Cycle, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "event scheduled in the past: at {at}, now {}",
+        let at = if at < self.now {
+            self.clamped_past += 1;
             self.now
-        );
+        } else {
+            at
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` at absolute time `at`, rejecting past
+    /// timestamps.
+    ///
+    /// # Errors
+    ///
+    /// If `at` is before [`now`](Self::now), nothing is enqueued and
+    /// the event is handed back so the caller can reschedule it.
+    pub fn try_schedule_at(&mut self, at: Cycle, event: E) -> Result<(), E> {
+        if at < self.now {
+            return Err(event);
+        }
+        self.schedule_at(at, event);
+        Ok(())
     }
 
     /// Schedules `event` at `now + delay`.
@@ -136,6 +160,13 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (a progress/telemetry metric).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// How many [`schedule_at`](Self::schedule_at) calls carried a
+    /// timestamp before `now` and were clamped. Nonzero means a caller
+    /// has a causality bug even if the simulation completed.
+    pub fn clamped_past_total(&self) -> u64 {
+        self.clamped_past
     }
 }
 
@@ -191,14 +222,40 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    // Deliberately NOT gated on cfg(debug_assertions): the clamp must
+    // behave identically under --release, where the old debug_assert
+    // silently enqueued the stale timestamp (ci.sh runs this crate's
+    // tests in release too).
     #[test]
-    #[should_panic(expected = "scheduled in the past")]
-    #[cfg(debug_assertions)]
-    fn past_scheduling_panics() {
+    fn past_scheduling_clamps_to_now_in_every_profile() {
         let mut q = EventQueue::new();
-        q.schedule_at(Cycle::new(10), ());
+        q.schedule_at(Cycle::new(10), "late");
         q.pop();
-        q.schedule_at(Cycle::new(5), ());
+        assert_eq!(q.now(), Cycle::new(10));
+        q.schedule_at(Cycle::new(5), "stale");
+        assert_eq!(q.clamped_past_total(), 1);
+        // The stale event fires at `now`, never in the past.
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Cycle::new(10), "stale"));
+        assert_eq!(q.now(), Cycle::new(10));
+        // FIFO order among a clamped event and a genuine `now` event.
+        q.schedule_at(Cycle::new(2), "first");
+        q.schedule_at(Cycle::new(10), "second");
+        assert_eq!(q.clamped_past_total(), 2);
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn try_schedule_at_rejects_past_timestamps() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), "x");
+        q.pop();
+        assert_eq!(q.try_schedule_at(Cycle::new(3), "stale"), Err("stale"));
+        assert!(q.is_empty(), "rejected event is not enqueued");
+        assert_eq!(q.clamped_past_total(), 0, "rejection is not a clamp");
+        assert_eq!(q.try_schedule_at(Cycle::new(10), "ok"), Ok(()));
+        assert_eq!(q.pop().unwrap().1, "ok");
     }
 
     #[test]

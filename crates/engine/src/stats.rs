@@ -432,6 +432,10 @@ impl IntervalSummary {
 pub struct Cdf {
     samples: Vec<f64>,
     sorted: bool,
+    /// NaN samples rejected at `push` — they carry no ordering
+    /// information, so they are counted rather than stored (a single
+    /// NaN must not abort a whole sweep).
+    dropped: u64,
 }
 
 impl Cdf {
@@ -440,8 +444,13 @@ impl Cdf {
         Cdf::default()
     }
 
-    /// Adds a sample.
+    /// Adds a sample. NaN samples are not stored; they increment
+    /// [`Cdf::dropped`] instead.
     pub fn push(&mut self, v: f64) {
+        if v.is_nan() {
+            self.dropped += 1;
+            return;
+        }
         self.samples.push(v);
         self.sorted = false;
     }
@@ -451,6 +460,7 @@ impl Cdf {
     /// single builder.
     pub fn merge(&mut self, other: &Cdf) {
         self.samples.extend_from_slice(&other.samples);
+        self.dropped += other.dropped;
         self.sorted = false;
     }
 
@@ -464,10 +474,16 @@ impl Cdf {
         self.samples.is_empty()
     }
 
+    /// Number of NaN samples rejected so far (see [`Cdf::push`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp so a stray non-finite value (infinities sort to
+            // the ends; NaN never reaches the vec) cannot panic here.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -584,6 +600,28 @@ mod tests {
         assert_eq!(c.quantile(1.0), 100.0);
         assert_eq!(c.fraction_at_or_below(50.0), 0.5);
         assert_eq!(c.curve(&[0.0, 100.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn cdf_drops_nans_instead_of_panicking() {
+        let mut c = Cdf::new();
+        c.push(f64::NAN);
+        c.push(2.0);
+        c.push(f64::NAN);
+        c.push(1.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dropped(), 2);
+        // Sorting and queries work despite the NaN pushes.
+        assert_eq!(c.quantile(1.0), 2.0);
+        assert_eq!(c.fraction_at_or_below(1.5), 0.5);
+
+        let mut other = Cdf::new();
+        other.push(f64::NAN);
+        other.push(3.0);
+        c.merge(&other);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dropped(), 3, "merge sums dropped counts");
+        assert_eq!(c.quantile(1.0), 3.0);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //!     .build();
 //!
 //! let mut sim = GpuSim::new(GpuConfig::default(), SystemConfig::vc_with_opt());
-//! let report = sim.run(&mut kernel.into_source(), &os);
+//! let report = sim.run(&mut kernel.into_source(), &mut os);
 //! assert!(report.cycles > 0);
 //! assert_eq!(report.mem_instructions, 1);
 //! # Ok::<(), gvc_mem::MemError>(())
@@ -46,4 +46,4 @@ pub mod sim;
 
 pub use coalescer::coalesce;
 pub use kernel::{Kernel, KernelBuilder, KernelSource, WaveOp, WaveProgram};
-pub use sim::{GpuConfig, GpuSim, RunReport};
+pub use sim::{GpuConfig, GpuSim, RunReport, Truncation};

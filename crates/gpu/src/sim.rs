@@ -10,11 +10,12 @@
 
 use crate::coalescer::{coalesce, CoalesceStats};
 use crate::kernel::{KernelSource, WaveOp, WaveProgram};
+use gvc::{inject, InjectEvent, InjectPlan, InjectReport};
 use gvc::{LineAccess, MemReport, MemorySystem, SystemConfig};
 use gvc_engine::time::{Cycle, Duration};
 use gvc_engine::{EventQueue, ThroughputPort};
-use gvc_mem::OsLite;
-use gvc_soc::ProbeInjector;
+use gvc_mem::{OsLite, ProcessId};
+use gvc_soc::{Probe, ProbeInjector, ProbeKind};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -38,6 +39,17 @@ pub struct GpuConfig {
     /// complete. Bounds memory-level parallelism the way real GPU L1
     /// miss-handling hardware does.
     pub max_outstanding_per_cu: usize,
+    /// Watchdog: stop the run once simulated time passes this many
+    /// cycles (the report is marked [`Truncation::MaxCycles`] and
+    /// carries partial stats). `None` disables the limit.
+    pub max_cycles: Option<u64>,
+    /// Watchdog: stop the run once this much wall-clock time has
+    /// elapsed ([`Truncation::WallClock`]). Checked every few thousand
+    /// scheduler pops, so the overrun is bounded but not zero. `None`
+    /// disables the budget. Unlike `max_cycles`, this makes the *cut
+    /// point* host-dependent — never enable it for runs whose output
+    /// must be byte-reproducible.
+    pub wall_budget_ms: Option<u64>,
 }
 
 impl Default for GpuConfig {
@@ -49,8 +61,19 @@ impl Default for GpuConfig {
             kernel_launch_gap: 1000,
             issue_overhead: 1,
             max_outstanding_per_cu: 64,
+            max_cycles: None,
+            wall_budget_ms: None,
         }
     }
+}
+
+/// Why a run stopped before its workload was exhausted (watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Truncation {
+    /// Simulated time passed [`GpuConfig::max_cycles`].
+    MaxCycles,
+    /// Wall-clock time passed [`GpuConfig::wall_budget_ms`].
+    WallClock,
 }
 
 /// End-of-run report: front-end totals plus the memory system's
@@ -82,6 +105,12 @@ pub struct RunReport {
     pub faults: u64,
     /// Coherence probes delivered mid-run.
     pub probes_delivered: u64,
+    /// `Some` when a watchdog cut the run short; all other fields then
+    /// hold partial stats up to the cut point.
+    pub truncated: Option<Truncation>,
+    /// Fault-injection tally, when an [`InjectPlan`] was armed via
+    /// [`SystemConfig::with_inject`].
+    pub injected: Option<InjectReport>,
     /// The memory system's full report.
     pub mem: MemReport,
 }
@@ -135,6 +164,7 @@ pub struct GpuSim {
     gpu: GpuConfig,
     mem: MemorySystem,
     probes: Option<ProbeInjector>,
+    inject: Option<InjectPlan>,
     coalesce_stats: CoalesceStats,
     waves_total: u64,
     scratch_ops: u64,
@@ -157,6 +187,7 @@ impl GpuSim {
     pub fn new(gpu: GpuConfig, sys: SystemConfig) -> Self {
         GpuSim {
             gpu,
+            inject: inject::plan_for(&sys),
             mem: MemorySystem::new(sys),
             probes: None,
             coalesce_stats: CoalesceStats::default(),
@@ -180,13 +211,18 @@ impl GpuSim {
         &mut self.mem
     }
 
-    /// Runs `source` to completion and returns the report.
+    /// Runs `source` to completion (or until a watchdog fires) and
+    /// returns the report.
+    ///
+    /// `os` is mutable because injected page remaps
+    /// ([`InjectEvent::Remap`]) migrate live pages through
+    /// `OsLite::remap_page`; without injection the OS is only read.
     ///
     /// # Panics
     ///
     /// Panics if a kernel names a CU outside the configured range
     /// (never happens for kernels built against this config).
-    pub fn run(mut self, source: &mut dyn KernelSource, os: &OsLite) -> RunReport {
+    pub fn run(mut self, source: &mut dyn KernelSource, os: &mut OsLite) -> RunReport {
         let workload = source.name().to_string();
         let n_cus = self.mem.config().n_cus;
         let mut now = Cycle::ZERO;
@@ -194,6 +230,13 @@ impl GpuSim {
         let mut mem_instructions = 0u64;
         let mut line_requests = 0u64;
         let mut next_probe = self.probes.as_mut().and_then(|p| p.next_probe(Cycle::ZERO));
+        let mut plan = self.inject.take();
+        let mut truncated: Option<Truncation> = None;
+        let mut pops = 0u64;
+        let wall_deadline = self
+            .gpu
+            .wall_budget_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
 
         while let Some(kernel) = source.next_kernel() {
             kernels += 1;
@@ -226,6 +269,27 @@ impl GpuSim {
 
             let mut kernel_end = start;
             while let Some((t, WaveReady(id))) = queue.pop() {
+                // Watchdogs: cut the run rather than let a pathological
+                // configuration (or an injected storm of them) spin
+                // forever. Partial stats still flow into the report.
+                pops += 1;
+                if let Some(limit) = self.gpu.max_cycles {
+                    if t.raw() > limit {
+                        truncated = Some(Truncation::MaxCycles);
+                        kernel_end = kernel_end.max(t);
+                        break;
+                    }
+                }
+                if pops.is_multiple_of(8192) {
+                    if let Some(deadline) = wall_deadline {
+                        if std::time::Instant::now() >= deadline {
+                            truncated = Some(Truncation::WallClock);
+                            kernel_end = kernel_end.max(t);
+                            break;
+                        }
+                    }
+                }
+
                 // Deliver due coherence probes first.
                 while let Some(p) = next_probe {
                     if p.at > t {
@@ -273,6 +337,9 @@ impl GpuSim {
                                     // the MSHR admission limit.
                                     let at =
                                         outstanding[cu].admit(issue + Duration::new(i as u64), cap);
+                                    if let Some(p) = plan.as_mut() {
+                                        p.observe(asid, line.vpn());
+                                    }
                                     let res = self.mem.access(
                                         LineAccess {
                                             cu,
@@ -281,13 +348,18 @@ impl GpuSim {
                                             is_write,
                                             at,
                                         },
-                                        os,
+                                        &*os,
                                     );
                                     if res.fault.is_some() {
                                         self.faults += 1;
                                     }
                                     outstanding[cu].track(res.done_at);
                                     done = done.max(res.done_at);
+                                }
+                                if let Some(p) = plan.as_mut() {
+                                    if let Some(ev) = p.poll() {
+                                        self.apply_inject(ev, p, os, t);
+                                    }
                                 }
                                 done
                             }
@@ -297,6 +369,9 @@ impl GpuSim {
                 }
             }
             now = kernel_end;
+            if truncated.is_some() {
+                break;
+            }
         }
 
         if self.mem.config().paranoid {
@@ -318,7 +393,55 @@ impl GpuSim {
             compute_ops: self.compute_ops,
             faults: self.faults,
             probes_delivered: self.probes_delivered,
+            truncated,
+            injected: plan.as_ref().map(InjectPlan::report),
             mem,
+        }
+    }
+
+    /// Executes one injected event against the live hierarchy/OS and
+    /// (under paranoid mode) re-verifies every invariant immediately,
+    /// so a violation is pinned to the event that caused it.
+    fn apply_inject(&mut self, ev: InjectEvent, plan: &mut InjectPlan, os: &mut OsLite, at: Cycle) {
+        match ev {
+            InjectEvent::Shootdown(sd) => {
+                self.mem.apply_shootdown(&sd, at);
+            }
+            InjectEvent::ProbeBurst(targets) => {
+                for tgt in targets {
+                    let delivered = match os.translate(ProcessId(tgt.asid.0), tgt.vpn.base()) {
+                        Some((pa, _)) => {
+                            let kind = if tgt.invalidate {
+                                ProbeKind::Invalidate
+                            } else {
+                                ProbeKind::Downgrade
+                            };
+                            let paddr = pa.ppn().line_addr(tgt.line);
+                            self.mem.handle_probe(Probe { paddr, kind, at });
+                            self.probes_delivered += 1;
+                            true
+                        }
+                        None => false,
+                    };
+                    plan.record_probe(delivered);
+                }
+            }
+            InjectEvent::FbtPressure { ways, window } => {
+                self.mem.inject_fbt_pressure(ways, window);
+            }
+            InjectEvent::Remap { asid, vpn } => {
+                let ok = match os.remap_page(ProcessId(asid.0), vpn) {
+                    Ok(sd) => {
+                        self.mem.apply_shootdown(&sd, at);
+                        true
+                    }
+                    Err(_) => false,
+                };
+                plan.record_remap(ok);
+            }
+        }
+        if self.mem.config().paranoid {
+            self.mem.check_invariants();
         }
     }
 }
@@ -360,10 +483,10 @@ mod tests {
 
     #[test]
     fn runs_to_completion_and_counts() {
-        let (os, pid, r) = setup(64);
+        let (mut os, pid, r) = setup(64);
         let k = streaming_kernel(&r, pid.asid(), 8, 10);
         let sim = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512());
-        let rep = sim.run(&mut k.into_source(), &os);
+        let rep = sim.run(&mut k.into_source(), &mut os);
         assert_eq!(rep.kernels, 1);
         assert_eq!(rep.waves, 8);
         assert_eq!(rep.mem_instructions, 80);
@@ -374,19 +497,19 @@ mod tests {
 
     #[test]
     fn multiple_kernels_accumulate_time() {
-        let (os, pid, r) = setup(16);
+        let (mut os, pid, r) = setup(16);
         let mk = || streaming_kernel(&r, pid.asid(), 2, 2);
         let one = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut mk().into_source(), &os);
+            .run(&mut mk().into_source(), &mut os);
         let two = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut KernelList::new("stream2", vec![mk(), mk()]), &os);
+            .run(&mut KernelList::new("stream2", vec![mk(), mk()]), &mut os);
         assert_eq!(two.kernels, 2);
         assert!(two.cycles > one.cycles);
     }
 
     #[test]
     fn latency_hiding_beats_serial_execution() {
-        let (os, pid, r) = setup(64);
+        let (mut os, pid, r) = setup(64);
         // 32 waves of divergent reads.
         let mk = |waves: usize| {
             let mut b = Kernel::builder("div", pid.asid());
@@ -402,14 +525,14 @@ mod tests {
             max_outstanding_per_cu: usize::MAX,
             ..GpuConfig::default()
         };
-        let wide =
-            GpuSim::new(unlimited, SystemConfig::ideal_mmu()).run(&mut mk(32).into_source(), &os);
+        let wide = GpuSim::new(unlimited, SystemConfig::ideal_mmu())
+            .run(&mut mk(32).into_source(), &mut os);
         let narrow_cfg = GpuConfig {
             max_waves_per_cu: 1,
             ..unlimited
         };
-        let narrow =
-            GpuSim::new(narrow_cfg, SystemConfig::ideal_mmu()).run(&mut mk(32).into_source(), &os);
+        let narrow = GpuSim::new(narrow_cfg, SystemConfig::ideal_mmu())
+            .run(&mut mk(32).into_source(), &mut os);
         assert!(
             wide.cycles <= narrow.cycles,
             "more resident waves must not slow execution"
@@ -418,7 +541,7 @@ mod tests {
 
     #[test]
     fn scratch_and_compute_do_not_touch_memory() {
-        let (os, pid, _r) = setup(1);
+        let (mut os, pid, _r) = setup(1);
         let k = Kernel::builder("scratch", pid.asid())
             .wave(vec![
                 WaveOp::scratch(64),
@@ -427,7 +550,7 @@ mod tests {
             ])
             .build();
         let rep = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut k.into_source(), &os);
+            .run(&mut k.into_source(), &mut os);
         assert_eq!(rep.mem_instructions, 0);
         assert_eq!(rep.scratch_ops, 72);
         assert_eq!(rep.compute_ops, 1);
@@ -436,39 +559,122 @@ mod tests {
 
     #[test]
     fn faulting_access_is_counted_but_does_not_hang() {
-        let (os, pid, _r) = setup(1);
+        let (mut os, pid, _r) = setup(1);
         let bad = vec![gvc_mem::VAddr::new(0xBAD_0000)];
         let k = Kernel::builder("fault", pid.asid())
             .wave(vec![WaveOp::read(bad)])
             .build();
         let rep = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut k.into_source(), &os);
+            .run(&mut k.into_source(), &mut os);
         assert_eq!(rep.faults, 1);
         assert_eq!(rep.mem.counters.page_faults.get(), 1);
     }
 
     #[test]
     fn probes_interleave_with_execution() {
-        let (os, pid, r) = setup(8);
+        let (mut os, pid, r) = setup(8);
         let (pa, _) = os.translate(pid, r.start()).unwrap();
         let mut inj = ProbeInjector::new(3, 200.0);
         inj.add_target(pa.page_base(), PAGE_BYTES);
         let k = streaming_kernel(&r, pid.asid(), 16, 20);
         let rep = GpuSim::new(GpuConfig::default(), SystemConfig::vc_with_opt())
             .with_probes(inj)
-            .run(&mut k.into_source(), &os);
+            .run(&mut k.into_source(), &mut os);
         assert!(rep.probes_delivered > 0);
         assert_eq!(rep.mem.counters.probes.get(), rep.probes_delivered);
     }
 
     #[test]
+    fn max_cycles_watchdog_truncates_with_partial_stats() {
+        let (mut os, pid, r) = setup(64);
+        let full = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512()).run(
+            &mut streaming_kernel(&r, pid.asid(), 16, 40).into_source(),
+            &mut os,
+        );
+        assert_eq!(full.truncated, None);
+        let cfg = GpuConfig {
+            max_cycles: Some(full.cycles / 2),
+            ..GpuConfig::default()
+        };
+        let cut = GpuSim::new(cfg, SystemConfig::baseline_512()).run(
+            &mut streaming_kernel(&r, pid.asid(), 16, 40).into_source(),
+            &mut os,
+        );
+        assert_eq!(cut.truncated, Some(Truncation::MaxCycles));
+        assert!(cut.cycles < full.cycles);
+        assert!(
+            cut.mem_instructions > 0 && cut.mem_instructions < full.mem_instructions,
+            "truncated run should carry partial stats"
+        );
+    }
+
+    #[test]
+    fn wall_clock_watchdog_reports_truncation() {
+        let (mut os, pid, r) = setup(64);
+        let cfg = GpuConfig {
+            wall_budget_ms: Some(0),
+            ..GpuConfig::default()
+        };
+        let rep = GpuSim::new(cfg, SystemConfig::baseline_512()).run(
+            &mut streaming_kernel(&r, pid.asid(), 32, 400).into_source(),
+            &mut os,
+        );
+        // A zero budget has already expired at the first check; the
+        // workload is big enough (>8192 pops) that the check fires.
+        assert_eq!(rep.truncated, Some(Truncation::WallClock));
+    }
+
+    #[test]
+    fn injection_fires_all_classes_and_stays_paranoid_clean() {
+        let (mut os, pid, r) = setup(64);
+        let sys = SystemConfig::vc_with_opt()
+            .with_paranoid()
+            .with_inject(gvc::InjectConfig::uniform(20_000, 7));
+        let k = streaming_kernel(&r, pid.asid(), 16, 40);
+        let rep = GpuSim::new(GpuConfig::default(), sys).run(&mut k.into_source(), &mut os);
+        let inj = rep.injected.expect("plan was armed");
+        assert!(inj.storms > 0, "no storms fired: {inj:?}");
+        assert!(inj.probe_bursts > 0, "no probe bursts fired: {inj:?}");
+        assert!(inj.pressure_windows > 0, "no pressure fired: {inj:?}");
+        assert!(
+            inj.remaps + inj.remaps_failed > 0,
+            "no remaps attempted: {inj:?}"
+        );
+        assert_eq!(
+            rep.mem.counters.fbt_pressure_windows.get(),
+            inj.pressure_windows
+        );
+        assert_eq!(rep.mem.counters.probes.get(), rep.probes_delivered);
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let (mut os, pid, r) = setup(32);
+            let sys = SystemConfig::vc_with_opt()
+                .with_paranoid()
+                .with_inject(gvc::InjectConfig::uniform(30_000, seed));
+            let k = streaming_kernel(&r, pid.asid(), 8, 20);
+            let rep = GpuSim::new(GpuConfig::default(), sys).run(&mut k.into_source(), &mut os);
+            (
+                rep.cycles,
+                rep.faults,
+                rep.probes_delivered,
+                rep.injected.expect("armed"),
+            )
+        };
+        assert_eq!(run(5), run(5), "same seed must replay byte-identically");
+        assert_ne!(run(5), run(6), "seed does not reach the injectors");
+    }
+
+    #[test]
     fn relative_metrics() {
-        let (os, pid, r) = setup(32);
+        let (mut os, pid, r) = setup(32);
         let mk = || streaming_kernel(&r, pid.asid(), 4, 4);
         let a = GpuSim::new(GpuConfig::default(), SystemConfig::ideal_mmu())
-            .run(&mut mk().into_source(), &os);
+            .run(&mut mk().into_source(), &mut os);
         let b = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut mk().into_source(), &os);
+            .run(&mut mk().into_source(), &mut os);
         assert!(b.relative_time_to(&a) >= 1.0);
         assert!(a.speedup_over(&b) >= 1.0);
     }

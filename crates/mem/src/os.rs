@@ -293,6 +293,71 @@ impl OsLite {
         Ok(Shootdown::Pages { asid, vpns })
     }
 
+    /// Migrates one mapped 4 KB page to a freshly allocated physical
+    /// frame, returning the shootdown the hardware must apply — the
+    /// OS-transparent page move (compaction, NUMA balancing, Mosaic-
+    /// style migration) that the paper's design must survive
+    /// mid-kernel. The page keeps its permissions; if other virtual
+    /// pages alias the old frame they keep it (synonyms legitimately
+    /// diverge from the moved page afterwards), and the old frame is
+    /// freed only when this was its last mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if `vpn` is unmapped,
+    /// [`MemError::BadArgument`] if it lies inside a 2 MB large
+    /// mapping (those move as a unit, never per-subpage),
+    /// [`MemError::OutOfFrames`] if no destination frame exists, or
+    /// [`MemError::NoSuchProcess`].
+    pub fn remap_page(&mut self, pid: ProcessId, vpn: Vpn) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let large_base = vpn.raw() - vpn.raw() % PAGES_PER_LARGE;
+        if self.large_regions.contains_key(&(pid.0, large_base)) {
+            return Err(MemError::BadArgument(
+                "cannot remap a subpage of a large mapping",
+            ));
+        }
+        let (_, perms) = self
+            .space(pid)?
+            .table()
+            .translate(&self.phys, vpn)
+            .ok_or(MemError::NotMapped(vpn.base()))?;
+        // Allocate the destination first so failure leaves the mapping
+        // untouched.
+        let new_frame = self.phys.alloc_frame()?;
+        let old_frame = {
+            let (space, phys) = self.space_and_phys(pid)?;
+            match space.table_mut().unmap(phys, vpn) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    self.phys.free_frame(new_frame);
+                    return Err(e);
+                }
+            }
+        };
+        {
+            let (space, phys) = self.space_and_phys(pid)?;
+            space
+                .table_mut()
+                .map(phys, vpn, new_frame, perms)
+                .expect("slot was just unmapped");
+        }
+        *self.frame_refs.entry(new_frame).or_insert(0) += 1;
+        let refs = self
+            .frame_refs
+            .get_mut(&old_frame)
+            .expect("refcounted frame");
+        *refs -= 1;
+        if *refs == 0 {
+            self.frame_refs.remove(&old_frame);
+            self.phys.free_frame(old_frame);
+        }
+        Ok(Shootdown::Pages {
+            asid,
+            vpns: vec![vpn],
+        })
+    }
+
     /// Functionally translates a virtual address (no timing).
     pub fn translate(&self, pid: ProcessId, va: VAddr) -> Option<(PAddr, Perms)> {
         let space = self.space(pid).ok()?;
@@ -488,6 +553,66 @@ mod tests {
         }
         assert!(os.translate(pid, r.start()).is_none());
         assert!(os.munmap_large(pid, r.start().vpn()).is_err());
+    }
+
+    #[test]
+    fn remap_page_moves_frame_and_keeps_perms() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, 2 * PAGE_BYTES, Perms::READ_ONLY).unwrap();
+        let vpn = r.start().vpn();
+        let (before, _) = os.translate(pid, vpn.base()).unwrap();
+        let frames_before = os.phys().allocated_frames();
+        let sd = os.remap_page(pid, vpn).unwrap();
+        assert_eq!(
+            sd,
+            Shootdown::Pages {
+                asid: pid.asid(),
+                vpns: vec![vpn]
+            }
+        );
+        let (after, perms) = os.translate(pid, vpn.base()).unwrap();
+        assert_ne!(before.ppn(), after.ppn(), "page moved to a new frame");
+        assert_eq!(perms, Perms::READ_ONLY);
+        // Old frame freed, new frame allocated: net zero.
+        assert_eq!(os.phys().allocated_frames(), frames_before);
+    }
+
+    #[test]
+    fn remap_page_leaves_aliases_on_the_old_frame() {
+        let mut os = OsLite::new(8 << 20);
+        let pid = os.create_process();
+        let r = os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let alias = os.mmap_alias(pid, r).unwrap();
+        let (old, _) = os.translate(pid, alias.start()).unwrap();
+        os.remap_page(pid, r.start().vpn()).unwrap();
+        // The alias still resolves to the old frame (the synonym
+        // diverged); the remapped page went elsewhere.
+        assert_eq!(os.translate(pid, alias.start()).unwrap().0, old);
+        assert_ne!(os.translate(pid, r.start()).unwrap().0.ppn(), old.ppn());
+        // Old frame survived because the alias still holds it:
+        // unmapping the alias must free exactly one frame.
+        let before = os.phys().allocated_frames();
+        os.munmap(pid, alias).unwrap();
+        assert_eq!(os.phys().allocated_frames(), before - 1);
+    }
+
+    #[test]
+    fn remap_page_rejects_unmapped_and_large_pages() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        assert!(matches!(
+            os.remap_page(pid, Vpn::new(0x7777)),
+            Err(MemError::NotMapped(_))
+        ));
+        let large = os.mmap_large(pid, 1, Perms::READ_WRITE).unwrap();
+        let inside = Vpn::new(large.start().vpn().raw() + 3);
+        assert!(matches!(
+            os.remap_page(pid, inside),
+            Err(MemError::BadArgument(_))
+        ));
+        // The large mapping is untouched.
+        assert!(os.translate(pid, inside.base()).is_some());
     }
 
     #[test]

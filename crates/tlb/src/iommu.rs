@@ -17,7 +17,7 @@ use crate::tlb::{Tlb, TlbConfig, TlbKey, TlbStats};
 use crate::walker::WalkerPool;
 use gvc_engine::stats::{IntervalSampler, IntervalSummary};
 use gvc_engine::time::{Cycle, Duration};
-use gvc_engine::{Counter, ThroughputPort};
+use gvc_engine::{Counter, SimRng, ThroughputPort};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn, WalkOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -156,7 +156,39 @@ pub struct IommuStats {
     pub faults: Counter,
     /// Total serialization delay at the port (cycles).
     pub serialization_cycles: Counter,
+    /// Faults injected by [`Iommu::set_inject`] (also counted in
+    /// `faults` — an injected fault is a real fault to every consumer).
+    pub injected_faults: Counter,
+    /// Walk-latency spikes injected by [`Iommu::set_inject`].
+    pub injected_spikes: Counter,
 }
+
+/// Deterministic fault injection at the walker: spurious page faults
+/// and walk-latency spikes, rolled per *walk* from a dedicated seeded
+/// generator (the `gvc::inject` subsystem's walker-level half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WalkInjectConfig {
+    /// Seed for the walker's private generator.
+    pub seed: u64,
+    /// Spurious-fault rate, parts-per-million per walk. An injected
+    /// fault turns a successful walk into [`IommuOutcome::Fault`]
+    /// without filling the TLB — the transient fault a real IOMMU
+    /// reports when a walk races a PTE update.
+    pub fault_ppm: u32,
+    /// Latency-spike rate, parts-per-million per walk.
+    pub spike_ppm: u32,
+    /// Extra cycles a spiked walk takes (host memory contention,
+    /// ATS/PRI round trips).
+    pub spike_cycles: u64,
+}
+
+#[derive(Debug)]
+struct WalkInject {
+    cfg: WalkInjectConfig,
+    rng: SimRng,
+}
+
+const PPM: u64 = 1_000_000;
 
 /// The shared IOMMU translation front end (see [module docs](self)).
 #[derive(Debug)]
@@ -168,6 +200,7 @@ pub struct Iommu {
     pwc: Pwc,
     sampler: IntervalSampler,
     stats: IommuStats,
+    inject: Option<WalkInject>,
 }
 
 /// The optional second-level lookup hook (e.g. the FBT's forward
@@ -189,7 +222,19 @@ impl Iommu {
             sampler: IntervalSampler::new(Duration::new(config.sample_interval)),
             config,
             stats: IommuStats::default(),
+            inject: None,
         }
+    }
+
+    /// Arms walker-level fault injection. Decisions are drawn from a
+    /// generator seeded by `cfg.seed` in a fixed per-walk order (spike
+    /// first, then fault), so the injected schedule is a pure function
+    /// of the seed and the walk stream — byte-identical on replay.
+    pub fn set_inject(&mut self, cfg: WalkInjectConfig) {
+        self.inject = Some(WalkInject {
+            cfg,
+            rng: SimRng::seeded(cfg.seed),
+        });
     }
 
     /// The configuration.
@@ -282,11 +327,34 @@ impl Iommu {
                 self.config.memory_access_cycles
             };
         }
+        // Walker-level injection: a fixed two-draw sequence per walk
+        // (spike, then fault) keeps the schedule replayable.
+        let mut spurious_fault = false;
+        if let Some(inj) = &mut self.inject {
+            if inj.rng.below(PPM) < inj.cfg.spike_ppm as u64 {
+                latency += inj.cfg.spike_cycles;
+                self.stats.injected_spikes.inc();
+            }
+            spurious_fault = inj.rng.below(PPM) < inj.cfg.fault_ppm as u64;
+        }
         let end = start + Duration::new(latency);
         self.walkers.release(walker, end);
         self.walkers.record_latency(latency);
 
         match outcome {
+            // An injected fault suppresses the TLB fill: the walk
+            // "failed", so nothing may be cached from it. The next
+            // access to the page simply walks again — the transient
+            // fault-and-retry schedule the GPU fault path must absorb.
+            WalkOutcome::Mapped { .. } if spurious_fault => {
+                self.stats.faults.inc();
+                self.stats.injected_faults.inc();
+                IommuResponse {
+                    service_at,
+                    done_at: end,
+                    outcome: IommuOutcome::Fault,
+                }
+            }
             WalkOutcome::Mapped { ppn, perms } => {
                 self.tlb.insert(key, ppn, perms, end);
                 IommuResponse {
@@ -463,6 +531,70 @@ mod tests {
         iommu.shootdown_page(pid.asid(), vpn);
         let resp = iommu.translate(pid.asid(), vpn, Cycle::new(100), &os, None);
         assert!(matches!(resp.outcome, IommuOutcome::Walked { .. }));
+    }
+
+    #[test]
+    fn injected_faults_suppress_tlb_fill_and_count() {
+        let (os, pid, r) = setup(2);
+        let mut iommu = Iommu::new(IommuConfig::small());
+        iommu.set_inject(WalkInjectConfig {
+            seed: 1,
+            fault_ppm: 1_000_000, // every walk faults
+            spike_ppm: 0,
+            spike_cycles: 0,
+        });
+        let vpn = r.start().vpn();
+        for i in 0..4 {
+            let resp = iommu.translate(pid.asid(), vpn, Cycle::new(i * 1000), &os, None);
+            assert_eq!(resp.outcome, IommuOutcome::Fault, "walk {i}");
+        }
+        let s = iommu.stats();
+        assert_eq!(s.walks.get(), 4, "faulted walks never fill the TLB");
+        assert_eq!(s.faults.get(), 4);
+        assert_eq!(s.injected_faults.get(), 4);
+        assert!(s.faults.get() <= s.walks.get(), "conservation law holds");
+    }
+
+    #[test]
+    fn injected_spikes_slow_walks() {
+        let (os, pid, r) = setup(1);
+        let vpn = r.start().vpn();
+        let mut plain = Iommu::new(IommuConfig::small());
+        let base = plain.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        let mut spiky = Iommu::new(IommuConfig::small());
+        spiky.set_inject(WalkInjectConfig {
+            seed: 1,
+            fault_ppm: 0,
+            spike_ppm: 1_000_000, // every walk spikes
+            spike_cycles: 777,
+        });
+        let slow = spiky.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        assert_eq!(slow.done_at, base.done_at + Duration::new(777));
+        assert!(matches!(slow.outcome, IommuOutcome::Walked { .. }));
+        assert_eq!(spiky.stats().injected_spikes.get(), 1);
+    }
+
+    #[test]
+    fn walker_injection_is_deterministic_in_the_seed() {
+        let (os, pid, r) = setup(8);
+        let cfg = WalkInjectConfig {
+            seed: 42,
+            fault_ppm: 300_000,
+            spike_ppm: 300_000,
+            spike_cycles: 100,
+        };
+        let run = |seed| {
+            let mut iommu = Iommu::new(IommuConfig::small());
+            iommu.set_inject(WalkInjectConfig { seed, ..cfg });
+            let mut trace = Vec::new();
+            for (i, vpn) in r.pages().enumerate() {
+                let resp = iommu.translate(pid.asid(), vpn, Cycle::new(i as u64 * 500), &os, None);
+                trace.push((resp.done_at, resp.outcome));
+            }
+            trace
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "seed does not reach the walker");
     }
 
     #[test]

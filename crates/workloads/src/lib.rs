@@ -30,7 +30,7 @@
 //!
 //! let mut w = gvc_workloads::build(WorkloadId::Bfs, Scale::test(), 42);
 //! let sim = GpuSim::new(GpuConfig::default(), SystemConfig::vc_with_opt());
-//! let report = sim.run(&mut *w.source, &w.os);
+//! let report = sim.run(&mut *w.source, &mut w.os);
 //! assert!(report.mem_instructions > 0);
 //! ```
 

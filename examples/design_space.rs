@@ -17,7 +17,7 @@ use gvc_workloads::{build, Scale, WorkloadId};
 
 fn run(cfg: SystemConfig) -> gvc_gpu::RunReport {
     let mut w = build(WorkloadId::Pagerank, Scale::quick(), 42);
-    GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os)
+    GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &mut w.os)
 }
 
 fn main() {

@@ -21,7 +21,8 @@ fn main() {
         println!("== {} (power-law graph, quick scale) ==", id.name());
         let ideal = {
             let mut w = build(id, scale, 42);
-            GpuSim::new(GpuConfig::default(), SystemConfig::ideal_mmu()).run(&mut *w.source, &w.os)
+            GpuSim::new(GpuConfig::default(), SystemConfig::ideal_mmu())
+                .run(&mut *w.source, &mut w.os)
         };
         println!(
             "{:<14} {:>10} {:>10} {:>12} {:>10}",
@@ -36,7 +37,7 @@ fn main() {
             ("VC With OPT", SystemConfig::vc_with_opt()),
         ] {
             let mut w = build(id, scale, 42);
-            let rep = GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os);
+            let rep = GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &mut w.os);
             println!(
                 "{:<14} {:>10} {:>9.2} {:>12.3} {:>10}",
                 name,

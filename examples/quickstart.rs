@@ -51,7 +51,7 @@ fn main() -> Result<(), MemError> {
     for (name, cfg) in designs {
         let mut rng = SimRng::seeded(7);
         let kernel = gather_kernel(&buf, pid.asid(), 256, &mut rng);
-        let report = GpuSim::new(GpuConfig::default(), cfg).run(&mut kernel.into_source(), &os);
+        let report = GpuSim::new(GpuConfig::default(), cfg).run(&mut kernel.into_source(), &mut os);
         let ideal = *ideal_cycles.get_or_insert(report.cycles);
         println!(
             "{:<14} {:>10} {:>9.2}x {:>11.1}% {:>14.3}",

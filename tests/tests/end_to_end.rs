@@ -7,7 +7,7 @@ use gvc_workloads::{build, Scale, WorkloadId};
 
 fn run(id: WorkloadId, cfg: SystemConfig, seed: u64) -> RunReport {
     let mut w = build(id, Scale::test(), seed);
-    GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os)
+    GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &mut w.os)
 }
 
 #[test]
@@ -72,10 +72,10 @@ fn virtual_hierarchy_filters_translation_traffic() {
     for id in [WorkloadId::Pagerank, WorkloadId::ColorMax, WorkloadId::Bc] {
         let mut w = build(id, Scale::quick(), 42);
         let base = GpuSim::new(GpuConfig::default(), SystemConfig::baseline_512())
-            .run(&mut *w.source, &w.os);
+            .run(&mut *w.source, &mut w.os);
         let mut w = build(id, Scale::quick(), 42);
         let vc = GpuSim::new(GpuConfig::default(), SystemConfig::vc_with_opt())
-            .run(&mut *w.source, &w.os);
+            .run(&mut *w.source, &mut w.os);
         assert!(
             vc.mem.iommu.requests.get() < base.mem.iommu.requests.get(),
             "{id}: VC must reduce IOMMU traffic ({} vs {})",

@@ -15,7 +15,7 @@ use gvc_workloads::{build, Scale, WorkloadId};
 
 fn run_paranoid(id: WorkloadId, cfg: SystemConfig, seed: u64) -> RunReport {
     let mut w = build(id, Scale::test(), seed);
-    GpuSim::new(GpuConfig::default(), cfg.with_paranoid()).run(&mut *w.source, &w.os)
+    GpuSim::new(GpuConfig::default(), cfg.with_paranoid()).run(&mut *w.source, &mut w.os)
 }
 
 /// One workload per access-pattern class: Backprop streams
@@ -42,7 +42,7 @@ fn paranoid_mode_does_not_change_results() {
     // it on or off.
     for (name, cfg) in all_designs() {
         let mut w = build(WorkloadId::Bfs, Scale::test(), 42);
-        let plain = GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &w.os);
+        let plain = GpuSim::new(GpuConfig::default(), cfg).run(&mut *w.source, &mut w.os);
         let checked = run_paranoid(WorkloadId::Bfs, cfg, 42);
         assert_eq!(plain.cycles, checked.cycles, "{name}: timing changed");
         assert_eq!(

@@ -1,0 +1,101 @@
+//! The hardened sweep runner: a sweep containing a run that panics and
+//! a run that trips the cycle watchdog still completes, reporting both
+//! as structured [`RunError`]s while every healthy key gets its full
+//! report.
+//!
+//! Everything lives in ONE test function: the watchdog and retry knobs
+//! are process-wide, and a sibling test running concurrently would see
+//! them.
+
+use gvc::SystemConfig;
+use gvc_bench::runner::{self, ParallelExecutor, RunError, RunKey};
+use gvc_gpu::Truncation;
+use gvc_workloads::{Scale, WorkloadId};
+
+#[test]
+fn sweep_survives_panics_and_timeouts_with_structured_errors() {
+    let scale = Scale::test();
+    let mk = |workload| RunKey {
+        workload,
+        config: SystemConfig::baseline_512(),
+        scale,
+        seed: 1,
+    };
+    let a = mk(WorkloadId::Pathfinder);
+    let b = mk(WorkloadId::Backprop);
+
+    // Measure both runs un-watchdogged, then pick a cycle budget that
+    // lets the faster one finish and cuts the slower one.
+    let a_cycles = runner::run(a.workload, a.config, a.scale, a.seed).cycles;
+    let b_cycles = runner::run(b.workload, b.config, b.scale, b.seed).cycles;
+    assert_ne!(a_cycles, b_cycles, "need distinct run lengths to split");
+    let (fast, slow) = if a_cycles < b_cycles { (a, b) } else { (b, a) };
+    let (fast_cycles, slow_cycles) = (a_cycles.min(b_cycles), a_cycles.max(b_cycles));
+
+    // A config whose FBT geometry panics the constructor (`ways` must
+    // divide `entries`) — in every design, deterministically.
+    let mut bad_config = SystemConfig::baseline_512();
+    bad_config.fbt.ways = 3;
+    let bad = RunKey {
+        config: bad_config,
+        ..fast
+    };
+
+    runner::set_max_retries(1);
+    runner::set_max_cycles(Some(fast_cycles));
+    runner::clear_cache();
+    let sweep = ParallelExecutor::with_workers(3).sweep(&[fast, bad, slow]);
+    runner::set_max_cycles(None);
+
+    assert_eq!(sweep.results.len(), 3, "sweep must report every key");
+    assert_eq!(sweep.ok_count(), 1);
+    assert_eq!(sweep.err_count(), 2);
+
+    let (key0, healthy) = &sweep.results[0];
+    assert_eq!(*key0, fast);
+    let healthy = healthy.as_ref().expect("healthy run completes");
+    assert_eq!(healthy.cycles, fast_cycles, "watchdog must not skew it");
+    assert_eq!(healthy.truncated, None);
+
+    let (key1, panicked) = &sweep.results[1];
+    assert_eq!(*key1, bad);
+    match panicked {
+        Err(RunError::Panicked { message, attempts }) => {
+            assert!(
+                message.contains("divide"),
+                "panic payload should survive: {message:?}"
+            );
+            assert_eq!(*attempts, 2, "1 retry = 2 attempts");
+            let shown = format!("{}", panicked.as_ref().unwrap_err());
+            assert!(shown.contains("panicked"), "Display: {shown}");
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+
+    let (key2, timed_out) = &sweep.results[2];
+    assert_eq!(*key2, slow);
+    match timed_out {
+        Err(RunError::Timeout {
+            truncation,
+            partial,
+        }) => {
+            assert_eq!(*truncation, Truncation::MaxCycles);
+            assert!(
+                partial.mem_instructions > 0,
+                "partial stats must be carried"
+            );
+            assert!(
+                partial.cycles < slow_cycles,
+                "cut run must stop before its natural end"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    // The poisoned/cut state must not leak: with the watchdog off, the
+    // same slow key runs to completion again.
+    runner::clear_cache();
+    let clean = runner::try_run(slow.workload, slow.config, slow.scale, slow.seed)
+        .expect("watchdog off: runs to completion");
+    assert_eq!(clean.cycles, slow_cycles);
+}
