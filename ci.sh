@@ -35,4 +35,24 @@ echo "== seeded injection soak (release)"
 # workloads under paranoid checking with inject seed 42.
 cargo test --release -q -p gvc-integration --test inject -- --include-ignored
 
+echo "== trace export smoke (release)"
+# Cycle-attributed tracing (DESIGN.md §10): export one design x one
+# workload under the paranoid attribution check, twice at different
+# --jobs values; the artifacts must be byte-identical, valid JSON, and
+# contain no NaN/inf (the vendored serializer would emit null).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/repro trace vc bfs --scale test --paranoid --json "$trace_dir/a" --jobs 1
+./target/release/repro trace vc bfs --scale test --paranoid --json "$trace_dir/b" --jobs 4
+cmp "$trace_dir/a/trace_vc_bfs.json" "$trace_dir/b/trace_vc_bfs.json"
+cmp "$trace_dir/a/trace_vc_bfs_metrics.json" "$trace_dir/b/trace_vc_bfs_metrics.json"
+if command -v python3 >/dev/null; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
+        "$trace_dir/a/trace_vc_bfs.json" "$trace_dir/a/trace_vc_bfs_metrics.json"
+fi
+if grep -rlE 'NaN|Infinity|-inf|\bnull\b' "$trace_dir"; then
+    echo "trace export contains non-finite or null values" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -1,4 +1,5 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and exports
+//! cycle-attributed traces.
 //!
 //! ```text
 //! cargo run --release -p gvc-bench --bin repro -- all
@@ -6,6 +7,7 @@
 //! cargo run --release -p gvc-bench --bin repro -- fig2 fig8 --json out/
 //! cargo run --release -p gvc-bench --bin repro -- all --jobs 4
 //! cargo run --release -p gvc-bench --bin repro -- fig4 --inject 0.02 --paranoid
+//! cargo run --release -p gvc-bench --bin repro -- trace vc bfs --scale quick
 //! ```
 //!
 //! Output is byte-identical for every `--jobs` value: workers only
@@ -14,228 +16,156 @@
 //! is seeded (`--seed` reaches the injectors too), so an injected run
 //! is just as replayable as a clean one. `--max-cycles` arms a
 //! deterministic per-run watchdog; a cut run reports partial stats.
+//!
+//! `trace <design> <workload>` runs one simulation with the
+//! `gvc_engine::trace` sink attached and writes a Chrome/Perfetto
+//! trace-event JSON plus a per-interval metrics JSON next to the
+//! figure output (`--json DIR`, default `results/`). The export is
+//! validated (balanced begin/end pairs, non-negative durations) and
+//! deterministic for a given (design, workload, scale, seed).
 
+use gvc_bench::cli::{self, CliError, CliOptions};
 use gvc_bench::figures::*;
-use gvc_bench::runner;
-use gvc_workloads::Scale;
-use std::num::NonZeroUsize;
+use gvc_bench::{assert_json_finite, runner, trace};
+use std::fmt::Display;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table1|table2|fig2|fig3|fig4|fig5|fig8|fig9|fig10|fig11|fig12|ablations|energy|all]... \
+        "usage: repro [{targets}]... \
+         [trace <design> <workload>] \
          [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid] \
-         [--inject RATE] [--max-cycles N]"
+         [--inject RATE] [--max-cycles N]\n\
+         trace designs: {designs}",
+        targets = cli::TARGETS.join("|"),
+        designs = trace::DESIGN_NAMES.join("|"),
     );
     std::process::exit(2);
 }
 
+/// Renders one figure/table: prints the text form, checks the JSON
+/// tree for non-finite numbers, and (with `--json`) writes the pretty
+/// JSON.
+fn emit<T: serde::Serialize + Display>(name: &str, d: &T, json_dir: &Option<String>) {
+    let value = d.to_value();
+    assert_json_finite(name, &value);
+    println!("{d}");
+    println!("{}", "-".repeat(72));
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let json = serde_json::to_string_pretty(&value).expect("json");
+        std::fs::write(format!("{dir}/{name}.json"), json).expect("write json");
+    }
+}
+
+fn run_trace(opts: &CliOptions) {
+    let spec = opts.trace.as_ref().expect("trace spec");
+    let mut config = trace::design_by_name(&spec.design).expect("validated design");
+    if opts.paranoid {
+        config = config.with_paranoid();
+    }
+    if let Some(rate) = opts.inject_rate {
+        let ppm = (rate * 1e6).round() as u32;
+        config = config.with_inject(gvc::InjectConfig::uniform(ppm, opts.seed));
+    }
+    let t0 = Instant::now();
+    let art = trace::collect(
+        config,
+        spec.workload,
+        opts.scale,
+        opts.seed,
+        opts.max_cycles,
+    );
+    match trace::validate_perfetto(&art.perfetto) {
+        Ok(check) => eprintln!(
+            "[trace {} {}: {} events, {} spans, {} tracks, {} cycles, took {:.1?}]",
+            spec.design,
+            spec.workload.name(),
+            check.events,
+            check.spans,
+            check.tracks,
+            art.report.cycles,
+            t0.elapsed(),
+        ),
+        Err(e) => {
+            eprintln!("repro: invalid trace export: {e}");
+            std::process::exit(1);
+        }
+    }
+    assert_json_finite("trace", &art.perfetto);
+    assert_json_finite("trace metrics", &art.metrics);
+    let dir = opts.json_dir.clone().unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let stem = format!("{dir}/trace_{}_{}", spec.design, spec.workload.name());
+    std::fs::write(
+        format!("{stem}.json"),
+        serde_json::to_string_pretty(&art.perfetto).expect("json"),
+    )
+    .expect("write trace json");
+    std::fs::write(
+        format!("{stem}_metrics.json"),
+        serde_json::to_string_pretty(&art.metrics).expect("json"),
+    )
+    .expect("write metrics json");
+    println!("trace written to {stem}.json (+ _metrics.json)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut targets: Vec<String> = Vec::new();
-    let mut scale = Scale::paper();
-    let mut seed = 42u64;
-    let mut json_dir: Option<String> = None;
-    let mut inject_rate: Option<f64> = None;
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                scale = match it.next().as_deref() {
-                    Some("paper") => Scale::paper(),
-                    Some("quick") => Scale::quick(),
-                    Some("test") => Scale::test(),
-                    _ => usage(),
-                }
-            }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--json" => json_dir = Some(it.next().unwrap_or_else(|| usage())),
-            "--jobs" => {
-                let n: NonZeroUsize = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                runner::set_jobs(Some(n));
-            }
-            // Run every simulation under the gvc::check invariant
-            // checker; any violated invariant aborts the repro run.
-            "--paranoid" => runner::set_force_paranoid(true),
-            // Deterministic fault injection: RATE is a per-event-class
-            // probability per memory instruction (e.g. 0.02 = 2%).
-            // Resolved to an InjectConfig after the arg loop so
-            // `--seed` works in either order.
-            "--inject" => {
-                let rate: f64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|r| (0.0..=1.0).contains(r))
-                    .unwrap_or_else(|| usage());
-                inject_rate = Some(rate);
-            }
-            // Deterministic per-run watchdog: runs cut at N simulated
-            // cycles report partial stats instead of spinning forever.
-            "--max-cycles" => {
-                let n: u64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                runner::set_max_cycles(Some(n));
-            }
-            "--help" | "-h" => usage(),
-            other => targets.push(other.to_string()),
-        }
-    }
-    if let Some(rate) = inject_rate {
-        let ppm = (rate * 1e6).round() as u32;
-        runner::set_force_inject(Some(gvc::InjectConfig::uniform(ppm, seed)));
-    }
-    if targets.is_empty() {
-        usage();
-    }
-    if targets.iter().any(|t| t == "all") {
-        targets = [
-            "table1",
-            "table2",
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "ablations",
-            "energy",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
-
-    let emit = |name: &str, text: String, json: String| {
-        println!("{text}");
-        println!("{}", "-".repeat(72));
-        if let Some(dir) = &json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
-            std::fs::write(format!("{dir}/{name}.json"), json).expect("write json");
+    let opts = match cli::parse(&args) {
+        Ok(opts) => opts,
+        Err(CliError::Usage) => usage(),
+        Err(e @ CliError::Invalid { .. }) => {
+            eprintln!("repro: error: {e}");
+            std::process::exit(2);
         }
     };
+    if let Some(jobs) = opts.jobs {
+        runner::set_jobs(Some(jobs));
+    }
+    if opts.paranoid {
+        runner::set_force_paranoid(true);
+    }
+    if let Some(limit) = opts.max_cycles {
+        runner::set_max_cycles(Some(limit));
+    }
+    if let Some(rate) = opts.inject_rate {
+        let ppm = (rate * 1e6).round() as u32;
+        runner::set_force_inject(Some(gvc::InjectConfig::uniform(ppm, opts.seed)));
+    }
 
+    let mut targets = opts.targets.clone();
+    if targets.iter().any(|t| t == "all") {
+        targets = cli::TARGETS
+            .iter()
+            .filter(|t| **t != "all")
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let (scale, seed, json_dir) = (opts.scale, opts.seed, opts.json_dir.clone());
     for t in &targets {
         let t0 = Instant::now();
         match t.as_str() {
-            "table1" => {
-                let d = table1::collect();
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "table2" => {
-                let d = table2::collect();
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig2" => {
-                let d = fig2::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig3" => {
-                let d = fig3::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig4" => {
-                let d = fig4::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig5" => {
-                let d = fig5::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig8" => {
-                let d = fig8::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig9" => {
-                let d = fig9::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig10" => {
-                let d = fig10::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig11" => {
-                let d = fig11::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "fig12" => {
-                let d = fig12::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "ablations" => {
-                let d = ablations::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            "energy" => {
-                let d = energy::collect(scale, seed);
-                emit(
-                    t,
-                    d.to_string(),
-                    serde_json::to_string_pretty(&d).expect("json"),
-                );
-            }
-            _ => usage(),
+            "table1" => emit(t, &table1::collect(), &json_dir),
+            "table2" => emit(t, &table2::collect(), &json_dir),
+            "fig2" => emit(t, &fig2::collect(scale, seed), &json_dir),
+            "fig3" => emit(t, &fig3::collect(scale, seed), &json_dir),
+            "fig4" => emit(t, &fig4::collect(scale, seed), &json_dir),
+            "fig5" => emit(t, &fig5::collect(scale, seed), &json_dir),
+            "fig8" => emit(t, &fig8::collect(scale, seed), &json_dir),
+            "fig9" => emit(t, &fig9::collect(scale, seed), &json_dir),
+            "fig10" => emit(t, &fig10::collect(scale, seed), &json_dir),
+            "fig11" => emit(t, &fig11::collect(scale, seed), &json_dir),
+            "fig12" => emit(t, &fig12::collect(scale, seed), &json_dir),
+            "ablations" => emit(t, &ablations::collect(scale, seed), &json_dir),
+            "energy" => emit(t, &energy::collect(scale, seed), &json_dir),
+            _ => unreachable!("cli::parse validated targets"),
         }
         eprintln!("[{t} took {:.1?}]", t0.elapsed());
+    }
+
+    if opts.trace.is_some() {
+        run_trace(&opts);
     }
 }

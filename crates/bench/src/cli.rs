@@ -1,0 +1,234 @@
+//! Argument parsing for the `repro` binary, split out as a pure
+//! function so input validation is unit-testable without spawning the
+//! binary.
+//!
+//! Every flag is validated here with a structured [`CliError`] instead
+//! of a panic or a bare usage dump: `--jobs 0` (a zero worker pool
+//! would deadlock the sweep), out-of-range `--inject` rates (the ppm
+//! conversion would silently saturate), and `--max-cycles 0` (the
+//! runner treats 0 as "no watchdog", so accepting it would silently
+//! disarm the very protection the flag asks for) are all rejected with
+//! messages naming the flag and the offending value.
+
+use gvc_workloads::{Scale, WorkloadId};
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// Figure/table targets the `repro` binary understands.
+pub const TARGETS: [&str; 14] = [
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "energy",
+    "all",
+];
+
+/// A validated `repro trace <design> <workload>` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Canonical design name (validated against
+    /// [`crate::trace::design_by_name`]).
+    pub design: String,
+    /// The workload to trace.
+    pub workload: WorkloadId,
+}
+
+/// Fully parsed and validated command line.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Figure/table targets, in request order.
+    pub targets: Vec<String>,
+    /// A `trace` subcommand, when requested.
+    pub trace: Option<TraceSpec>,
+    /// Simulation scale (`--scale`, default paper).
+    pub scale: Scale,
+    /// Base seed (`--seed`, default 42).
+    pub seed: u64,
+    /// JSON output directory (`--json`).
+    pub json_dir: Option<String>,
+    /// Worker count override (`--jobs`, validated nonzero).
+    pub jobs: Option<NonZeroUsize>,
+    /// Run every simulation under the paranoid invariant checker.
+    pub paranoid: bool,
+    /// Fault-injection rate in [0, 1] (`--inject`).
+    pub inject_rate: Option<f64>,
+    /// Cycle watchdog (`--max-cycles`, validated nonzero).
+    pub max_cycles: Option<u64>,
+}
+
+/// Why the command line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `-h`/`--help`, or nothing to do: show usage.
+    Usage,
+    /// A flag or positional argument failed validation.
+    Invalid {
+        /// The flag (or token) at fault, e.g. `--jobs`.
+        flag: String,
+        /// What was wrong and what would be accepted.
+        message: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage => write!(f, "nothing to do (see --help)"),
+            CliError::Invalid { flag, message } => write!(f, "{flag}: {message}"),
+        }
+    }
+}
+
+fn invalid(flag: &str, message: impl Into<String>) -> CliError {
+    CliError::Invalid {
+        flag: flag.to_string(),
+        message: message.into(),
+    }
+}
+
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    it.next().ok_or_else(|| invalid(flag, "missing value"))
+}
+
+/// Parses and validates `repro` arguments (everything after argv[0]).
+pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
+    let mut o = CliOptions {
+        targets: Vec::new(),
+        trace: None,
+        scale: Scale::paper(),
+        seed: 42,
+        json_dir: None,
+        jobs: None,
+        paranoid: false,
+        inject_rate: None,
+        max_cycles: None,
+    };
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match value(&mut it, "--scale")?.as_str() {
+                "paper" => o.scale = Scale::paper(),
+                "quick" => o.scale = Scale::quick(),
+                "test" => o.scale = Scale::test(),
+                other => {
+                    return Err(invalid(
+                        "--scale",
+                        format!("expected paper|quick|test, got {other:?}"),
+                    ))
+                }
+            },
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                o.seed = v.parse().map_err(|_| {
+                    invalid("--seed", format!("expected an unsigned integer, got {v:?}"))
+                })?;
+            }
+            "--json" => o.json_dir = Some(value(&mut it, "--json")?),
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                let n: usize = v.parse().map_err(|_| {
+                    invalid("--jobs", format!("expected an unsigned integer, got {v:?}"))
+                })?;
+                o.jobs = Some(NonZeroUsize::new(n).ok_or_else(|| {
+                    invalid(
+                        "--jobs",
+                        "must be at least 1 (a zero-worker pool would hang)",
+                    )
+                })?);
+            }
+            "--paranoid" => o.paranoid = true,
+            "--inject" => {
+                let v = value(&mut it, "--inject")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| invalid("--inject", format!("expected a number, got {v:?}")))?;
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(invalid(
+                        "--inject",
+                        format!("rate must be a finite probability in [0, 1], got {v}"),
+                    ));
+                }
+                o.inject_rate = Some(rate);
+            }
+            "--max-cycles" => {
+                let v = value(&mut it, "--max-cycles")?;
+                let n: u64 = v.parse().map_err(|_| {
+                    invalid(
+                        "--max-cycles",
+                        format!("expected an unsigned integer, got {v:?}"),
+                    )
+                })?;
+                if n == 0 {
+                    return Err(invalid(
+                        "--max-cycles",
+                        "must be at least 1 — 0 would silently disarm the watchdog \
+                         (omit the flag for an unbounded run)",
+                    ));
+                }
+                o.max_cycles = Some(n);
+            }
+            "--help" | "-h" => return Err(CliError::Usage),
+            "trace" => {
+                let design = value(&mut it, "trace").map_err(|_| {
+                    invalid(
+                        "trace",
+                        format!(
+                            "expected `trace <design> <workload>`; designs: {}",
+                            crate::trace::DESIGN_NAMES.join("|")
+                        ),
+                    )
+                })?;
+                if crate::trace::design_by_name(&design).is_none() {
+                    return Err(invalid(
+                        "trace",
+                        format!(
+                            "unknown design {design:?}; expected one of {}",
+                            crate::trace::DESIGN_NAMES.join("|")
+                        ),
+                    ));
+                }
+                let wname = value(&mut it, "trace").map_err(|_| {
+                    invalid("trace", "missing workload: `trace <design> <workload>`")
+                })?;
+                let workload = WorkloadId::from_name(&wname).ok_or_else(|| {
+                    invalid(
+                        "trace",
+                        format!(
+                            "unknown workload {wname:?}; expected one of {}",
+                            WorkloadId::all()
+                                .iter()
+                                .map(|w| w.name())
+                                .collect::<Vec<_>>()
+                                .join("|")
+                        ),
+                    )
+                })?;
+                o.trace = Some(TraceSpec { design, workload });
+            }
+            other if other.starts_with('-') => return Err(invalid(other, "unknown flag")),
+            other => {
+                if TARGETS.contains(&other) {
+                    o.targets.push(other.to_string());
+                } else {
+                    return Err(invalid(
+                        other,
+                        format!("unknown target; expected one of {}", TARGETS.join("|")),
+                    ));
+                }
+            }
+        }
+    }
+    if o.targets.is_empty() && o.trace.is_none() {
+        return Err(CliError::Usage);
+    }
+    Ok(o)
+}

@@ -1,7 +1,7 @@
 //! Design-choice ablations (DESIGN.md §5), beyond the paper's own
 //! figures.
 
-use crate::runner::{prefetch, run, RunKey};
+use crate::runner::{prefetch, run, safe_ratio, RunKey};
 use gvc::{LineAccess, MemorySystem, SystemConfig};
 use gvc_engine::Cycle;
 use gvc_mem::{OsLite, Perms};
@@ -83,7 +83,7 @@ pub fn collect(scale: Scale, seed: u64) -> Ablations {
         let rep = run(wl, cfg, scale, seed);
         fbt_capacity.push((
             entries,
-            rep.cycles as f64 / base16k.cycles as f64,
+            safe_ratio(rep.cycles as f64, base16k.cycles as f64),
             rep.mem.fbt_max_occupancy,
             rep.mem.counters.fbt_evict_line_invals.get(),
             rep.mem.counters.l1_flushes.get(),

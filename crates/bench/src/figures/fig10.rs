@@ -2,7 +2,7 @@
 //! with large (128-entry) fully associative per-CU TLBs and a
 //! 16K-entry IOMMU TLB.
 
-use crate::runner::{keys_for, mean, prefetch, run};
+use crate::runner::{keys_for, mean, prefetch, run, safe_ratio};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -44,7 +44,7 @@ pub fn collect(scale: Scale, seed: u64) -> Fig10 {
             let vc = run(id, SystemConfig::vc_with_opt(), scale, seed);
             Row {
                 workload: id.name().to_string(),
-                speedup: big_tlbs.cycles as f64 / vc.cycles as f64,
+                speedup: safe_ratio(big_tlbs.cycles as f64, vc.cycles as f64),
             }
         })
         .collect();

@@ -1,7 +1,7 @@
 //! Figure 11: L1-only virtual caches versus the whole virtual
 //! hierarchy — speedup relative to the Baseline-16K physical design.
 
-use crate::runner::{keys_for, mean, prefetch, run};
+use crate::runner::{keys_for, mean, prefetch, run, safe_ratio};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -39,9 +39,18 @@ pub fn collect(scale: Scale, seed: u64) -> Fig11 {
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
         let base = run(id, SystemConfig::baseline_16k(), scale, seed).cycles as f64;
-        let s32 = base / run(id, SystemConfig::l1_only_vc_32(), scale, seed).cycles as f64;
-        let s128 = base / run(id, SystemConfig::l1_only_vc_128(), scale, seed).cycles as f64;
-        let sfull = base / run(id, SystemConfig::vc_with_opt(), scale, seed).cycles as f64;
+        let s32 = safe_ratio(
+            base,
+            run(id, SystemConfig::l1_only_vc_32(), scale, seed).cycles as f64,
+        );
+        let s128 = safe_ratio(
+            base,
+            run(id, SystemConfig::l1_only_vc_128(), scale, seed).cycles as f64,
+        );
+        let sfull = safe_ratio(
+            base,
+            run(id, SystemConfig::vc_with_opt(), scale, seed).cycles as f64,
+        );
         rows.push((id.name().to_string(), s32, s128, sfull));
     }
     let l1_only_32 = mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>());

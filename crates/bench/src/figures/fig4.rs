@@ -3,7 +3,7 @@
 //! against the IDEAL MMU, split into serialization and page-walk
 //! components.
 
-use crate::runner::{keys_for, mean, prefetch, run};
+use crate::runner::{keys_for, mean, prefetch, run, safe_ratio};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -51,8 +51,14 @@ pub fn collect(scale: Scale, seed: u64) -> Fig4 {
     let mut rows = Vec::new();
     for id in WorkloadId::all() {
         let ideal = run(id, SystemConfig::ideal_mmu(), scale, seed).cycles as f64;
-        let small = run(id, SystemConfig::baseline_512(), scale, seed).cycles as f64 / ideal;
-        let large = run(id, SystemConfig::baseline_16k(), scale, seed).cycles as f64 / ideal;
+        let small = safe_ratio(
+            run(id, SystemConfig::baseline_512(), scale, seed).cycles as f64,
+            ideal,
+        );
+        let large = safe_ratio(
+            run(id, SystemConfig::baseline_16k(), scale, seed).cycles as f64,
+            ideal,
+        );
         rows.push(Row {
             workload: id.name().to_string(),
             small_iommu: small,

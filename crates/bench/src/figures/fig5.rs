@@ -2,7 +2,7 @@
 //! workloads as the IOMMU TLB's peak bandwidth sweeps 1–4 accesses per
 //! cycle (16K-entry TLB isolates the bandwidth effect).
 
-use crate::runner::{keys_for, mean, prefetch, run};
+use crate::runner::{keys_for, mean, prefetch, run, safe_ratio};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -43,7 +43,7 @@ pub fn collect(scale: Scale, seed: u64) -> Fig5 {
             .zip(&ideal)
             .map(|(&id, &base)| {
                 let cfg = SystemConfig::baseline_16k().with_iommu_port_width(bw);
-                run(id, cfg, scale, seed).cycles as f64 / base
+                safe_ratio(run(id, cfg, scale, seed).cycles as f64, base)
             })
             .collect();
         let relative_time = mean(&rel);

@@ -2,7 +2,7 @@
 //! relative to the IDEAL MMU under the four Table 2 designs, plus the
 //! all-workload average and the §4.1 FBT second-level hit statistic.
 
-use crate::runner::{keys_for, mean, prefetch, run};
+use crate::runner::{keys_for, mean, prefetch, run, safe_ratio};
 use gvc::SystemConfig;
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -39,7 +39,7 @@ pub struct Fig9 {
 }
 
 fn perf(id: WorkloadId, cfg: SystemConfig, ideal: f64, scale: Scale, seed: u64) -> f64 {
-    ideal / run(id, cfg, scale, seed).cycles as f64
+    safe_ratio(ideal, run(id, cfg, scale, seed).cycles as f64)
 }
 
 fn avg_row(name: &str, rows: &[Row]) -> Row {
@@ -79,7 +79,7 @@ pub fn collect(scale: Scale, seed: u64) -> Fig9 {
                 baseline_512: perf(id, SystemConfig::baseline_512(), ideal, scale, seed),
                 baseline_16k: perf(id, SystemConfig::baseline_16k(), ideal, scale, seed),
                 vc_without_opt: perf(id, SystemConfig::vc_without_opt(), ideal, scale, seed),
-                vc_with_opt: ideal / vc_opt.cycles as f64,
+                vc_with_opt: safe_ratio(ideal, vc_opt.cycles as f64),
             },
         ));
     }

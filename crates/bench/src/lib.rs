@@ -7,7 +7,46 @@
 //! -- all`); the Criterion benches exercise the same code paths at
 //! test scale.
 
+pub mod cli;
 pub mod figures;
 pub mod runner;
+pub mod trace;
 
 pub use runner::{run, RunKey};
+
+/// Panics if any number in the JSON tree under `v` is non-finite,
+/// naming the `$`-rooted path of the offender. The vendored
+/// serializer emits `null` for NaN/inf, so this must run on the
+/// [`serde::Value`] tree *before* serialization — after, the evidence
+/// is gone.
+pub fn assert_json_finite(label: &str, v: &serde::Value) {
+    fn walk(label: &str, path: &mut String, v: &serde::Value) {
+        match v {
+            serde::Value::Float(f) => {
+                assert!(
+                    f.is_finite(),
+                    "{label}: non-finite number {f} at {path} — \
+                     the vendored serializer would silently emit null"
+                );
+            }
+            serde::Value::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let len = path.len();
+                    path.push_str(&format!("[{i}]"));
+                    walk(label, path, item);
+                    path.truncate(len);
+                }
+            }
+            serde::Value::Map(entries) => {
+                for (k, item) in entries {
+                    let len = path.len();
+                    path.push_str(&format!(".{k}"));
+                    walk(label, path, item);
+                    path.truncate(len);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(label, &mut String::from("$"), v);
+}

@@ -132,6 +132,19 @@ pub fn jobs() -> usize {
     }
 }
 
+/// `num / den`, but 0.0 when the denominator is zero (or non-finite)
+/// instead of NaN/inf. Figure builders divide by cycle counts that a
+/// watchdog-truncated or degenerate run can leave at zero; a poisoned
+/// ratio would serialize as `null` and silently corrupt the exported
+/// JSON, so every figure-level division goes through this.
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 || !den.is_finite() || !num.is_finite() {
+        0.0
+    } else {
+        num / den
+    }
+}
+
 /// Identifies a memoizable run. The full configuration is part of the
 /// key, so two presets that happen to produce the same simulator state
 /// still occupy distinct cache slots.

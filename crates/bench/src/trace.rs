@@ -1,0 +1,189 @@
+//! The `repro trace` subcommand: runs one design × workload with the
+//! [`gvc_engine::trace`] sink attached and exports two artifacts —
+//! a Chrome/Perfetto trace-event JSON (load it at <https://ui.perfetto.dev>)
+//! and a per-interval metrics JSON.
+//!
+//! The run recipe is byte-for-byte the sweep runner's
+//! (`gvc_workloads::build` + `GpuSim::run`), so a traced run reports
+//! the exact statistics the figures are built from; only the sink is
+//! extra. Determinism: the export depends solely on (design, workload,
+//! scale, seed), never on worker count or host parallelism.
+
+use gvc::config::SystemConfig;
+use gvc_engine::time::Cycle;
+use gvc_engine::TraceHandle;
+use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc_workloads::{Scale, WorkloadId};
+use serde::Value;
+
+/// Ring capacity for traced runs: large enough that a test-scale run
+/// keeps every event, while paper-scale runs keep the most recent ~1M
+/// events (oldest whole requests are dropped, and counted).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Design names accepted by `repro trace <design> <workload>`.
+pub const DESIGN_NAMES: [&str; 9] = [
+    "ideal",
+    "baseline",
+    "baseline-512",
+    "baseline-16k",
+    "baseline-large-tlbs",
+    "baseline-infinite-bw",
+    "vc",
+    "vc-without-opt",
+    "l1-only-vc",
+];
+
+/// Maps a CLI design name to its [`SystemConfig`] preset. `baseline`
+/// and `vc` are shorthands for the paper's default points
+/// (`baseline-512` and the fully optimised virtual hierarchy).
+pub fn design_by_name(name: &str) -> Option<SystemConfig> {
+    Some(match name {
+        "ideal" => SystemConfig::ideal_mmu(),
+        "baseline" | "baseline-512" => SystemConfig::baseline_512(),
+        "baseline-16k" => SystemConfig::baseline_16k(),
+        "baseline-large-tlbs" => SystemConfig::baseline_large_per_cu_tlbs(),
+        "baseline-infinite-bw" => SystemConfig::baseline_infinite_bandwidth(),
+        "vc" | "vc-with-opt" => SystemConfig::vc_with_opt(),
+        "vc-without-opt" => SystemConfig::vc_without_opt(),
+        "l1-only-vc" => SystemConfig::l1_only_vc_32(),
+        _ => return None,
+    })
+}
+
+/// Everything a traced run produces.
+pub struct TraceArtifacts {
+    /// The ordinary run report — identical to what an untraced run of
+    /// the same key yields.
+    pub report: RunReport,
+    /// Chrome trace-event JSON document.
+    pub perfetto: Value,
+    /// Per-interval metrics JSON document.
+    pub metrics: Value,
+}
+
+/// Runs `workload` on `config` with a trace sink attached and returns
+/// the report plus both export documents.
+pub fn collect(
+    config: SystemConfig,
+    workload: WorkloadId,
+    scale: Scale,
+    seed: u64,
+    max_cycles: Option<u64>,
+) -> TraceArtifacts {
+    let handle = TraceHandle::new(TRACE_CAPACITY);
+    let mut w = gvc_workloads::build(workload, scale, seed);
+    let gpu = GpuConfig {
+        max_cycles,
+        ..GpuConfig::default()
+    };
+    let report = GpuSim::new(gpu, config)
+        .with_trace(handle.clone())
+        .run(&mut *w.source, &mut w.os);
+    let (perfetto, metrics) =
+        handle.with_sink(|s| (s.perfetto(), s.metrics(Cycle::new(report.cycles))));
+    TraceArtifacts {
+        report,
+        perfetto,
+        metrics,
+    }
+}
+
+/// Summary of a validated Perfetto document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfettoCheck {
+    /// Total trace events ("B" plus "E").
+    pub events: usize,
+    /// Completed spans (matched begin/end pairs).
+    pub spans: usize,
+    /// Distinct (pid, tid) tracks.
+    pub tracks: usize,
+}
+
+fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Structurally validates a Chrome trace-event document: every event
+/// carries the expected fields, every "E" closes the most recent "B"
+/// of the same name on its (pid, tid) track with a non-negative
+/// duration, and no track is left with an open span.
+pub fn validate_perfetto(doc: &Value) -> Result<PerfettoCheck, String> {
+    let Value::Map(top) = doc else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Value::Seq(events)) = field(top, "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    // One stack of open (name, ts) spans per (pid, tid) track.
+    type Track = (u64, u64);
+    type OpenSpans = Vec<(String, u64)>;
+    let mut stacks: Vec<(Track, OpenSpans)> = Vec::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Map(ev) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get =
+            |key: &str| field(ev, key).ok_or_else(|| format!("event {i} is missing field {key:?}"));
+        let Value::Str(name) = get("name")? else {
+            return Err(format!("event {i}: name is not a string"));
+        };
+        let Value::Str(ph) = get("ph")? else {
+            return Err(format!("event {i}: ph is not a string"));
+        };
+        let ts = as_u64(get("ts")?).ok_or_else(|| format!("event {i}: bad ts"))?;
+        let pid = as_u64(get("pid")?).ok_or_else(|| format!("event {i}: bad pid"))?;
+        let tid = as_u64(get("tid")?).ok_or_else(|| format!("event {i}: bad tid"))?;
+        let track = (pid, tid);
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == track) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((track, Vec::new()));
+                &mut stacks.last_mut().unwrap().1
+            }
+        };
+        match ph.as_str() {
+            "B" => stack.push((name.clone(), ts)),
+            "E" => {
+                let Some((open, begin)) = stack.pop() else {
+                    return Err(format!(
+                        "event {i}: \"E\" {name:?} on track {track:?} with no open span"
+                    ));
+                };
+                if open != *name {
+                    return Err(format!(
+                        "event {i}: \"E\" {name:?} closes mismatched span {open:?}"
+                    ));
+                }
+                if ts < begin {
+                    return Err(format!(
+                        "event {i}: span {name:?} has negative duration ({begin} -> {ts})"
+                    ));
+                }
+                spans += 1;
+            }
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (track, stack) in &stacks {
+        if let Some((name, ts)) = stack.last() {
+            return Err(format!(
+                "track {track:?} ends with unclosed span {name:?} (begun at {ts})"
+            ));
+        }
+    }
+    Ok(PerfettoCheck {
+        events: events.len(),
+        spans,
+        tracks: stacks.len(),
+    })
+}

@@ -22,6 +22,7 @@
 
 use crate::config::MmuDesign;
 use crate::hierarchy::{MemorySystem, PHYS};
+use gvc_engine::RequestAttribution;
 use gvc_mem::{Asid, Vpn, LINES_PER_PAGE};
 use std::collections::{BTreeSet, HashMap};
 
@@ -30,6 +31,43 @@ use std::collections::{BTreeSet, HashMap};
 /// is amortized (and additionally forced after every shootdown/probe
 /// and at end of run).
 pub const SWEEP_INTERVAL: u32 = 64;
+
+/// The trace attribution conservation law, asserted on every traced
+/// access in paranoid mode: a request's per-stage latency spans are
+/// contiguous and telescoping, so they must be monotone (no stage ends
+/// before the previous one), their durations must sum *exactly* to the
+/// request's end-to-end latency, and for reads the final stage must
+/// land on the completion cycle reported to the caller. Writes are
+/// posted — the ack (`done_at`) is decoupled from the downstream
+/// pipeline the trace follows — so only the telescoping-sum half
+/// applies to them.
+///
+/// # Panics
+///
+/// Panics on any violated half of the law.
+pub fn check_attribution(attr: &RequestAttribution, is_write: bool) {
+    assert!(
+        attr.monotone,
+        "trace attribution: request {} (cu {}) has a stage ending before \
+         its predecessor",
+        attr.req, attr.cu
+    );
+    let wall = attr.end.raw() - attr.start.raw();
+    assert_eq!(
+        attr.stage_cycles, wall,
+        "trace attribution: request {} (cu {}) stage cycles {} != \
+         end-to-end latency {} over {} stages",
+        attr.req, attr.cu, attr.stage_cycles, wall, attr.stages
+    );
+    if !is_write {
+        assert_eq!(
+            attr.end, attr.done_at,
+            "trace attribution: read request {} (cu {}) last stage ends at \
+             {:?} but completes at {:?} — unattributed cycles",
+            attr.req, attr.cu, attr.end, attr.done_at
+        );
+    }
+}
 
 impl MemorySystem {
     /// Whether this design keys its L1s virtually (and therefore

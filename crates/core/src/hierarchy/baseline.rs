@@ -8,6 +8,7 @@ use super::{AccessFault, AccessResult, LineAccess, MemorySystem};
 use gvc_cache::cache::MshrOutcome;
 use gvc_cache::LineKey;
 use gvc_engine::time::{Cycle, Duration};
+use gvc_engine::TraceCause;
 use gvc_mem::{OsLite, Perms};
 
 impl MemorySystem {
@@ -64,33 +65,57 @@ impl MemorySystem {
         if !virtual_l1 {
             let l1_done = t + Duration::new(self.cfg.lat.l1_hit);
             if self.l1[cu].lookup(l1_key, t).is_some() {
+                self.tr_stage(TraceCause::L1Lookup, l1_done);
                 return match self.l1_mshr[cu].pending(l1_key, t) {
-                    Some(d) => d.max(l1_done),
+                    Some(d) => {
+                        let done = d.max(l1_done);
+                        self.tr_stage(TraceCause::MshrWait, done);
+                        done
+                    }
                     None => l1_done,
                 };
             }
             if let MshrOutcome::Merged { fill_done } = self.l1_mshr[cu].check(l1_key, t) {
+                self.tr_stage(TraceCause::MshrWait, fill_done);
                 return fill_done;
             }
+            self.tr_stage(TraceCause::L1Lookup, l1_done);
         }
         // Shared L2.
         let l2_arrival = t + Duration::new(self.cfg.lat.l1_hit) + self.noc.cu_to_l2();
+        self.tr_stage(TraceCause::Noc, l2_arrival);
         let service = self.l2.reserve_port(l2_key, l2_arrival);
         let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
         let data_at_cu = if self.l2.lookup(l2_key, service).is_some() {
+            self.tr_stage(TraceCause::L2Lookup, l2_done);
             let ready = match self.l2_mshr.pending(l2_key, service) {
-                Some(d) => d.max(l2_done),
+                Some(d) => {
+                    let ready = d.max(l2_done);
+                    self.tr_stage(TraceCause::MshrWait, ready);
+                    ready
+                }
                 None => l2_done,
             };
-            ready + self.noc.cu_to_l2()
+            let at_cu = ready + self.noc.cu_to_l2();
+            self.tr_stage(TraceCause::Noc, at_cu);
+            at_cu
         } else {
             match self.l2_mshr.check(l2_key, service) {
-                MshrOutcome::Merged { fill_done } => fill_done + self.noc.cu_to_l2(),
+                MshrOutcome::Merged { fill_done } => {
+                    self.tr_stage(TraceCause::L2Lookup, service);
+                    self.tr_stage(TraceCause::MshrWait, fill_done);
+                    let at_cu = fill_done + self.noc.cu_to_l2();
+                    self.tr_stage(TraceCause::Noc, at_cu);
+                    at_cu
+                }
                 MshrOutcome::Primary => {
+                    self.tr_stage(TraceCause::L2Lookup, l2_done);
                     let filled = self.fetch_line(l2_done);
                     self.insert_l2_physical(l2_key, false, filled);
                     self.l2_mshr.register(l2_key, filled);
-                    filled + self.noc.cu_to_l2()
+                    let at_cu = filled + self.noc.cu_to_l2();
+                    self.tr_stage(TraceCause::Noc, at_cu);
+                    at_cu
                 }
             }
         };
@@ -104,8 +129,11 @@ impl MemorySystem {
     pub(super) fn write_physical(&mut self, cu: usize, l2_key: LineKey, t: Cycle) {
         // Write-through, no-allocate L1: update in place if present.
         let _ = self.l1[cu].lookup(l2_key, t);
+        self.tr_stage(TraceCause::L1Lookup, t + Duration::new(self.cfg.lat.l1_hit));
         let l2_arrival = t + Duration::new(self.cfg.lat.l1_hit) + self.noc.cu_to_l2();
+        self.tr_stage(TraceCause::Noc, l2_arrival);
         let service = self.l2.reserve_port(l2_key, l2_arrival);
+        self.tr_stage(TraceCause::L2Lookup, service);
         if self.l2.lookup(l2_key, service).is_some() {
             self.l2.mark_dirty(l2_key);
             return;
@@ -118,6 +146,10 @@ impl MemorySystem {
             }
             MshrOutcome::Primary => {
                 // Write-allocate: fetch the line, install dirty.
+                self.tr_stage(
+                    TraceCause::L2Lookup,
+                    service + Duration::new(self.cfg.lat.l2_hit),
+                );
                 let filled = self.fetch_line(service + Duration::new(self.cfg.lat.l2_hit));
                 self.insert_l2_physical(l2_key, true, filled);
                 self.l2_mshr.register(l2_key, filled);

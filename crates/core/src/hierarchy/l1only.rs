@@ -8,6 +8,7 @@
 use super::{AccessFault, AccessResult, LineAccess, MemorySystem};
 use gvc_cache::cache::MshrOutcome;
 use gvc_engine::time::Duration;
+use gvc_engine::TraceCause;
 use gvc_mem::{OsLite, Perms};
 
 impl MemorySystem {
@@ -26,6 +27,7 @@ impl MemorySystem {
             }
             // Writes always go below: translate, then write the
             // physical L2.
+            self.tr_stage(TraceCause::L1Lookup, l1_done);
             let (ppn, perms, ready, _miss) =
                 match self.translate_per_cu(a.cu, a.asid, a.vaddr.vpn(), l1_done, os) {
                     Ok(ok) => ok,
@@ -42,23 +44,30 @@ impl MemorySystem {
 
         // Read: virtual L1 first — a hit filters the TLB lookup.
         if let Some(line) = self.l1[a.cu].lookup(vkey, a.at) {
+            self.tr_stage(TraceCause::L1Lookup, l1_done);
             if !line.perms.covers(Perms::READ) {
                 self.counters.perm_faults.inc();
                 return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l1.inc();
             let ready = match self.l1_mshr[a.cu].pending(vkey, a.at) {
-                Some(d) => d.max(l1_done),
+                Some(d) => {
+                    let ready = d.max(l1_done);
+                    self.tr_stage(TraceCause::MshrWait, ready);
+                    ready
+                }
                 None => l1_done,
             };
             return AccessResult::ok(ready);
         }
         if let MshrOutcome::Merged { fill_done } = self.l1_mshr[a.cu].check(vkey, a.at) {
             self.counters.filtered_at_l1.inc();
+            self.tr_stage(TraceCause::MshrWait, fill_done);
             return AccessResult::ok(fill_done);
         }
 
         // L1 miss: per-CU TLB, then the physical L2.
+        self.tr_stage(TraceCause::L1Lookup, l1_done);
         let (ppn, perms, ready, _miss) =
             match self.translate_per_cu(a.cu, a.asid, a.vaddr.vpn(), l1_done, os) {
                 Ok(ok) => ok,

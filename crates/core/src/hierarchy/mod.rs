@@ -29,6 +29,7 @@ use crate::remap::RemapTable;
 use crate::report::{HierCounters, MemReport};
 use gvc_cache::{BankedCache, InvalFilter, LifetimeTracker, LineKey, MshrFile, SetAssocCache};
 use gvc_engine::time::{Cycle, Duration, Frequency};
+use gvc_engine::{TraceCause, TraceHandle};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, VAddr, LINES_PER_PAGE};
 use gvc_soc::{Directory, Dram, Noc};
 use gvc_tlb::iommu::Iommu;
@@ -168,6 +169,9 @@ pub struct MemorySystem {
     /// Accesses left in the active FBT-pressure window (fault
     /// injection); 0 = no window. See [`MemorySystem::inject_fbt_pressure`].
     fbt_pressure_left: u32,
+    /// Optional trace sink (attached post-construction; never part of
+    /// the config, memo keys, or reports).
+    pub(crate) trace: Option<TraceHandle>,
 }
 
 impl MemorySystem {
@@ -205,7 +209,24 @@ impl MemorySystem {
             lifetimes,
             steps_since_sweep: 0,
             fbt_pressure_left: 0,
+            trace: None,
             cfg,
+        }
+    }
+
+    /// Attaches a shared trace sink for cycle-attributed tracing; the
+    /// same sink is handed to the IOMMU so a request's cursor stays
+    /// continuous across the CU → IOMMU → CU round trip. Observational
+    /// only: timing, stats, and reports are untouched.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.iommu.attach_trace(trace.clone());
+        self.trace = Some(trace);
+    }
+
+    /// Emits a stage span ending at `end` when tracing is on.
+    pub(crate) fn tr_stage(&self, cause: TraceCause, end: Cycle) {
+        if let Some(t) = &self.trace {
+            t.stage(cause, end);
         }
     }
 
@@ -260,6 +281,13 @@ impl MemorySystem {
         } else {
             self.counters.reads.inc();
         }
+        // Open a trace request unless the GPU front end already did
+        // (it begins at wave issue to also attribute coalescing).
+        if let Some(tr) = &self.trace {
+            if !tr.has_active() {
+                tr.begin_request(access.cu as u32, access.at);
+            }
+        }
         let result = match self.cfg.design {
             MmuDesign::Baseline => self.access_baseline(access, os),
             MmuDesign::VirtualHierarchy {
@@ -267,6 +295,12 @@ impl MemorySystem {
             } => self.access_virtual(access, os, fbt_as_second_level),
             MmuDesign::L1OnlyVirtual => self.access_l1only(access, os),
         };
+        if let Some(tr) = &self.trace {
+            let attr = tr.end_request(result.done_at);
+            if self.cfg.paranoid {
+                crate::check::check_attribution(&attr, access.is_write);
+            }
+        }
         if self.cfg.paranoid {
             self.paranoid_step();
         }
@@ -280,7 +314,9 @@ impl MemorySystem {
     /// Fetches a line from the memory side (directory lookup + DRAM).
     pub(crate) fn fetch_line(&mut self, at: Cycle) -> Cycle {
         let dir_done = self.dir.fetch(at);
-        self.dram.read_line(dir_done)
+        let done = self.dram.read_line(dir_done);
+        self.tr_stage(TraceCause::Dram, done);
+        done
     }
 
     /// The physical line key for `ppn` + the in-page line of `va`.
@@ -352,28 +388,36 @@ impl MemorySystem {
                 if let Some(e) = self.tlbs[cu].peek(key) {
                     self.tlbs[cu].record_merged_miss();
                     if self.cfg.merge_tlb_misses {
+                        self.tr_stage(TraceCause::TlbLookup, lookup_done);
+                        self.tr_stage(TraceCause::MshrWait, d);
                         return Ok((e.ppn, e.perms, d, true));
                     }
+                    self.tr_stage(TraceCause::TlbLookup, lookup_done);
                     let io_arrival = lookup_done + self.noc.cu_to_iommu();
+                    self.tr_stage(TraceCause::Noc, io_arrival);
                     let resp = self.iommu.translate(asid, vpn, io_arrival, os, None);
                     let ready = resp.done_at + self.noc.cu_to_iommu();
+                    self.tr_stage(TraceCause::Noc, ready);
                     return Ok((e.ppn, e.perms, ready, true));
                 }
             }
         }
         if let Some(e) = self.tlbs[cu].lookup(key, t) {
+            self.tr_stage(TraceCause::TlbLookup, lookup_done);
             return Ok((e.ppn, e.perms, lookup_done, false));
         }
+        self.tr_stage(TraceCause::TlbLookup, lookup_done);
         let io_arrival = lookup_done + self.noc.cu_to_iommu();
+        self.tr_stage(TraceCause::Noc, io_arrival);
         let resp = self.iommu.translate(asid, vpn, io_arrival, os, None);
         let Some((ppn, perms)) = resp.outcome.translation() else {
             self.counters.page_faults.inc();
-            return Err((
-                resp.done_at + self.noc.cu_to_iommu(),
-                AccessFault::PageFault,
-            ));
+            let fault_done = resp.done_at + self.noc.cu_to_iommu();
+            self.tr_stage(TraceCause::Noc, fault_done);
+            return Err((fault_done, AccessFault::PageFault));
         };
         let ready = resp.done_at + self.noc.cu_to_iommu();
+        self.tr_stage(TraceCause::Noc, ready);
         if let Some(evicted) = self.tlbs[cu].insert(key, ppn, perms, ready) {
             if let Some(lt) = self.lifetimes.as_mut() {
                 lt.tlb.record_cycles(evicted.lifetime());

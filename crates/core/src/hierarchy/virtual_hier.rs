@@ -25,6 +25,7 @@ use crate::fbt::{BtEntry, BtIndex};
 use gvc_cache::cache::MshrOutcome;
 use gvc_cache::LineKey;
 use gvc_engine::time::{Cycle, Duration};
+use gvc_engine::TraceCause;
 use gvc_mem::{OsLite, Perms, Vpn, LINES_PER_PAGE};
 
 /// Outcome of the translation + backward-table resolution that follows
@@ -79,50 +80,68 @@ impl MemorySystem {
         let key = Self::virt_key(a.asid, a.vaddr);
         let l1_done = a.at + Duration::new(self.cfg.lat.l1_hit);
         if let Some(line) = self.l1[a.cu].lookup(key, a.at) {
+            self.tr_stage(TraceCause::L1Lookup, l1_done);
             if !line.perms.covers(Perms::READ) {
                 self.counters.perm_faults.inc();
                 return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l1.inc();
             let ready = match self.l1_mshr[a.cu].pending(key, a.at) {
-                Some(d) => d.max(l1_done),
+                Some(d) => {
+                    let ready = d.max(l1_done);
+                    self.tr_stage(TraceCause::MshrWait, ready);
+                    ready
+                }
                 None => l1_done,
             };
             return AccessResult::ok(ready);
         }
         if let MshrOutcome::Merged { fill_done } = self.l1_mshr[a.cu].check(key, a.at) {
             self.counters.filtered_at_l1.inc();
+            self.tr_stage(TraceCause::MshrWait, fill_done);
             return AccessResult::ok(fill_done);
         }
+        self.tr_stage(TraceCause::L1Lookup, l1_done);
 
         // Virtual L2.
         let l2_arrival = l1_done + self.noc.cu_to_l2();
+        self.tr_stage(TraceCause::Noc, l2_arrival);
         let service = self.l2.reserve_port(key, l2_arrival);
         let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
         if let Some(line) = self.l2.lookup(key, service) {
+            self.tr_stage(TraceCause::L2Lookup, l2_done);
             if !line.perms.covers(Perms::READ) {
                 self.counters.perm_faults.inc();
                 return AccessResult::fault(l2_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l2.inc();
             let ready = match self.l2_mshr.pending(key, service) {
-                Some(d) => d.max(l2_done),
+                Some(d) => {
+                    let ready = d.max(l2_done);
+                    self.tr_stage(TraceCause::MshrWait, ready);
+                    ready
+                }
                 None => l2_done,
             };
             let at_cu = ready + self.noc.cu_to_l2();
+            self.tr_stage(TraceCause::Noc, at_cu);
             self.insert_l1(a.cu, key, line.perms, at_cu, true);
             self.l1_mshr[a.cu].register(key, at_cu);
             return AccessResult::ok(at_cu);
         }
         if let MshrOutcome::Merged { fill_done } = self.l2_mshr.check(key, service) {
             self.counters.filtered_at_l2.inc();
+            self.tr_stage(TraceCause::L2Lookup, service);
+            self.tr_stage(TraceCause::MshrWait, fill_done);
             let at_cu = fill_done + self.noc.cu_to_l2();
+            self.tr_stage(TraceCause::Noc, at_cu);
             if let Some(line) = self.l2.peek(key) {
                 self.insert_l1(a.cu, key, line.perms, at_cu, true);
                 self.l1_mshr[a.cu].register(key, at_cu);
             }
             return AccessResult::ok(at_cu);
         }
+        self.tr_stage(TraceCause::L2Lookup, l2_done);
 
         // Primary L2 miss: translate and resolve against the BT.
         match self.resolve_translation(&a, l2_done, use_fbt_tlb, os) {
@@ -141,6 +160,7 @@ impl MemorySystem {
                 self.insert_l2_virtual(lkey, perms, false, filled);
                 self.l2_mshr.register(lkey, filled);
                 let at_cu = filled + self.noc.cu_to_l2();
+                self.tr_stage(TraceCause::Noc, at_cu);
                 if lkey == key {
                     self.insert_l1(a.cu, key, perms, at_cu, true);
                     self.l1_mshr[a.cu].register(key, at_cu);
@@ -160,8 +180,14 @@ impl MemorySystem {
                 return AccessResult::fault(ack, AccessFault::PermissionDenied);
             }
         }
+        self.tr_stage(
+            TraceCause::L1Lookup,
+            a.at + Duration::new(self.cfg.lat.l1_hit),
+        );
         let l2_arrival = a.at + Duration::new(self.cfg.lat.l1_hit) + self.noc.cu_to_l2();
+        self.tr_stage(TraceCause::Noc, l2_arrival);
         let service = self.l2.reserve_port(key, l2_arrival);
+        self.tr_stage(TraceCause::L2Lookup, service);
         if let Some(line) = self.l2.lookup(key, service) {
             if !line.perms.covers(Perms::WRITE) {
                 self.counters.perm_faults.inc();
@@ -177,6 +203,7 @@ impl MemorySystem {
             return AccessResult::ok(ack);
         }
         let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
+        self.tr_stage(TraceCause::L2Lookup, l2_done);
         match self.resolve_translation(&a, l2_done, use_fbt_tlb, os) {
             Resolution::Fault(at, f) => AccessResult::fault(at, f),
             Resolution::Replay { lkey, idx, t } => {
@@ -209,6 +236,7 @@ impl MemorySystem {
     ) -> Resolution {
         let vpn = a.vaddr.vpn();
         let io_arrival = miss_at + self.noc.l2_to_iommu();
+        self.tr_stage(TraceCause::Noc, io_arrival);
         let resp = {
             let MemorySystem {
                 ref mut iommu,
@@ -231,6 +259,7 @@ impl MemorySystem {
             return Resolution::Fault(resp.done_at, AccessFault::PermissionDenied);
         }
         let t_bt = resp.done_at + Duration::new(self.cfg.fbt.lookup_latency);
+        self.tr_stage(TraceCause::FbtProbe, t_bt);
         let line = a.vaddr.line_in_page();
 
         if let Some(idx) = self.fbt.lookup_ppn(ppn) {
@@ -291,21 +320,30 @@ impl MemorySystem {
     /// conservative (counter mode), fall back to a fetch.
     fn finish_replay(&mut self, lkey: LineKey, idx: BtIndex, t: Cycle, is_write: bool) -> Cycle {
         let arrival = t + self.noc.l2_to_iommu();
+        self.tr_stage(TraceCause::Noc, arrival);
         let service = self.l2.reserve_port(lkey, arrival);
         let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
         if self.l2.lookup(lkey, service).is_some() {
+            self.tr_stage(TraceCause::L2Lookup, l2_done);
             if is_write {
                 self.l2.mark_dirty(lkey);
             }
-            return l2_done + self.noc.cu_to_l2();
+            let at_cu = l2_done + self.noc.cu_to_l2();
+            self.tr_stage(TraceCause::Noc, at_cu);
+            return at_cu;
         }
         if let MshrOutcome::Merged { fill_done } = self.l2_mshr.check(lkey, service) {
+            self.tr_stage(TraceCause::L2Lookup, service);
+            self.tr_stage(TraceCause::MshrWait, fill_done);
             if is_write {
                 self.l2.mark_dirty(lkey);
             }
-            return fill_done + self.noc.cu_to_l2();
+            let at_cu = fill_done + self.noc.cu_to_l2();
+            self.tr_stage(TraceCause::Noc, at_cu);
+            return at_cu;
         }
         // Conservative presence (counter mode) or a raced bit: fetch.
+        self.tr_stage(TraceCause::L2Lookup, l2_done);
         let perms = self.fbt.entry(idx).perms;
         let filled = self.fetch_line(l2_done);
         let line = lkey.line_in_page();
@@ -315,7 +353,9 @@ impl MemorySystem {
         }
         self.insert_l2_virtual(lkey, perms, is_write, filled);
         self.l2_mshr.register(lkey, filled);
-        filled + self.noc.cu_to_l2()
+        let at_cu = filled + self.noc.cu_to_l2();
+        self.tr_stage(TraceCause::Noc, at_cu);
+        at_cu
     }
 
     /// Inserts into the virtual L2, keeping the BT's presence
@@ -380,7 +420,10 @@ impl MemorySystem {
             .fbt_evict_line_invals
             .add(removed.len() as u64);
 
-        // Broadcast to the L1 invalidation filters.
+        // Broadcast to the L1 invalidation filters. The membership
+        // checks are off the critical path (zero-duration trace span
+        // at the current cursor; no-op outside request context).
+        self.tr_stage(TraceCause::FilterCheck, now);
         for cu in 0..self.cfg.n_cus {
             if !self.cfg.use_inval_filter || self.filters[cu].must_flush(asid, vpn) {
                 let flushed = self.l1[cu].flush();

@@ -18,6 +18,9 @@
 //!   the fixed-interval [`IntervalSampler`] used for the paper's
 //!   "accesses per cycle per microsecond sample" measurements.
 //! * [`rng`] — a seeded, deterministic random-number wrapper.
+//! * [`trace`] — cycle-attributed structured tracing ([`TraceSink`],
+//!   [`TraceHandle`]): bounded span ring plus per-cause interval metrics,
+//!   zero-cost when no sink is attached.
 //!
 //! # Timing model
 //!
@@ -49,9 +52,13 @@ pub mod port;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use port::{ThroughputPort, TokenPort};
 pub use rng::SimRng;
 pub use stats::{Cdf, Counter, Histogram, IntervalSampler, RunningStats};
 pub use time::{Cycle, Duration, Frequency};
+pub use trace::{
+    RequestAttribution, TraceCause, TraceEvent, TraceEventKind, TraceHandle, TraceSink,
+};

@@ -340,11 +340,27 @@ impl IntervalSampler {
         self.interval
     }
 
+    /// Per-interval event counts recorded so far (trailing empty
+    /// intervals are not materialized).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Finalizes at `end` (the simulation end time) and summarizes the
     /// per-interval counts over every interval in `[0, end)` — including
-    /// empty ones, which matter for the mean.
+    /// empty ones, which matter for the mean — plus any trailing
+    /// interval that already holds recorded events.
+    ///
+    /// Including the tail (rather than clamping `total` to `[0, end)`)
+    /// is the deliberate choice here: every recorded event contributes
+    /// to the summary, so `mean_per_interval() × intervals() ==
+    /// total()` always holds exactly, even when events land at cycles
+    /// `≥ end` (e.g. a completion that drains past the sampled
+    /// horizon). Symmetrically, `end = 0` with no events covers zero
+    /// intervals instead of fabricating a phantom empty one.
     pub fn finish(&self, end: Cycle) -> IntervalSummary {
-        let n_intervals = end.raw().div_ceil(self.interval.raw()).max(1) as usize;
+        let covered = end.raw().div_ceil(self.interval.raw()) as usize;
+        let n_intervals = covered.max(self.counts.len());
         let mut stats = RunningStats::new();
         for i in 0..n_intervals {
             let c = self.counts.get(i).copied().unwrap_or(0);
@@ -585,6 +601,38 @@ mod tests {
         let s = IntervalSampler::new(Duration::new(100));
         let r = s.finish(Cycle::new(101));
         assert_eq!(r.intervals(), 2);
+    }
+
+    /// Regression: events recorded at cycles `≥ end` must still be
+    /// summarized. The old `finish` truncated the summary to `[0, end)`
+    /// while `total` kept counting everything, so `mean × intervals`
+    /// disagreed with `total` (here: 0 × 1 vs 1).
+    #[test]
+    fn interval_sampler_finish_includes_tail_events() {
+        let mut s = IntervalSampler::new(Duration::new(100));
+        s.record(Cycle::new(250)); // third interval, past `end`
+        let r = s.finish(Cycle::new(100));
+        assert_eq!(r.intervals(), 3, "trailing intervals with events count");
+        assert_eq!(r.total(), 1);
+        let summed = r.mean_per_interval() * r.intervals() as f64;
+        assert!(
+            (summed - r.total() as f64).abs() < 1e-9,
+            "mean × intervals ({summed}) must equal total ({})",
+            r.total()
+        );
+        assert_eq!(r.max_per_interval(), 1.0);
+    }
+
+    /// Regression: `end = 0` with nothing recorded used to fabricate
+    /// one phantom empty interval.
+    #[test]
+    fn interval_sampler_finish_at_zero_covers_zero_intervals() {
+        let s = IntervalSampler::new(Duration::new(100));
+        let r = s.finish(Cycle::new(0));
+        assert_eq!(r.intervals(), 0);
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.mean_per_interval(), 0.0);
+        assert_eq!(r.max_per_interval(), 0.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::kernel::{KernelSource, WaveOp, WaveProgram};
 use gvc::{inject, InjectEvent, InjectPlan, InjectReport};
 use gvc::{LineAccess, MemReport, MemorySystem, SystemConfig};
 use gvc_engine::time::{Cycle, Duration};
-use gvc_engine::{EventQueue, ThroughputPort};
+use gvc_engine::{EventQueue, ThroughputPort, TraceCause, TraceHandle};
 use gvc_mem::{OsLite, ProcessId};
 use gvc_soc::{Probe, ProbeInjector, ProbeKind};
 use serde::{Deserialize, Serialize};
@@ -171,6 +171,7 @@ pub struct GpuSim {
     compute_ops: u64,
     faults: u64,
     probes_delivered: u64,
+    trace: Option<TraceHandle>,
 }
 
 struct WaveState {
@@ -196,12 +197,24 @@ impl GpuSim {
             compute_ops: 0,
             faults: 0,
             probes_delivered: 0,
+            trace: None,
         }
     }
 
     /// Interleaves CPU coherence probes from `injector` with the run.
     pub fn with_probes(mut self, injector: ProbeInjector) -> Self {
         self.probes = Some(injector);
+        self
+    }
+
+    /// Attaches a shared trace sink to the whole stack: the GPU front
+    /// end opens each line request at wave issue (attributing coalescer
+    /// admission), and the memory system and IOMMU continue the same
+    /// request's cursor downstream. Keep a clone of the handle to read
+    /// the sink after [`GpuSim::run`] consumes the simulator.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.mem.attach_trace(trace.clone());
+        self.trace = Some(trace);
         self
     }
 
@@ -337,6 +350,10 @@ impl GpuSim {
                                     // the MSHR admission limit.
                                     let at =
                                         outstanding[cu].admit(issue + Duration::new(i as u64), cap);
+                                    if let Some(tr) = &self.trace {
+                                        tr.begin_request(cu as u32, issue);
+                                        tr.stage(TraceCause::Coalesce, at);
+                                    }
                                     if let Some(p) = plan.as_mut() {
                                         p.observe(asid, line.vpn());
                                     }

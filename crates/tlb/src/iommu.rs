@@ -17,7 +17,7 @@ use crate::tlb::{Tlb, TlbConfig, TlbKey, TlbStats};
 use crate::walker::WalkerPool;
 use gvc_engine::stats::{IntervalSampler, IntervalSummary};
 use gvc_engine::time::{Cycle, Duration};
-use gvc_engine::{Counter, SimRng, ThroughputPort};
+use gvc_engine::{Counter, SimRng, ThroughputPort, TraceCause, TraceHandle};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn, WalkOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -201,6 +201,7 @@ pub struct Iommu {
     sampler: IntervalSampler,
     stats: IommuStats,
     inject: Option<WalkInject>,
+    trace: Option<TraceHandle>,
 }
 
 /// The optional second-level lookup hook (e.g. the FBT's forward
@@ -223,6 +224,22 @@ impl Iommu {
             config,
             stats: IommuStats::default(),
             inject: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches a shared trace sink; the IOMMU then attributes its
+    /// queue/service/probe/walk cycles to the active request. Purely
+    /// observational — timing and stats are unaffected.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Emits a stage span ending at `end` when tracing is on (no-op
+    /// when no request is active, e.g. standalone IOMMU tests).
+    fn tr(&self, cause: TraceCause, end: Cycle) {
+        if let Some(t) = &self.trace {
+            t.stage(cause, end);
         }
     }
 
@@ -283,6 +300,8 @@ impl Iommu {
             .add(service_at.raw() - arrival.raw());
         let key = TlbKey::new(asid, vpn);
         let lookup_done = service_at + Duration::new(self.config.tlb_latency);
+        self.tr(TraceCause::IommuQueue, service_at);
+        self.tr(TraceCause::IommuService, lookup_done);
 
         if let Some(entry) = self.tlb.lookup(key, service_at) {
             self.stats.tlb_hits.inc();
@@ -299,6 +318,7 @@ impl Iommu {
         let mut t = lookup_done;
         if let Some(hook) = second_level {
             t += Duration::new(self.config.second_level_latency);
+            self.tr(TraceCause::FbtProbe, t);
             if let Some((ppn, perms)) = hook(asid, vpn) {
                 self.stats.second_level_hits.inc();
                 self.tlb.insert(key, ppn, perms, t);
@@ -340,6 +360,7 @@ impl Iommu {
         let end = start + Duration::new(latency);
         self.walkers.release(walker, end);
         self.walkers.record_latency(latency);
+        self.tr(TraceCause::Walk, end);
 
         match outcome {
             // An injected fault suppresses the TLB fill: the walk

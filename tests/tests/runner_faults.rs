@@ -99,3 +99,78 @@ fn sweep_survives_panics_and_timeouts_with_structured_errors() {
         .expect("watchdog off: runs to completion");
     assert_eq!(clean.cycles, slow_cycles);
 }
+
+// The CLI tests below are safe as sibling tests: `cli::parse` is a
+// pure function and touches none of the process-wide runner knobs.
+
+mod cli_validation {
+    use gvc_bench::cli::{self, CliError};
+
+    fn parse(args: &[&str]) -> Result<cli::CliOptions, CliError> {
+        cli::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn expect_invalid(args: &[&str], flag: &str, needle: &str) {
+        match parse(args) {
+            Err(CliError::Invalid { flag: f, message }) => {
+                assert_eq!(f, flag, "wrong flag blamed for {args:?}");
+                assert!(
+                    message.contains(needle),
+                    "message for {args:?} should mention {needle:?}: {message:?}"
+                );
+            }
+            other => panic!("{args:?} should be rejected as Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jobs_zero_is_a_structured_error_not_usage() {
+        expect_invalid(&["fig2", "--jobs", "0"], "--jobs", "at least 1");
+        assert!(parse(&["fig2", "--jobs", "4"]).is_ok());
+    }
+
+    #[test]
+    fn inject_rate_must_be_a_finite_probability() {
+        expect_invalid(&["fig2", "--inject", "1.5"], "--inject", "[0, 1]");
+        expect_invalid(&["fig2", "--inject", "-0.1"], "--inject", "[0, 1]");
+        expect_invalid(&["fig2", "--inject", "NaN"], "--inject", "[0, 1]");
+        expect_invalid(&["fig2", "--inject", "inf"], "--inject", "[0, 1]");
+        expect_invalid(&["fig2", "--inject", "zzz"], "--inject", "number");
+        let ok = parse(&["fig2", "--inject", "0.02"]).unwrap();
+        assert_eq!(ok.inject_rate, Some(0.02));
+    }
+
+    #[test]
+    fn max_cycles_zero_is_rejected_as_watchdog_disarm() {
+        expect_invalid(&["fig2", "--max-cycles", "0"], "--max-cycles", "watchdog");
+        assert_eq!(
+            parse(&["fig2", "--max-cycles", "5000"]).unwrap().max_cycles,
+            Some(5000)
+        );
+    }
+
+    #[test]
+    fn unknown_flags_and_targets_name_the_offender() {
+        expect_invalid(&["--frobnicate"], "--frobnicate", "unknown flag");
+        expect_invalid(&["fig99"], "fig99", "unknown target");
+    }
+
+    #[test]
+    fn trace_subcommand_validates_design_and_workload() {
+        let ok = parse(&["trace", "vc", "bfs"]).unwrap();
+        let spec = ok.trace.unwrap();
+        assert_eq!(spec.design, "vc");
+        assert_eq!(spec.workload.name(), "bfs");
+        expect_invalid(&["trace", "warp-drive", "bfs"], "trace", "unknown design");
+        expect_invalid(&["trace", "vc", "no-such-wl"], "trace", "unknown workload");
+        expect_invalid(&["trace", "vc"], "trace", "missing workload");
+        expect_invalid(&["trace"], "trace", "trace <design> <workload>");
+    }
+
+    #[test]
+    fn empty_command_line_and_help_are_usage() {
+        assert!(matches!(parse(&[]), Err(CliError::Usage)));
+        assert!(matches!(parse(&["--help"]), Err(CliError::Usage)));
+        assert!(matches!(parse(&["fig2", "-h"]), Err(CliError::Usage)));
+    }
+}

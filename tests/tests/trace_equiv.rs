@@ -1,0 +1,91 @@
+//! Observer equality: attaching the trace sink must not perturb the
+//! simulation. A traced run and an untraced run of the same key must
+//! produce byte-identical serialized [`RunReport`]s — tracing reads
+//! the timeline, it never shapes it.
+//!
+//! The paranoid variants additionally exercise the attribution
+//! conservation law (`gvc::check::check_attribution`): every traced
+//! request's per-stage cycles must telescope exactly to its
+//! end-to-end latency, across all designs.
+
+use gvc::SystemConfig;
+use gvc_engine::TraceHandle;
+use gvc_gpu::{GpuConfig, GpuSim, RunReport};
+use gvc_workloads::{Scale, WorkloadId};
+use proptest::prelude::*;
+
+fn run_once(config: SystemConfig, workload: WorkloadId, seed: u64, traced: bool) -> RunReport {
+    let mut w = gvc_workloads::build(workload, Scale::test(), seed);
+    let sim = GpuSim::new(GpuConfig::default(), config);
+    let sim = if traced {
+        sim.with_trace(TraceHandle::new(0))
+    } else {
+        sim
+    };
+    sim.run(&mut *w.source, &mut w.os)
+}
+
+fn designs() -> [(&'static str, SystemConfig); 4] {
+    [
+        ("ideal", SystemConfig::ideal_mmu()),
+        ("baseline-512", SystemConfig::baseline_512()),
+        ("vc-with-opt", SystemConfig::vc_with_opt()),
+        ("l1-only-vc", SystemConfig::l1_only_vc_32()),
+    ]
+}
+
+/// Every design, one workload: traced == untraced, byte for byte.
+#[test]
+fn tracing_does_not_perturb_any_design() {
+    for (name, config) in designs() {
+        let plain = run_once(config, WorkloadId::Bfs, 7, false);
+        let traced = run_once(config, WorkloadId::Bfs, 7, true);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "{name}: trace sink perturbed the simulation"
+        );
+    }
+}
+
+/// Paranoid + traced: the conservation law (stage cycles sum exactly
+/// to end-to-end latency, monotone spans, reads fully attributed)
+/// holds for every request of every design, or check_attribution
+/// panics the run.
+#[test]
+fn attribution_conservation_holds_under_paranoid() {
+    for (name, config) in designs() {
+        let report = run_once(config.with_paranoid(), WorkloadId::Pathfinder, 11, true);
+        assert!(
+            report.mem_instructions > 0,
+            "{name}: paranoid traced run must actually execute"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized observer equality: workload × design × seed.
+    #[test]
+    fn traced_and_untraced_reports_are_identical(
+        wl_idx in 0usize..4,
+        design in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let wl = [
+            WorkloadId::Bfs,
+            WorkloadId::Backprop,
+            WorkloadId::Kmeans,
+            WorkloadId::Pathfinder,
+        ][wl_idx];
+        let (name, config) = designs()[design];
+        let plain = run_once(config, wl, seed, false);
+        let traced = run_once(config, wl, seed, true);
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "{}: trace sink perturbed {:?} seed {}", name, wl, seed
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden-schema checks for the `repro trace` export: the Perfetto
+//! document must survive a serialize → parse round trip through the
+//! real JSON serializer, pass structural validation (balanced
+//! begin/end pairs per track, non-negative span durations), and be
+//! byte-identical across repeated collections (determinism — the
+//! export depends only on the run key, never on host parallelism).
+
+use gvc::SystemConfig;
+use gvc_bench::trace;
+use gvc_workloads::{Scale, WorkloadId};
+use serde::Value;
+
+fn collect() -> trace::TraceArtifacts {
+    trace::collect(
+        SystemConfig::vc_with_opt(),
+        WorkloadId::Bfs,
+        Scale::test(),
+        42,
+        None,
+    )
+}
+
+#[test]
+fn perfetto_export_round_trips_and_validates() {
+    let art = collect();
+
+    // Round trip through the real serializer: what `repro trace`
+    // writes to disk must parse back to the same tree.
+    let text = serde_json::to_string_pretty(&art.perfetto).expect("serialize");
+    let parsed: Value = serde_json::from_str(&text).expect("exported JSON must parse");
+
+    // Validate the *parsed* document — this checks what a consumer
+    // (ui.perfetto.dev) would actually see.
+    let check = trace::validate_perfetto(&parsed).expect("schema-valid export");
+    assert!(check.events > 0, "a real run must produce events");
+    assert_eq!(
+        check.events,
+        check.spans * 2,
+        "every event belongs to a matched begin/end pair"
+    );
+    assert!(check.tracks > 0);
+
+    // No NaN/inf anywhere in either document.
+    gvc_bench::assert_json_finite("perfetto", &art.perfetto);
+    gvc_bench::assert_json_finite("metrics", &art.metrics);
+
+    // Metrics document carries the headline fields.
+    let Value::Map(top) = &art.metrics else {
+        panic!("metrics top level must be an object");
+    };
+    for key in ["interval_cycles", "end_cycle", "requests", "causes"] {
+        assert!(top.iter().any(|(k, _)| k == key), "metrics missing {key:?}");
+    }
+}
+
+#[test]
+fn trace_export_is_deterministic() {
+    let a = collect();
+    let b = collect();
+    assert_eq!(
+        serde_json::to_string_pretty(&a.perfetto).unwrap(),
+        serde_json::to_string_pretty(&b.perfetto).unwrap(),
+        "same key must export byte-identical traces"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&a.metrics).unwrap(),
+        serde_json::to_string_pretty(&b.metrics).unwrap(),
+        "same key must export byte-identical metrics"
+    );
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap()
+    );
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    let mk = |events: Vec<Value>| Value::Map(vec![("traceEvents".to_string(), Value::Seq(events))]);
+    let ev = |name: &str, ph: &str, ts: u64| {
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), Value::UInt(ts)),
+            ("pid".to_string(), Value::UInt(0)),
+            ("tid".to_string(), Value::UInt(1)),
+        ])
+    };
+
+    // Unbalanced: open span never closed.
+    let doc = mk(vec![ev("walk", "B", 5)]);
+    assert!(trace::validate_perfetto(&doc)
+        .unwrap_err()
+        .contains("unclosed"));
+
+    // End with no begin.
+    let doc = mk(vec![ev("walk", "E", 5)]);
+    assert!(trace::validate_perfetto(&doc)
+        .unwrap_err()
+        .contains("no open span"));
+
+    // Negative duration.
+    let doc = mk(vec![ev("walk", "B", 9), ev("walk", "E", 5)]);
+    assert!(trace::validate_perfetto(&doc)
+        .unwrap_err()
+        .contains("negative duration"));
+
+    // Mismatched nesting.
+    let doc = mk(vec![ev("walk", "B", 1), ev("dram", "E", 2)]);
+    assert!(trace::validate_perfetto(&doc)
+        .unwrap_err()
+        .contains("mismatched"));
+
+    // A well-formed pair passes.
+    let doc = mk(vec![ev("walk", "B", 1), ev("walk", "E", 4)]);
+    let check = trace::validate_perfetto(&doc).unwrap();
+    assert_eq!(check.spans, 1);
+    assert_eq!(check.tracks, 1);
+}

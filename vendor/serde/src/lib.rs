@@ -105,6 +105,15 @@ mod ser {
         }
     }
 
+    /// A [`Value`] serializes as itself, so pre-built JSON trees (e.g.
+    /// trace exports) can flow through the same `to_string_pretty`
+    /// plumbing as derived types.
+    impl Serialize for Value {
+        fn to_value(&self) -> Value {
+            self.clone()
+        }
+    }
+
     impl Serialize for bool {
         fn to_value(&self) -> Value {
             Value::Bool(*self)
@@ -213,6 +222,14 @@ mod de {
     pub trait Deserialize: Sized {
         /// Parses `v` into `Self`.
         fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    /// A [`Value`] deserializes as itself, enabling schema-agnostic
+    /// JSON inspection (`serde_json::from_str::<Value>`).
+    impl Deserialize for Value {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(v.clone())
+        }
     }
 
     impl Deserialize for bool {
