@@ -26,7 +26,7 @@
 
 use gvc_bench::cli::{self, CliError, CliOptions};
 use gvc_bench::figures::*;
-use gvc_bench::{assert_json_finite, runner, trace};
+use gvc_bench::{assert_json_finite, perf, runner, trace};
 use std::fmt::Display;
 use std::time::Instant;
 
@@ -34,6 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [{targets}]... \
          [trace <design> <workload>] \
+         [bench [--micro] [--check BENCH_n.json]] \
          [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid] \
          [--inject RATE] [--max-cycles N]\n\
          trace designs: {designs}",
@@ -167,5 +168,37 @@ fn main() {
 
     if opts.trace.is_some() {
         run_trace(&opts);
+    }
+
+    if opts.bench {
+        run_bench(&opts);
+    }
+}
+
+/// Runs the pinned perf suite (`repro bench`): emits the report like
+/// a figure (text + `--json DIR/bench.json`) and, with `--check`,
+/// gates against a committed `BENCH_<n>.json` baseline.
+fn run_bench(opts: &CliOptions) {
+    let t0 = Instant::now();
+    let report = perf::collect(opts.micro);
+    emit("bench", &report, &opts.json_dir);
+    eprintln!("[bench took {:.1?}]", t0.elapsed());
+    if let Some(path) = &opts.bench_check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("repro: bench --check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match perf::check(&report, &text) {
+            Ok(()) => eprintln!("bench check OK vs {path}"),
+            Err(errs) => {
+                for e in &errs {
+                    eprintln!("repro: bench check vs {path}: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }

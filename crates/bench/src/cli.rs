@@ -49,6 +49,14 @@ pub struct CliOptions {
     pub targets: Vec<String>,
     /// A `trace` subcommand, when requested.
     pub trace: Option<TraceSpec>,
+    /// A `bench` subcommand: run the pinned perf suite.
+    pub bench: bool,
+    /// `--micro`: include component microbenchmarks in `bench`.
+    pub micro: bool,
+    /// `--check FILE`: compare the `bench` run against a committed
+    /// `BENCH_<n>.json` baseline and fail on schema errors or >15%
+    /// regression.
+    pub bench_check: Option<String>,
     /// Simulation scale (`--scale`, default paper).
     pub scale: Scale,
     /// Base seed (`--seed`, default 42).
@@ -104,6 +112,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut o = CliOptions {
         targets: Vec::new(),
         trace: None,
+        bench: false,
+        micro: false,
+        bench_check: None,
         scale: Scale::paper(),
         seed: 42,
         json_dir: None,
@@ -177,6 +188,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
                 o.max_cycles = Some(n);
             }
             "--help" | "-h" => return Err(CliError::Usage),
+            "bench" => o.bench = true,
+            "--micro" => o.micro = true,
+            "--check" => o.bench_check = Some(value(&mut it, "--check")?),
             "trace" => {
                 let design = value(&mut it, "trace").map_err(|_| {
                     invalid(
@@ -227,7 +241,19 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             }
         }
     }
-    if o.targets.is_empty() && o.trace.is_none() {
+    if o.micro && !o.bench {
+        return Err(invalid(
+            "--micro",
+            "only meaningful with the `bench` subcommand",
+        ));
+    }
+    if o.bench_check.is_some() && !o.bench {
+        return Err(invalid(
+            "--check",
+            "only meaningful with the `bench` subcommand",
+        ));
+    }
+    if o.targets.is_empty() && o.trace.is_none() && !o.bench {
         return Err(CliError::Usage);
     }
     Ok(o)

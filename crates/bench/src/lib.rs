@@ -9,6 +9,7 @@
 
 pub mod cli;
 pub mod figures;
+pub mod perf;
 pub mod runner;
 pub mod trace;
 

@@ -1,0 +1,828 @@
+//! The pinned performance suite behind `repro bench` (ROADMAP item 4).
+//!
+//! Measures raw simulator speed — simulated cycles per wall-clock
+//! second — over a fixed design × workload matrix at a pinned scale
+//! and seed, so successive `BENCH_<n>.json` files committed at the
+//! repo root are directly comparable across PRs. The suite
+//! deliberately ignores `--scale`/`--seed`: a perf trajectory is only
+//! meaningful against a fixed yardstick.
+//!
+//! Two layers feed one artifact:
+//!
+//! * **Macro cells** — full simulations ([`pinned_designs`] ×
+//!   [`pinned_workloads`]) timed end to end with memoization off,
+//!   best-of-[`MACRO_ITERS`] wall time. The aggregate
+//!   `mcycles_per_sec` over all cells is the headline number a perf
+//!   PR must improve (ISSUE 6: ≥2× BENCH_0 → BENCH_1).
+//! * **Micro cells** (`--micro`) — component benchmarks run through
+//!   the vendored criterion stand-in: live cache set scan vs a frozen
+//!   AoS reference, TLB set scan, event-queue push/pop, and coalescer
+//!   issue. These localize *where* a macro change came from.
+//!
+//! [`check`] backs the CI gate: it validates a committed baseline's
+//! schema and fails on a >[`REGRESSION_TOLERANCE`] throughput drop on
+//! any pinned metric.
+
+use crate::runner::{self, safe_ratio};
+use gvc::SystemConfig;
+use gvc_workloads::{Scale, WorkloadId};
+use serde::Value;
+use std::fmt;
+use std::time::Instant;
+
+/// Artifact schema identifier; bump on any shape change.
+pub const SCHEMA: &str = "gvc-bench/1";
+
+/// Pinned-suite identifier; bump when the matrix itself changes
+/// (which breaks cross-file comparability).
+pub const SUITE: &str = "pinned-v1";
+
+/// The suite's fixed workload seed.
+pub const PINNED_SEED: u64 = 42;
+
+/// Macro cells run at least this many times (simulation is
+/// deterministic, so repeats only squeeze out wall-clock noise).
+pub const MACRO_MIN_ITERS: usize = 2;
+
+/// Small cells keep repeating until this much timed wall-clock has
+/// accumulated (capped at [`MACRO_MAX_ITERS`]), so a 2 ms cell gets a
+/// deep best-of-N instead of a noisy best-of-2.
+pub const MACRO_BUDGET_MS: f64 = 250.0;
+
+/// Hard cap on repeats per cell.
+pub const MACRO_MAX_ITERS: usize = 50;
+
+/// Allowed relative throughput drop before [`check`] fails
+/// (wall-clock noise margin for the CI gate).
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The pinned designs, as `(key, config)` pairs. Keys are stable
+/// identifiers (they appear in `BENCH_<n>.json`), not display labels.
+pub fn pinned_designs() -> [(&'static str, SystemConfig); 3] {
+    [
+        ("baseline_512", SystemConfig::baseline_512()),
+        ("vc_with_opt", SystemConfig::vc_with_opt()),
+        ("l1_only_vc_32", SystemConfig::l1_only_vc_32()),
+    ]
+}
+
+/// The pinned workload subset: two graph workloads (irregular,
+/// translation-heavy), one dense-blocked, one dense-triangular —
+/// enough behavioral spread to catch a lopsided "optimization".
+pub fn pinned_workloads() -> [WorkloadId; 4] {
+    [
+        WorkloadId::Fw,
+        WorkloadId::Bfs,
+        WorkloadId::Pagerank,
+        WorkloadId::Lud,
+    ]
+}
+
+/// The suite's fixed problem scale.
+pub fn pinned_scale() -> Scale {
+    Scale::quick()
+}
+
+/// One timed design × workload simulation.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Design key (see [`pinned_designs`]).
+    pub design: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated cycles the run covered.
+    pub sim_cycles: u64,
+    /// Best wall time over [`MACRO_ITERS`] runs, milliseconds.
+    pub wall_ms: f64,
+    /// Throughput: simulated megacycles per wall second.
+    pub mcycles_per_sec: f64,
+}
+
+/// Suite-level throughput summary.
+#[derive(Debug, Clone)]
+pub struct BenchAggregate {
+    /// Total simulated cycles across all cells.
+    pub sim_cycles: u64,
+    /// Total (best) wall time across all cells, milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput: total cycles / total wall time.
+    pub mcycles_per_sec: f64,
+    /// Geometric mean of the per-cell throughputs (robust against one
+    /// cell dominating the total).
+    pub geomean_mcycles_per_sec: f64,
+}
+
+/// One microbenchmark result.
+#[derive(Debug, Clone)]
+pub struct MicroCell {
+    /// Stable metric name.
+    pub name: String,
+    /// Nanoseconds per operation (min-of-samples estimator).
+    pub ns_per_op: f64,
+    /// Operations per timed iteration (documents the batch size).
+    pub ops_per_iter: u64,
+}
+
+/// The full `repro bench` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale factor actually used (pinned; recorded for the record).
+    pub scale_factor: f64,
+    /// Seed actually used (pinned).
+    pub seed: u64,
+    /// Macro cells, in pinned matrix order.
+    pub cells: Vec<BenchCell>,
+    /// Suite aggregate.
+    pub aggregate: BenchAggregate,
+    /// Micro cells (empty unless `--micro`).
+    pub micro: Vec<MicroCell>,
+}
+
+/// Runs the pinned suite. `micro` additionally runs the component
+/// microbenchmarks.
+pub fn collect(micro: bool) -> BenchReport {
+    collect_with(
+        pinned_scale(),
+        PINNED_SEED,
+        MACRO_MIN_ITERS,
+        MACRO_BUDGET_MS,
+        micro,
+    )
+}
+
+/// [`collect`] with explicit knobs; unit tests shrink the scale,
+/// iteration floor, and time budget. Memoization is disabled for the
+/// duration so every timed run performs real simulation work.
+pub fn collect_with(
+    scale: Scale,
+    seed: u64,
+    min_iters: usize,
+    budget_ms: f64,
+    micro: bool,
+) -> BenchReport {
+    assert!(min_iters > 0, "at least one timed iteration required");
+    runner::set_memoization(false);
+    let mut cells = Vec::new();
+    for (design, config) in pinned_designs() {
+        for workload in pinned_workloads() {
+            cells.push(time_cell(
+                design, workload, config, scale, seed, min_iters, budget_ms,
+            ));
+        }
+    }
+    runner::set_memoization(true);
+    let aggregate = aggregate(&cells);
+    BenchReport {
+        scale_factor: scale.factor,
+        seed,
+        cells,
+        aggregate,
+        micro: if micro { run_micro() } else { Vec::new() },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn time_cell(
+    design: &str,
+    workload: WorkloadId,
+    config: SystemConfig,
+    scale: Scale,
+    seed: u64,
+    min_iters: usize,
+    budget_ms: f64,
+) -> BenchCell {
+    let mut best_ms = f64::INFINITY;
+    let mut total_ms = 0.0;
+    let mut sim_cycles = 0u64;
+    let mut i = 0;
+    // Repeat until both the iteration floor and the time budget are
+    // met: big cells run `min_iters` times, tiny (few-ms) cells get a
+    // deep best-of-N so the minimum is a stable estimator.
+    while i < min_iters || (total_ms < budget_ms && i < MACRO_MAX_ITERS) {
+        let t0 = Instant::now();
+        let report = runner::run(workload, config, scale, seed);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        total_ms += ms;
+        if i == 0 {
+            sim_cycles = report.cycles;
+        } else {
+            // Determinism tripwire: repeated runs of one key must
+            // simulate the exact same number of cycles.
+            assert_eq!(
+                report.cycles, sim_cycles,
+                "nondeterministic run for {design}/{workload}"
+            );
+        }
+        i += 1;
+    }
+    BenchCell {
+        design: design.to_string(),
+        workload: workload.name().to_string(),
+        sim_cycles,
+        wall_ms: best_ms,
+        mcycles_per_sec: safe_ratio(sim_cycles as f64 / 1e6, best_ms / 1e3),
+    }
+}
+
+fn aggregate(cells: &[BenchCell]) -> BenchAggregate {
+    let sim_cycles: u64 = cells.iter().map(|c| c.sim_cycles).sum();
+    let wall_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    let geomean = if cells.is_empty() || cells.iter().any(|c| c.mcycles_per_sec <= 0.0) {
+        0.0
+    } else {
+        let log_sum: f64 = cells.iter().map(|c| c.mcycles_per_sec.ln()).sum();
+        (log_sum / cells.len() as f64).exp()
+    };
+    BenchAggregate {
+        sim_cycles,
+        wall_ms,
+        mcycles_per_sec: safe_ratio(sim_cycles as f64 / 1e6, wall_ms / 1e3),
+        geomean_mcycles_per_sec: geomean,
+    }
+}
+
+// ------------------------------------------------------------- micro
+
+/// Stable micro metric names (schema: every one present under
+/// `--micro`). `cache_set_scan_aos_ref` is the frozen pre-SoA
+/// reference implementation below, kept forever as the comparison
+/// point for the live cache's set scan.
+pub const MICRO_NAMES: [&str; 5] = [
+    "cache_set_scan",
+    "cache_set_scan_aos_ref",
+    "tlb_set_scan",
+    "event_queue_push_pop",
+    "coalesce_issue",
+];
+
+const MICRO_OPS: u64 = 4096;
+
+fn run_micro() -> Vec<MicroCell> {
+    use criterion::Criterion;
+    use gvc_cache::{CacheConfig, LineKey, SetAssocCache};
+    use gvc_engine::{Cycle, EventQueue};
+    use gvc_mem::{Asid, Perms, Ppn, VAddr, Vpn};
+    use gvc_tlb::tlb::{Tlb, TlbConfig, TlbKey};
+
+    let mut c = Criterion::default().sample_size(15).quiet();
+
+    // Live L1 set scan: a strided stream that revisits lines (hits)
+    // and keeps inserting new ones (misses + evictions).
+    c.bench_function("cache_set_scan", |b| {
+        let mut l1 = SetAssocCache::new(CacheConfig::gpu_l1());
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..MICRO_OPS {
+                let key = LineKey::new(Asid(0), (i * 17) % 640);
+                if l1.lookup(key, Cycle::new(i)).is_some() {
+                    hits += 1;
+                } else {
+                    l1.insert(key, Perms::READ_WRITE, false, Cycle::new(i));
+                }
+            }
+            hits
+        })
+    });
+
+    // The frozen AoS reference on the identical stream.
+    c.bench_function("cache_set_scan_aos_ref", |b| {
+        let mut l1 = AosRefCache::gpu_l1();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..MICRO_OPS {
+                let key = LineKey::new(Asid(0), (i * 17) % 640);
+                if l1.lookup(key) {
+                    hits += 1;
+                } else {
+                    l1.insert(key);
+                }
+            }
+            hits
+        })
+    });
+
+    // Shared-TLB (set-associative) scan, same shape.
+    c.bench_function("tlb_set_scan", |b| {
+        let mut tlb = Tlb::new(TlbConfig::shared(512));
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..MICRO_OPS {
+                let key = TlbKey::new(Asid(0), Vpn::new((i * 17) % 768));
+                if tlb.lookup(key, Cycle::new(i)).is_some() {
+                    hits += 1;
+                } else {
+                    tlb.insert(key, Ppn::new(i), Perms::READ_WRITE, Cycle::new(i));
+                }
+            }
+            hits
+        })
+    });
+
+    // Event queue: interleaved schedule/pop with clustered timestamps
+    // (the wavefront-ready pattern `GpuSim::run` produces).
+    c.bench_function("event_queue_push_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut acc = 0u64;
+            for i in 0..MICRO_OPS {
+                q.schedule_at(Cycle::new((i * 7919) % 1024), i);
+                if i % 4 == 3 {
+                    if let Some((_, e)) = q.pop() {
+                        acc = acc.wrapping_add(e);
+                    }
+                }
+            }
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+
+    // Coalescer: alternating streaming (1 line) and strided-divergent
+    // (many lines) 32-lane instructions.
+    c.bench_function("coalesce_issue", |b| {
+        let streaming: Vec<VAddr> = (0..32).map(|l| VAddr::new(l * 4)).collect();
+        let divergent: Vec<VAddr> = (0..32).map(|l| VAddr::new(l * 4096)).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..(MICRO_OPS / 32) {
+                let lanes = if i % 2 == 0 { &streaming } else { &divergent };
+                total += gvc_gpu::coalesce(lanes).len();
+            }
+            total
+        })
+    });
+
+    let results = c.results();
+    assert_eq!(results.len(), MICRO_NAMES.len(), "micro suite drifted");
+    results
+        .iter()
+        .zip(MICRO_NAMES)
+        .map(|(r, name)| {
+            assert_eq!(r.name, name, "micro name order drifted");
+            // coalesce_issue counts instructions, not lanes.
+            let ops = if name == "coalesce_issue" {
+                MICRO_OPS / 32
+            } else {
+                MICRO_OPS
+            };
+            MicroCell {
+                name: r.name.clone(),
+                ns_per_op: safe_ratio(r.min.as_nanos() as f64, ops as f64),
+                ops_per_iter: ops,
+            }
+        })
+        .collect()
+}
+
+/// The seed repo's array-of-structs set layout, frozen verbatim as
+/// the micro yardstick: per-set `Vec` of (tag, last-use) slots,
+/// linear scan, LRU min-scan with `swap_remove`. Never optimize this
+/// type — its entire purpose is to stay what the cache used to be.
+struct AosRefCache {
+    sets: Vec<Vec<(gvc_cache::LineKey, u64)>>,
+    ways: usize,
+    index_shift: u32,
+    clock: u64,
+}
+
+impl AosRefCache {
+    fn gpu_l1() -> Self {
+        let cfg = gvc_cache::CacheConfig::gpu_l1();
+        AosRefCache {
+            sets: vec![Vec::new(); cfg.sets()],
+            ways: cfg.ways,
+            index_shift: cfg.index_shift,
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, key: gvc_cache::LineKey) -> usize {
+        let mix = (key.asid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (((key.line >> self.index_shift) ^ mix) % self.sets.len() as u64) as usize
+    }
+
+    fn lookup(&mut self, key: gvc_cache::LineKey) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(key);
+        if let Some(s) = self.sets[set].iter_mut().find(|s| s.0 == key) {
+            s.1 = clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: gvc_cache::LineKey) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(key);
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.0 == key) {
+            s.1 = clock;
+            return;
+        }
+        if slots.len() >= self.ways {
+            let idx = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.1)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            slots.swap_remove(idx);
+        }
+        slots.push((key, clock));
+    }
+}
+
+// ----------------------------------------------------- serialization
+
+impl serde::Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Value::Map(vec![
+                    ("design".into(), Value::Str(c.design.clone())),
+                    ("workload".into(), Value::Str(c.workload.clone())),
+                    ("sim_cycles".into(), Value::UInt(c.sim_cycles)),
+                    ("wall_ms".into(), Value::Float(c.wall_ms)),
+                    (
+                        "mcycles_per_sec".into(),
+                        Value::Float(c.mcycles_per_sec),
+                    ),
+                ])
+            })
+            .collect();
+        let micro = self
+            .micro
+            .iter()
+            .map(|m| {
+                Value::Map(vec![
+                    ("name".into(), Value::Str(m.name.clone())),
+                    ("ns_per_op".into(), Value::Float(m.ns_per_op)),
+                    ("ops_per_iter".into(), Value::UInt(m.ops_per_iter)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("suite".into(), Value::Str(SUITE.into())),
+            ("scale_factor".into(), Value::Float(self.scale_factor)),
+            ("seed".into(), Value::UInt(self.seed)),
+            ("cells".into(), Value::Seq(cells)),
+            (
+                "aggregate".into(),
+                Value::Map(vec![
+                    ("sim_cycles".into(), Value::UInt(self.aggregate.sim_cycles)),
+                    ("wall_ms".into(), Value::Float(self.aggregate.wall_ms)),
+                    (
+                        "mcycles_per_sec".into(),
+                        Value::Float(self.aggregate.mcycles_per_sec),
+                    ),
+                    (
+                        "geomean_mcycles_per_sec".into(),
+                        Value::Float(self.aggregate.geomean_mcycles_per_sec),
+                    ),
+                ]),
+            ),
+            ("micro".into(), Value::Seq(micro)),
+        ])
+    }
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Pinned perf suite ({SUITE}, scale {:.2}, seed {}):",
+            self.scale_factor, self.seed
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:<12} {:>12} {:>10} {:>10}",
+            "design", "workload", "sim cycles", "wall ms", "Mcyc/s"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<16} {:<12} {:>12} {:>10.1} {:>10.1}",
+                c.design, c.workload, c.sim_cycles, c.wall_ms, c.mcycles_per_sec
+            )?;
+        }
+        writeln!(
+            f,
+            "aggregate: {} simulated cycles in {:.0} ms = {:.1} Mcycles/s (geomean {:.1})",
+            self.aggregate.sim_cycles,
+            self.aggregate.wall_ms,
+            self.aggregate.mcycles_per_sec,
+            self.aggregate.geomean_mcycles_per_sec
+        )?;
+        for m in &self.micro {
+            writeln!(
+                f,
+                "micro {:<28} {:>8.1} ns/op ({} ops/iter)",
+                m.name, m.ns_per_op, m.ops_per_iter
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ checks
+
+/// Validates a `BENCH_<n>.json` tree: schema/suite markers, every
+/// pinned design × workload cell present, every number finite and
+/// positive where it must be. Returns all problems found.
+pub fn validate(v: &Value) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let map = match v {
+        Value::Map(m) => m,
+        other => return Err(vec![format!("top level must be an object, got {other:?}")]),
+    };
+    let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match field("schema") {
+        Some(Value::Str(s)) if s == SCHEMA => {}
+        other => errs.push(format!("schema: expected {SCHEMA:?}, got {other:?}")),
+    }
+    match field("suite") {
+        Some(Value::Str(s)) if s == SUITE => {}
+        other => errs.push(format!("suite: expected {SUITE:?}, got {other:?}")),
+    }
+    let cells = match field("cells") {
+        Some(Value::Seq(cells)) => cells.as_slice(),
+        other => {
+            errs.push(format!("cells: expected an array, got {other:?}"));
+            &[]
+        }
+    };
+    for (design, _) in pinned_designs() {
+        for workload in pinned_workloads() {
+            match find_cell(cells, design, workload.name()) {
+                Some(cell) => {
+                    if !cell.throughput.is_finite() || cell.throughput <= 0.0 {
+                        errs.push(format!(
+                            "cell {design}/{}: non-positive or non-finite \
+                             mcycles_per_sec {}",
+                            workload.name(),
+                            cell.throughput
+                        ));
+                    }
+                }
+                None => errs.push(format!(
+                    "missing pinned cell {design}/{}",
+                    workload.name()
+                )),
+            }
+        }
+    }
+    match aggregate_throughput(map) {
+        Some(t) if t.is_finite() && t > 0.0 => {}
+        other => errs.push(format!(
+            "aggregate.mcycles_per_sec: expected a positive finite number, got {other:?}"
+        )),
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+struct CellView {
+    throughput: f64,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match *v {
+        Value::UInt(n) => Some(n as f64),
+        Value::Int(n) => Some(n as f64),
+        Value::Float(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn map_num(m: &[(String, Value)], name: &str) -> Option<f64> {
+    m.iter().find(|(k, _)| k == name).and_then(|(_, v)| num(v))
+}
+
+fn map_str<'m>(m: &'m [(String, Value)], name: &str) -> Option<&'m str> {
+    m.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn find_cell(cells: &[Value], design: &str, workload: &str) -> Option<CellView> {
+    cells.iter().find_map(|c| {
+        let m = match c {
+            Value::Map(m) => m,
+            _ => return None,
+        };
+        if map_str(m, "design") == Some(design) && map_str(m, "workload") == Some(workload) {
+            Some(CellView {
+                throughput: map_num(m, "mcycles_per_sec").unwrap_or(f64::NAN),
+            })
+        } else {
+            None
+        }
+    })
+}
+
+fn aggregate_throughput(map: &[(String, Value)]) -> Option<f64> {
+    map.iter()
+        .find(|(k, _)| k == "aggregate")
+        .and_then(|(_, v)| match v {
+            Value::Map(m) => map_num(m, "mcycles_per_sec"),
+            _ => None,
+        })
+}
+
+fn micro_entries(map: &[(String, Value)]) -> Vec<(String, f64)> {
+    match map.iter().find(|(k, _)| k == "micro").map(|(_, v)| v) {
+        Some(Value::Seq(entries)) => entries
+            .iter()
+            .filter_map(|e| match e {
+                Value::Map(m) => Some((
+                    map_str(m, "name")?.to_string(),
+                    map_num(m, "ns_per_op")?,
+                )),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compares a freshly collected report against a committed baseline
+/// tree; returns every pinned metric that regressed by more than
+/// [`REGRESSION_TOLERANCE`]. Micro metrics are compared only when
+/// present on both sides (the CI smoke runs without `--micro`).
+pub fn compare(current: &BenchReport, baseline: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    let map = match baseline {
+        Value::Map(m) => m,
+        _ => return vec!["baseline is not an object".into()],
+    };
+    let cells = match map.iter().find(|(k, _)| k == "cells").map(|(_, v)| v) {
+        Some(Value::Seq(cells)) => cells.as_slice(),
+        _ => &[],
+    };
+    let floor = 1.0 - REGRESSION_TOLERANCE;
+    for c in &current.cells {
+        if let Some(base) = find_cell(cells, &c.design, &c.workload) {
+            if base.throughput.is_finite()
+                && base.throughput > 0.0
+                && c.mcycles_per_sec < base.throughput * floor
+            {
+                errs.push(format!(
+                    "{}/{}: {:.1} Mcyc/s is a {:.0}% regression vs baseline {:.1}",
+                    c.design,
+                    c.workload,
+                    c.mcycles_per_sec,
+                    (1.0 - c.mcycles_per_sec / base.throughput) * 100.0,
+                    base.throughput
+                ));
+            }
+        }
+    }
+    if let Some(base) = aggregate_throughput(map) {
+        if base.is_finite()
+            && base > 0.0
+            && current.aggregate.mcycles_per_sec < base * floor
+        {
+            errs.push(format!(
+                "aggregate: {:.1} Mcyc/s is a {:.0}% regression vs baseline {:.1}",
+                current.aggregate.mcycles_per_sec,
+                (1.0 - current.aggregate.mcycles_per_sec / base) * 100.0,
+                base
+            ));
+        }
+    }
+    let base_micro = micro_entries(map);
+    for m in &current.micro {
+        if let Some((_, base)) = base_micro.iter().find(|(n, _)| n == &m.name) {
+            // Micro metrics are costs, not throughputs: higher is worse.
+            if base.is_finite() && *base > 0.0 && m.ns_per_op > base * (1.0 + REGRESSION_TOLERANCE)
+            {
+                errs.push(format!(
+                    "micro {}: {:.1} ns/op is a {:.0}% regression vs baseline {:.1}",
+                    m.name,
+                    m.ns_per_op,
+                    (m.ns_per_op / base - 1.0) * 100.0,
+                    base
+                ));
+            }
+        }
+    }
+    errs
+}
+
+/// CI entry: validate `baseline_text` (a committed `BENCH_<n>.json`)
+/// and compare `current` against it. `Ok` is the gate passing.
+pub fn check(current: &BenchReport, baseline_text: &str) -> Result<(), Vec<String>> {
+    let baseline: Value = serde_json::from_str(baseline_text)
+        .map_err(|e| vec![format!("baseline does not parse as JSON: {e}")])?;
+    validate(&baseline)?;
+    let errs = compare(current, &baseline);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvc_workloads::Scale;
+
+    fn tiny_report(micro: bool) -> BenchReport {
+        collect_with(Scale::test(), 1, 1, 0.0, micro)
+    }
+
+    #[test]
+    fn collected_report_has_full_matrix_and_validates() {
+        let rep = tiny_report(false);
+        assert_eq!(
+            rep.cells.len(),
+            pinned_designs().len() * pinned_workloads().len()
+        );
+        assert!(rep.aggregate.sim_cycles > 0);
+        assert!(rep.aggregate.mcycles_per_sec > 0.0);
+        assert!(rep.aggregate.geomean_mcycles_per_sec > 0.0);
+        let v = serde::Serialize::to_value(&rep);
+        crate::assert_json_finite("bench", &v);
+        validate(&v).expect("fresh report must satisfy its own schema");
+        // And a round trip through JSON text preserves validity.
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        validate(&back).expect("round-tripped report must validate");
+    }
+
+    #[test]
+    fn micro_suite_reports_every_pinned_metric() {
+        let rep = tiny_report(true);
+        let names: Vec<&str> = rep.micro.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, MICRO_NAMES);
+        for m in &rep.micro {
+            assert!(
+                m.ns_per_op.is_finite() && m.ns_per_op > 0.0,
+                "{}: bad ns_per_op {}",
+                m.name,
+                m.ns_per_op
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_missing_cells_and_bad_schema() {
+        let v: Value = Value::Map(vec![
+            ("schema".into(), Value::Str("wrong/0".into())),
+            ("suite".into(), Value::Str(SUITE.into())),
+            ("cells".into(), Value::Seq(Vec::new())),
+        ]);
+        let errs = validate(&v).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema")));
+        assert!(errs.iter().any(|e| e.contains("missing pinned cell")));
+        assert!(errs.iter().any(|e| e.contains("aggregate")));
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let rep = tiny_report(false);
+        let v = serde::Serialize::to_value(&rep);
+        // Identical baseline: no regression.
+        assert!(compare(&rep, &v).is_empty());
+        // A baseline claiming 10x the throughput: everything regressed.
+        let mut inflated = rep.clone();
+        for c in &mut inflated.cells {
+            c.mcycles_per_sec *= 10.0;
+        }
+        inflated.aggregate.mcycles_per_sec *= 10.0;
+        let iv = serde::Serialize::to_value(&inflated);
+        let errs = compare(&rep, &iv);
+        assert_eq!(errs.len(), rep.cells.len() + 1, "every cell + aggregate");
+        // A baseline within tolerance (5% faster): still no failure.
+        let mut near = rep.clone();
+        for c in &mut near.cells {
+            c.mcycles_per_sec *= 1.05;
+        }
+        near.aggregate.mcycles_per_sec *= 1.05;
+        let nv = serde::Serialize::to_value(&near);
+        assert!(compare(&rep, &nv).is_empty());
+    }
+
+    #[test]
+    fn check_rejects_garbage_baselines() {
+        let rep = tiny_report(false);
+        assert!(check(&rep, "not json").is_err());
+        assert!(check(&rep, "{\"schema\": \"gvc-bench/1\"}").is_err());
+        let good = serde_json::to_string_pretty(&serde::Serialize::to_value(&rep)).unwrap();
+        assert!(check(&rep, &good).is_ok());
+    }
+}

@@ -168,6 +168,19 @@ mod cli_validation {
     }
 
     #[test]
+    fn bench_subcommand_and_its_flags() {
+        let ok = parse(&["bench"]).unwrap();
+        assert!(ok.bench && !ok.micro && ok.bench_check.is_none());
+        let ok = parse(&["bench", "--micro", "--check", "BENCH_0.json"]).unwrap();
+        assert!(ok.bench && ok.micro);
+        assert_eq!(ok.bench_check.as_deref(), Some("BENCH_0.json"));
+        // Both flags are meaningless outside `bench`.
+        expect_invalid(&["fig2", "--micro"], "--micro", "bench");
+        expect_invalid(&["fig2", "--check", "BENCH_0.json"], "--check", "bench");
+        expect_invalid(&["bench", "--check"], "--check", "missing value");
+    }
+
+    #[test]
     fn empty_command_line_and_help_are_usage() {
         assert!(matches!(parse(&[]), Err(CliError::Usage)));
         assert!(matches!(parse(&["--help"]), Err(CliError::Usage)));

@@ -13,15 +13,28 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// The benchmark driver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Criterion {
     sample_size: usize,
+    quiet: bool,
+    results: Vec<BenchResult>,
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { sample_size: 20 }
-    }
+/// The measured outcome of one [`Criterion::bench_function`] call,
+/// retrievable via [`Criterion::results`] so harnesses (e.g. `repro
+/// bench --micro`) can export the numbers instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The benchmark's name.
+    pub name: String,
+    /// Fastest timed iteration (the low-noise estimator).
+    pub min: Duration,
+    /// Median timed iteration.
+    pub median: Duration,
+    /// Mean timed iteration.
+    pub mean: Duration,
+    /// Timed iterations recorded.
+    pub samples: usize,
 }
 
 impl Criterion {
@@ -32,20 +45,59 @@ impl Criterion {
         self
     }
 
+    /// Suppresses the per-benchmark stdout line (results stay
+    /// retrievable via [`Criterion::results`]).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        // `Default` is derived (sample_size = 0) so that adding fields
+        // stays cheap; 0 means "use the classic default of 20".
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let n = self.effective_sample_size();
         let mut b = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
+            samples: Vec::with_capacity(n),
             warmed: false,
         };
-        for _ in 0..=self.sample_size {
+        for _ in 0..=n {
             f(&mut b);
         }
-        b.report(name);
+        if let Some(result) = b.summarize(name) {
+            if !self.quiet {
+                result.report();
+            }
+            self.results.push(result);
+        } else if !self.quiet {
+            println!("{name:<40} (no samples)");
+        }
         self
+    }
+
+    /// Results of every benchmark run so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl BenchResult {
+    fn report(&self) {
+        println!(
+            "{:<40} min {:>10.2?}   median {:>10.2?}   mean {:>10.2?}   ({} samples)",
+            self.name, self.min, self.median, self.mean, self.samples
+        );
     }
 }
 
@@ -70,19 +122,18 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, name: &str) {
+    fn summarize(&mut self, name: &str) -> Option<BenchResult> {
         if self.samples.is_empty() {
-            println!("{name:<40} (no samples)");
-            return;
+            return None;
         }
         self.samples.sort_unstable();
-        let min = self.samples[0];
-        let median = self.samples[self.samples.len() / 2];
-        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
-        println!(
-            "{name:<40} min {min:>10.2?}   median {median:>10.2?}   mean {mean:>10.2?}   ({} samples)",
-            self.samples.len()
-        );
+        Some(BenchResult {
+            name: name.to_string(),
+            min: self.samples[0],
+            median: self.samples[self.samples.len() / 2],
+            mean: self.samples.iter().sum::<Duration>() / self.samples.len() as u32,
+            samples: self.samples.len(),
+        })
     }
 }
 
@@ -136,5 +187,19 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         smoke();
+    }
+
+    #[test]
+    fn results_are_captured_in_order() {
+        let mut c = Criterion::default().sample_size(3).quiet();
+        c.bench_function("first", |b| b.iter(|| 1 + 1));
+        c.bench_function("second", |b| b.iter(|| 2 + 2));
+        let r = c.results();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].name, "first");
+        assert_eq!(r[1].name, "second");
+        assert_eq!(r[0].samples, 3);
+        assert!(r[0].min <= r[0].median);
+        assert!(r[0].min <= r[0].mean);
     }
 }
