@@ -55,4 +55,14 @@ if grep -rlE 'NaN|Infinity|-inf|\bnull\b' "$trace_dir"; then
     exit 1
 fi
 
+echo "== pinned bench smoke (release)"
+# Validate the committed bench baseline's schema and fail on a >15%
+# throughput regression against BENCH_0.json, the trajectory anchor
+# (see EXPERIMENTS.md "Benchmark methodology"). The anchor — not the
+# newest BENCH_<n> — is the gate because later snapshots record
+# best-of-many runs whose sub-2 ms cells swing more than the
+# tolerance under host noise; against the anchor the optimized code
+# has enough headroom that only a real regression trips it.
+./target/release/repro bench --check BENCH_0.json
+
 echo "CI OK"

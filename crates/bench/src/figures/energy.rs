@@ -2,7 +2,7 @@
 //! the virtual hierarchy, using the nominal per-event model of
 //! [`gvc::EnergyModel`].
 
-use crate::runner::{keys_for, prefetch, run};
+use crate::runner::{keys_for, prefetch, run, safe_ratio};
 use gvc::{EnergyModel, SystemConfig};
 use gvc_workloads::{Scale, WorkloadId};
 use serde::{Deserialize, Serialize};
@@ -55,15 +55,28 @@ pub fn collect(scale: Scale, seed: u64) -> Energy {
             vc_total_nj: vc.total_nj(),
         });
     }
-    // Aggregate (sum-over-workloads) ratios: an arithmetic mean of
-    // per-workload ratios would let the small streaming workloads'
-    // increases swamp the graph workloads' order-of-magnitude savings.
-    let sum = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>().max(1e-9);
+    let (avg_translation_ratio, avg_total_ratio) = aggregate_ratios(&rows);
     Energy {
-        avg_translation_ratio: sum(&|r| r.vc_translation_nj) / sum(&|r| r.base_translation_nj),
-        avg_total_ratio: sum(&|r| r.vc_total_nj) / sum(&|r| r.base_total_nj),
+        avg_translation_ratio,
+        avg_total_ratio,
         rows,
     }
+}
+
+/// Aggregate (sum-over-workloads) ratios: an arithmetic mean of
+/// per-workload ratios would let the small streaming workloads'
+/// increases swamp the graph workloads' order-of-magnitude savings.
+/// Degenerate baselines (zero or non-finite sums) yield 0.0 rather
+/// than an inf/NaN that would serialize as `null`.
+fn aggregate_ratios(rows: &[Row]) -> (f64, f64) {
+    let sum = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>();
+    (
+        safe_ratio(
+            sum(&|r| r.vc_translation_nj),
+            sum(&|r| r.base_translation_nj),
+        ),
+        safe_ratio(sum(&|r| r.vc_total_nj), sum(&|r| r.base_total_nj)),
+    )
 }
 
 impl fmt::Display for Energy {
@@ -94,5 +107,50 @@ impl fmt::Display for Energy {
             self.avg_translation_ratio * 100.0,
             self.avg_total_ratio * 100.0
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(xlat: (f64, f64), total: (f64, f64)) -> Row {
+        Row {
+            workload: "w".into(),
+            base_translation_nj: xlat.0,
+            vc_translation_nj: xlat.1,
+            base_total_nj: total.0,
+            vc_total_nj: total.1,
+        }
+    }
+
+    #[test]
+    fn translation_ratio_is_sum_weighted_and_finite_on_zero_base() {
+        let rows = [
+            row((100.0, 10.0), (1.0, 1.0)),
+            row((300.0, 90.0), (1.0, 1.0)),
+        ];
+        let (xlat, _) = aggregate_ratios(&rows);
+        assert_eq!(xlat, 0.25, "sum(10+90)/sum(100+300), not mean of ratios");
+        // A run that never translated must not poison the JSON with inf.
+        let degenerate = [row((0.0, 5.0), (1.0, 1.0))];
+        let (xlat, _) = aggregate_ratios(&degenerate);
+        assert_eq!(xlat, 0.0);
+    }
+
+    #[test]
+    fn total_ratio_is_finite_on_zero_and_nonfinite_base() {
+        let rows = [row((1.0, 1.0), (200.0, 50.0))];
+        let (_, total) = aggregate_ratios(&rows);
+        assert_eq!(total, 0.25);
+        let (_, total) = aggregate_ratios(&[row((1.0, 1.0), (0.0, 7.0))]);
+        assert_eq!(total, 0.0);
+        let (_, total) = aggregate_ratios(&[row((1.0, 1.0), (f64::NAN, 7.0))]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn empty_rows_give_zero_ratios() {
+        assert_eq!(aggregate_ratios(&[]), (0.0, 0.0));
     }
 }

@@ -451,10 +451,7 @@ impl serde::Serialize for BenchReport {
                     ("workload".into(), Value::Str(c.workload.clone())),
                     ("sim_cycles".into(), Value::UInt(c.sim_cycles)),
                     ("wall_ms".into(), Value::Float(c.wall_ms)),
-                    (
-                        "mcycles_per_sec".into(),
-                        Value::Float(c.mcycles_per_sec),
-                    ),
+                    ("mcycles_per_sec".into(), Value::Float(c.mcycles_per_sec)),
                 ])
             })
             .collect();
@@ -573,10 +570,7 @@ pub fn validate(v: &Value) -> Result<(), Vec<String>> {
                         ));
                     }
                 }
-                None => errs.push(format!(
-                    "missing pinned cell {design}/{}",
-                    workload.name()
-                )),
+                None => errs.push(format!("missing pinned cell {design}/{}", workload.name())),
             }
         }
     }
@@ -611,10 +605,12 @@ fn map_num(m: &[(String, Value)], name: &str) -> Option<f64> {
 }
 
 fn map_str<'m>(m: &'m [(String, Value)], name: &str) -> Option<&'m str> {
-    m.iter().find(|(k, _)| k == name).and_then(|(_, v)| match v {
-        Value::Str(s) => Some(s.as_str()),
-        _ => None,
-    })
+    m.iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
 }
 
 fn find_cell(cells: &[Value], design: &str, workload: &str) -> Option<CellView> {
@@ -647,10 +643,7 @@ fn micro_entries(map: &[(String, Value)]) -> Vec<(String, f64)> {
         Some(Value::Seq(entries)) => entries
             .iter()
             .filter_map(|e| match e {
-                Value::Map(m) => Some((
-                    map_str(m, "name")?.to_string(),
-                    map_num(m, "ns_per_op")?,
-                )),
+                Value::Map(m) => Some((map_str(m, "name")?.to_string(), map_num(m, "ns_per_op")?)),
                 _ => None,
             })
             .collect(),
@@ -691,10 +684,7 @@ pub fn compare(current: &BenchReport, baseline: &Value) -> Vec<String> {
         }
     }
     if let Some(base) = aggregate_throughput(map) {
-        if base.is_finite()
-            && base > 0.0
-            && current.aggregate.mcycles_per_sec < base * floor
-        {
+        if base.is_finite() && base > 0.0 && current.aggregate.mcycles_per_sec < base * floor {
             errs.push(format!(
                 "aggregate: {:.1} Mcyc/s is a {:.0}% regression vs baseline {:.1}",
                 current.aggregate.mcycles_per_sec,

@@ -29,6 +29,10 @@ use gvc_mem::{Asid, Perms};
 pub struct BankedCache {
     banks: Vec<SetAssocCache>,
     ports: Vec<ThroughputPort>,
+    /// `banks.len() - 1` when the bank count is a power of two, so the
+    /// per-access interleave check is a mask instead of a 64-bit
+    /// modulo (same result; `bank_of` sits on the hot L2 path).
+    bank_mask: Option<u64>,
 }
 
 impl BankedCache {
@@ -47,6 +51,7 @@ impl BankedCache {
             ports: (0..n_banks)
                 .map(|_| ThroughputPort::per_cycle(port_width))
                 .collect(),
+            bank_mask: n_banks.is_power_of_two().then(|| n_banks as u64 - 1),
         }
     }
 
@@ -57,7 +62,11 @@ impl BankedCache {
 
     /// Which bank serves `key` (line-interleaved).
     pub fn bank_of(&self, key: LineKey) -> usize {
-        ((key.line ^ ((key.asid.0 as u64) << 3)) % self.banks.len() as u64) as usize
+        let folded = key.line ^ ((key.asid.0 as u64) << 3);
+        match self.bank_mask {
+            Some(mask) => (folded & mask) as usize,
+            None => (folded % self.banks.len() as u64) as usize,
+        }
     }
 
     /// Reserves the bank port for an access arriving at `arrival`,

@@ -1,10 +1,9 @@
 //! Set-associative tag-store cache with LRU replacement and MSHRs.
 
 use gvc_engine::time::Cycle;
-use gvc_engine::Counter;
+use gvc_engine::{Counter, FxHashMap};
 use gvc_mem::{Asid, Perms, LINES_PER_PAGE, LINE_BYTES};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifies a cached line: an address space plus a global line index
 /// (`address / 128`). For physical caches the ASID is
@@ -151,13 +150,27 @@ impl CacheStats {
     }
 }
 
+/// Per-line metadata kept apart from the tag (see the struct-of-arrays
+/// note on [`SetAssocCache`]).
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    line: CacheLine,
-    last_use: u64,
+struct LineMeta {
+    perms: Perms,
+    dirty: bool,
+    inserted_at: Cycle,
+    last_access: Cycle,
 }
 
 /// A set-associative cache tag store with true LRU.
+///
+/// Storage is struct-of-arrays: tags, LRU clocks, and line metadata
+/// live in three flat arrays of `sets * ways` entries, with set `s`
+/// occupying the fixed stride `s*ways .. s*ways + occupancy[s]`. The
+/// way scan — the operation every single memory access performs, often
+/// several times — touches only the 16-byte tag array, and the layout
+/// is allocation-free after construction. Within-set slot order
+/// replicates the previous `Vec` semantics exactly (append on fill,
+/// swap-remove on evict/invalidate), so enumeration order — and with
+/// it every downstream figure byte — is unchanged.
 ///
 /// ```
 /// use gvc_cache::{CacheConfig, LineKey, SetAssocCache};
@@ -173,10 +186,34 @@ struct Slot {
 #[derive(Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Slot>>,
+    n_sets: usize,
+    /// `n_sets - 1` when the set count is a power of two (the real
+    /// geometries), letting [`Self::set_index`] mask instead of
+    /// divide; `None` falls back to the modulo.
+    set_mask: Option<u64>,
+    /// Tags, strided by way: slot `(s, w)` lives at `s*ways + w`.
+    keys: Vec<LineKey>,
+    /// The same tags packed to one `u64` each ([`SetAssocCache::pack`]),
+    /// kept in lockstep with `keys`. The way scan compares these: a
+    /// padded 16-byte struct compare defeats vectorization, a dense
+    /// `u64` compare does not.
+    packed: Vec<u64>,
+    /// LRU clocks, same stride.
+    last_use: Vec<u64>,
+    /// Line metadata, same stride.
+    meta: Vec<LineMeta>,
+    /// Live slots per set (`0..=ways`).
+    occupancy: Vec<u32>,
     use_clock: u64,
     stats: CacheStats,
 }
+
+const EMPTY_META: LineMeta = LineMeta {
+    perms: Perms::NONE,
+    dirty: false,
+    inserted_at: Cycle::ZERO,
+    last_access: Cycle::ZERO,
+};
 
 impl SetAssocCache {
     /// Builds a cache.
@@ -192,9 +229,17 @@ impl SetAssocCache {
             config.ways > 0 && lines.is_multiple_of(config.ways),
             "ways must divide line count"
         );
+        let n_sets = config.sets();
+        let total = n_sets * config.ways;
         SetAssocCache {
-            sets: vec![Vec::new(); config.sets()],
             config,
+            n_sets,
+            set_mask: n_sets.is_power_of_two().then(|| n_sets as u64 - 1),
+            keys: vec![LineKey::new(Asid::default(), 0); total],
+            packed: vec![0; total],
+            last_use: vec![0; total],
+            meta: vec![EMPTY_META; total],
+            occupancy: vec![0; n_sets],
             use_clock: 0,
             stats: CacheStats::default(),
         }
@@ -212,7 +257,7 @@ impl SetAssocCache {
 
     /// Resident line count.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occupancy.iter().map(|&n| n as usize).sum()
     }
 
     /// Whether the cache is empty.
@@ -226,7 +271,57 @@ impl SetAssocCache {
         // modulus for every real geometry (64..128 sets), so homonyms
         // of one line index conflict-thrashed a single set.
         let mix = (key.asid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (((key.line >> self.config.index_shift) ^ mix) % self.sets.len() as u64) as usize
+        let folded = (key.line >> self.config.index_shift) ^ mix;
+        // Identical result either way; the mask path skips the 64-bit
+        // division on the access fast path.
+        match self.set_mask {
+            Some(mask) => (folded & mask) as usize,
+            None => (folded % self.n_sets as u64) as usize,
+        }
+    }
+
+    /// Packs a key into one `u64` for the way scan. Line indices are
+    /// at most 48-bit addresses / 128 B, so the ASID fits below them.
+    #[inline]
+    fn pack(key: LineKey) -> u64 {
+        debug_assert!(key.line >> 48 == 0, "line index exceeds 48 bits");
+        (key.line << 16) | key.asid.0 as u64
+    }
+
+    /// The occupied slot range of set `set` in the flat arrays.
+    #[inline]
+    fn span(&self, set: usize) -> (usize, usize) {
+        let base = set * self.config.ways;
+        (base, base + self.occupancy[set] as usize)
+    }
+
+    /// Reassembles the public [`CacheLine`] view of slot `i`.
+    #[inline]
+    fn line_at(&self, i: usize) -> CacheLine {
+        let m = self.meta[i];
+        CacheLine {
+            key: self.keys[i],
+            perms: m.perms,
+            dirty: m.dirty,
+            inserted_at: m.inserted_at,
+            last_access: m.last_access,
+        }
+    }
+
+    /// Removes slot `i` of set `set` with swap-remove ordering (the
+    /// set's last slot moves into the hole), returning the removed line.
+    #[inline]
+    fn swap_remove_slot(&mut self, set: usize, i: usize) -> CacheLine {
+        let line = self.line_at(i);
+        let (base, end) = self.span(set);
+        debug_assert!((base..end).contains(&i));
+        let last = end - 1;
+        self.keys[i] = self.keys[last];
+        self.packed[i] = self.packed[last];
+        self.last_use[i] = self.last_use[last];
+        self.meta[i] = self.meta[last];
+        self.occupancy[set] -= 1;
+        line
     }
 
     /// Looks up a line; a hit updates recency and `last_access`.
@@ -235,40 +330,42 @@ impl SetAssocCache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_index(key);
-        let hit = self.sets[set]
-            .iter_mut()
-            .find(|s| s.line.key == key)
-            .map(|s| {
-                s.last_use = clock;
-                s.line.last_access = now;
-                s.line
-            });
-        if hit.is_some() {
-            self.stats.hits.inc();
-        } else {
-            self.stats.misses.inc();
+        let p = Self::pack(key);
+        let (base, end) = self.span(set);
+        for i in base..end {
+            if self.packed[i] == p {
+                self.last_use[i] = clock;
+                self.meta[i].last_access = now;
+                self.stats.hits.inc();
+                return Some(self.line_at(i));
+            }
         }
-        hit
+        self.stats.misses.inc();
+        None
     }
 
     /// Peeks without touching recency or statistics.
     pub fn peek(&self, key: LineKey) -> Option<CacheLine> {
         let set = self.set_index(key);
-        self.sets[set]
-            .iter()
-            .find(|s| s.line.key == key)
-            .map(|s| s.line)
+        let p = Self::pack(key);
+        let (base, end) = self.span(set);
+        (base..end)
+            .find(|&i| self.packed[i] == p)
+            .map(|i| self.line_at(i))
     }
 
     /// Marks a resident line dirty (write hit under write-back);
     /// returns whether the line was present.
     pub fn mark_dirty(&mut self, key: LineKey) -> bool {
         let set = self.set_index(key);
-        if let Some(s) = self.sets[set].iter_mut().find(|s| s.line.key == key) {
-            s.line.dirty = true;
-            true
-        } else {
-            false
+        let p = Self::pack(key);
+        let (base, end) = self.span(set);
+        match (base..end).find(|&i| self.packed[i] == p) {
+            Some(i) => {
+                self.meta[i].dirty = true;
+                true
+            }
+            None => false,
         }
     }
 
@@ -284,61 +381,71 @@ impl SetAssocCache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_index(key);
-        let slots = &mut self.sets[set];
-        if let Some(s) = slots.iter_mut().find(|s| s.line.key == key) {
-            s.line.perms = perms;
-            s.line.dirty |= dirty;
-            s.line.last_access = now;
-            s.last_use = clock;
-            return None;
+        let p = Self::pack(key);
+        let (base, mut end) = self.span(set);
+        for i in base..end {
+            if self.packed[i] == p {
+                let m = &mut self.meta[i];
+                m.perms = perms;
+                m.dirty |= dirty;
+                m.last_access = now;
+                self.last_use[i] = clock;
+                return None;
+            }
         }
         let mut victim = None;
-        if slots.len() >= self.config.ways {
-            let idx = slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_use)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            let v = slots.swap_remove(idx).line;
+        if end - base >= self.config.ways {
+            // First slot with the minimum use clock, in scan order —
+            // the same victim `min_by_key` picked on the old layout.
+            let mut idx = base;
+            for i in base + 1..end {
+                if self.last_use[i] < self.last_use[idx] {
+                    idx = i;
+                }
+            }
+            let v = self.swap_remove_slot(set, idx);
             self.stats.evictions.inc();
             if v.dirty {
                 self.stats.writebacks.inc();
             }
             victim = Some(v);
+            end -= 1;
         }
         self.stats.fills.inc();
-        slots.push(Slot {
-            line: CacheLine {
-                key,
-                perms,
-                dirty,
-                inserted_at: now,
-                last_access: now,
-            },
-            last_use: clock,
-        });
+        self.keys[end] = key;
+        self.packed[end] = p;
+        self.last_use[end] = clock;
+        self.meta[end] = LineMeta {
+            perms,
+            dirty,
+            inserted_at: now,
+            last_access: now,
+        };
+        self.occupancy[set] += 1;
         victim
     }
 
     /// Invalidates one line, returning it if it was present.
     pub fn invalidate(&mut self, key: LineKey) -> Option<CacheLine> {
         let set = self.set_index(key);
-        let idx = self.sets[set].iter().position(|s| s.line.key == key)?;
+        let p = Self::pack(key);
+        let (base, end) = self.span(set);
+        let i = (base..end).find(|&i| self.packed[i] == p)?;
         self.stats.invalidations.inc();
-        Some(self.sets[set].swap_remove(idx).line)
+        Some(self.swap_remove_slot(set, i))
     }
 
     /// Invalidates every resident line of a virtual/physical page,
     /// returning the removed lines.
     pub fn invalidate_page(&mut self, asid: Asid, page: u64) -> Vec<CacheLine> {
         let mut removed = Vec::new();
-        for set in &mut self.sets {
-            let mut i = 0;
-            while i < set.len() {
-                let l = &set[i].line;
-                if l.key.asid == asid && l.key.page() == page {
-                    removed.push(set.swap_remove(i).line);
+        for set in 0..self.n_sets {
+            let base = set * self.config.ways;
+            let mut i = base;
+            while i < base + self.occupancy[set] as usize {
+                let k = self.keys[i];
+                if k.asid == asid && k.page() == page {
+                    removed.push(self.swap_remove_slot(set, i));
                 } else {
                     i += 1;
                 }
@@ -352,8 +459,10 @@ impl SetAssocCache {
     /// all-entry flush).
     pub fn flush(&mut self) -> Vec<CacheLine> {
         let mut removed = Vec::new();
-        for set in &mut self.sets {
-            removed.extend(set.drain(..).map(|s| s.line));
+        for set in 0..self.n_sets {
+            let (base, end) = self.span(set);
+            removed.extend((base..end).map(|i| self.line_at(i)));
+            self.occupancy[set] = 0;
         }
         self.stats.invalidations.add(removed.len() as u64);
         removed
@@ -361,7 +470,10 @@ impl SetAssocCache {
 
     /// Iterates over resident lines (diagnostics and invariants).
     pub fn iter(&self) -> impl Iterator<Item = CacheLine> + '_ {
-        self.sets.iter().flatten().map(|s| s.line)
+        (0..self.n_sets).flat_map(move |set| {
+            let (base, end) = self.span(set);
+            (base..end).map(move |i| self.line_at(i))
+        })
     }
 }
 
@@ -399,7 +511,14 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Default)]
 pub struct MshrFile {
-    inflight: HashMap<LineKey, Cycle>,
+    inflight: FxHashMap<LineKey, Cycle>,
+    /// Latest registered fill completion: once `now` passes this
+    /// watermark no entry can still be in flight, so the hot
+    /// hit-path probes ([`MshrFile::pending`], [`MshrFile::check`])
+    /// skip the hash lookup entirely. Entries left unpruned by the
+    /// skip are filtered by their own `done > now` test and swept by
+    /// the size-capped prune in [`MshrFile::register`].
+    latest_done: Cycle,
     merges: Counter,
     primaries: Counter,
 }
@@ -413,12 +532,14 @@ impl MshrFile {
     /// Checks for an in-flight fill of `key` at time `now`. Stale
     /// entries (fills that completed in the past) are pruned lazily.
     pub fn check(&mut self, key: LineKey, now: Cycle) -> MshrOutcome {
-        if let Some(&done) = self.inflight.get(&key) {
-            if done > now {
-                self.merges.inc();
-                return MshrOutcome::Merged { fill_done: done };
+        if now < self.latest_done {
+            if let Some(&done) = self.inflight.get(&key) {
+                if done > now {
+                    self.merges.inc();
+                    return MshrOutcome::Merged { fill_done: done };
+                }
+                self.inflight.remove(&key);
             }
-            self.inflight.remove(&key);
         }
         self.primaries.inc();
         MshrOutcome::Primary
@@ -429,11 +550,15 @@ impl MshrFile {
     /// counts statistics nor prunes — use it to delay *hits* on lines
     /// whose fill has not landed yet.
     pub fn pending(&self, key: LineKey, now: Cycle) -> Option<Cycle> {
+        if now >= self.latest_done {
+            return None;
+        }
         self.inflight.get(&key).copied().filter(|&done| done > now)
     }
 
     /// Registers a primary miss's fill completion time.
     pub fn register(&mut self, key: LineKey, fill_done: Cycle) {
+        self.latest_done = self.latest_done.max(fill_done);
         self.inflight.insert(key, fill_done);
         // Opportunistic pruning keeps the map small.
         if self.inflight.len() > 4096 {

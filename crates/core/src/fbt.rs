@@ -20,10 +20,9 @@
 //! caches and are replayed with the leading address (§4.1).
 
 use crate::bitvec::Presence;
-use gvc_engine::Counter;
+use gvc_engine::{Counter, FxHashMap};
 use gvc_mem::{Asid, Perms, Ppn, Vpn};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// FBT configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -139,7 +138,7 @@ struct Slot {
 pub struct Fbt {
     config: FbtConfig,
     sets: Vec<Vec<Option<Slot>>>,
-    ft: HashMap<LeadingVa, BtIndex>,
+    ft: FxHashMap<LeadingVa, BtIndex>,
     use_clock: u64,
     occupancy: usize,
     max_occupancy: usize,
@@ -165,7 +164,7 @@ impl Fbt {
         let nsets = config.entries / config.ways;
         Fbt {
             sets: vec![vec![None; config.ways]; nsets],
-            ft: HashMap::new(),
+            ft: FxHashMap::default(),
             use_clock: 0,
             occupancy: 0,
             max_occupancy: 0,

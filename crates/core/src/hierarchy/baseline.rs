@@ -64,9 +64,9 @@ impl MemorySystem {
         // lookup — the miss already happened).
         if !virtual_l1 {
             let l1_done = t + Duration::new(self.cfg.lat.l1_hit);
-            if self.l1[cu].lookup(l1_key, t).is_some() {
+            if let Some(line) = self.l1[cu].lookup(l1_key, t) {
                 self.tr_stage(TraceCause::L1Lookup, l1_done);
-                return match self.l1_mshr[cu].pending(l1_key, t) {
+                return match Self::hit_fill_wait(&self.l1_mshr[cu], &line, l1_key, t) {
                     Some(d) => {
                         let done = d.max(l1_done);
                         self.tr_stage(TraceCause::MshrWait, done);
@@ -86,9 +86,9 @@ impl MemorySystem {
         self.tr_stage(TraceCause::Noc, l2_arrival);
         let service = self.l2.reserve_port(l2_key, l2_arrival);
         let l2_done = service + Duration::new(self.cfg.lat.l2_hit);
-        let data_at_cu = if self.l2.lookup(l2_key, service).is_some() {
+        let data_at_cu = if let Some(line) = self.l2.lookup(l2_key, service) {
             self.tr_stage(TraceCause::L2Lookup, l2_done);
-            let ready = match self.l2_mshr.pending(l2_key, service) {
+            let ready = match Self::hit_fill_wait(&self.l2_mshr, &line, l2_key, service) {
                 Some(d) => {
                     let ready = d.max(l2_done);
                     self.tr_stage(TraceCause::MshrWait, ready);

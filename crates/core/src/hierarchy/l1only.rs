@@ -50,7 +50,7 @@ impl MemorySystem {
                 return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l1.inc();
-            let ready = match self.l1_mshr[a.cu].pending(vkey, a.at) {
+            let ready = match Self::hit_fill_wait(&self.l1_mshr[a.cu], &line, vkey, a.at) {
                 Some(d) => {
                     let ready = d.max(l1_done);
                     self.tr_stage(TraceCause::MshrWait, ready);

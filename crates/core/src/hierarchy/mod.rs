@@ -29,13 +29,12 @@ use crate::remap::RemapTable;
 use crate::report::{HierCounters, MemReport};
 use gvc_cache::{BankedCache, InvalFilter, LifetimeTracker, LineKey, MshrFile, SetAssocCache};
 use gvc_engine::time::{Cycle, Duration, Frequency};
-use gvc_engine::{TraceCause, TraceHandle};
+use gvc_engine::{FxHashMap, TraceCause, TraceHandle};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, VAddr, LINES_PER_PAGE};
 use gvc_soc::{Directory, Dram, Noc};
 use gvc_tlb::iommu::Iommu;
 use gvc_tlb::tlb::{Tlb, TlbKey, TlbStats};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The ASID under which physical caches key their lines.
 pub(crate) const PHYS: Asid = Asid(u16::MAX);
@@ -154,7 +153,11 @@ pub struct MemorySystem {
     /// Per-CU TLBs (baseline and L1-only designs).
     pub(crate) tlbs: Vec<Tlb>,
     /// Per-CU in-flight translation fills (page-grain MSHRs).
-    pub(crate) tlb_inflight: Vec<HashMap<TlbKey, Cycle>>,
+    pub(crate) tlb_inflight: Vec<FxHashMap<TlbKey, Cycle>>,
+    /// Per-CU watermark: the latest fill completion ever registered in
+    /// `tlb_inflight[cu]`. Once the clock passes it, no entry can
+    /// still be in flight and the hash probe is skipped.
+    pub(crate) tlb_inflight_until: Vec<Cycle>,
     /// The forward–backward table (virtual designs).
     pub(crate) fbt: Fbt,
     /// Per-CU L1 invalidation filters (virtual L1 designs).
@@ -201,7 +204,8 @@ impl MemorySystem {
             noc: Noc::new(cfg.noc),
             iommu,
             tlbs: (0..cfg.n_cus).map(|_| Tlb::new(cfg.per_cu_tlb)).collect(),
-            tlb_inflight: (0..cfg.n_cus).map(|_| HashMap::new()).collect(),
+            tlb_inflight: (0..cfg.n_cus).map(|_| FxHashMap::default()).collect(),
+            tlb_inflight_until: vec![Cycle::ZERO; cfg.n_cus],
             fbt: Fbt::new(cfg.fbt),
             filters: (0..cfg.n_cus).map(|_| InvalFilter::new()).collect(),
             srt: (0..cfg.n_cus).map(|_| RemapTable::new(cfg.remap)).collect(),
@@ -329,6 +333,29 @@ impl MemorySystem {
         LineKey::new(asid, va.line_index())
     }
 
+    /// Pending-fill wait for a *hit* at `now` on a resident `line`.
+    ///
+    /// Every `MshrFile::register` in this module is paired with a
+    /// cache insert of the same key at the same cycle, so a resident
+    /// line's `inserted_at` equals its registered fill-completion
+    /// time. Once that time has passed — the common steady-state case
+    /// — `pending` is provably `None` and the hash probe is skipped.
+    /// A line still in flight delegates to [`MshrFile::pending`] so
+    /// the MSHR file's pruning behaves exactly as before.
+    #[inline]
+    pub(crate) fn hit_fill_wait(
+        mshr: &MshrFile,
+        line: &gvc_cache::CacheLine,
+        key: LineKey,
+        now: Cycle,
+    ) -> Option<Cycle> {
+        if line.inserted_at > now {
+            mshr.pending(key, now)
+        } else {
+            None
+        }
+    }
+
     /// Inserts into a physical L2; dirty victims write back.
     pub(crate) fn insert_l2_physical(&mut self, key: LineKey, dirty: bool, now: Cycle) {
         if let Some(victim) = self.l2.insert(key, Perms::READ_WRITE, dirty, now) {
@@ -383,22 +410,24 @@ impl MemorySystem {
         // it rides the outstanding IOMMU request; in the paper's model
         // (the default) it issues its own IOMMU request and waits for
         // its own response.
-        if let Some(&d) = self.tlb_inflight[cu].get(&key) {
-            if d > lookup_done {
-                if let Some(e) = self.tlbs[cu].peek(key) {
-                    self.tlbs[cu].record_merged_miss();
-                    if self.cfg.merge_tlb_misses {
+        if lookup_done < self.tlb_inflight_until[cu] {
+            if let Some(&d) = self.tlb_inflight[cu].get(&key) {
+                if d > lookup_done {
+                    if let Some(e) = self.tlbs[cu].peek(key) {
+                        self.tlbs[cu].record_merged_miss();
+                        if self.cfg.merge_tlb_misses {
+                            self.tr_stage(TraceCause::TlbLookup, lookup_done);
+                            self.tr_stage(TraceCause::MshrWait, d);
+                            return Ok((e.ppn, e.perms, d, true));
+                        }
                         self.tr_stage(TraceCause::TlbLookup, lookup_done);
-                        self.tr_stage(TraceCause::MshrWait, d);
-                        return Ok((e.ppn, e.perms, d, true));
+                        let io_arrival = lookup_done + self.noc.cu_to_iommu();
+                        self.tr_stage(TraceCause::Noc, io_arrival);
+                        let resp = self.iommu.translate(asid, vpn, io_arrival, os, None);
+                        let ready = resp.done_at + self.noc.cu_to_iommu();
+                        self.tr_stage(TraceCause::Noc, ready);
+                        return Ok((e.ppn, e.perms, ready, true));
                     }
-                    self.tr_stage(TraceCause::TlbLookup, lookup_done);
-                    let io_arrival = lookup_done + self.noc.cu_to_iommu();
-                    self.tr_stage(TraceCause::Noc, io_arrival);
-                    let resp = self.iommu.translate(asid, vpn, io_arrival, os, None);
-                    let ready = resp.done_at + self.noc.cu_to_iommu();
-                    self.tr_stage(TraceCause::Noc, ready);
-                    return Ok((e.ppn, e.perms, ready, true));
                 }
             }
         }
@@ -423,6 +452,7 @@ impl MemorySystem {
                 lt.tlb.record_cycles(evicted.lifetime());
             }
         }
+        self.tlb_inflight_until[cu] = self.tlb_inflight_until[cu].max(ready);
         self.tlb_inflight[cu].insert(key, ready);
         if self.tlb_inflight[cu].len() > 1024 {
             let horizon = ready;

@@ -86,7 +86,7 @@ impl MemorySystem {
                 return AccessResult::fault(l1_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l1.inc();
-            let ready = match self.l1_mshr[a.cu].pending(key, a.at) {
+            let ready = match Self::hit_fill_wait(&self.l1_mshr[a.cu], &line, key, a.at) {
                 Some(d) => {
                     let ready = d.max(l1_done);
                     self.tr_stage(TraceCause::MshrWait, ready);
@@ -115,7 +115,7 @@ impl MemorySystem {
                 return AccessResult::fault(l2_done, AccessFault::PermissionDenied);
             }
             self.counters.filtered_at_l2.inc();
-            let ready = match self.l2_mshr.pending(key, service) {
+            let ready = match Self::hit_fill_wait(&self.l2_mshr, &line, key, service) {
                 Some(d) => {
                     let ready = d.max(l2_done);
                     self.tr_stage(TraceCause::MshrWait, ready);

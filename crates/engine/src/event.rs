@@ -4,31 +4,44 @@
 //! nondecreasing time order; events scheduled for the same cycle pop in
 //! the order they were scheduled (FIFO tie-breaking via a monotone
 //! sequence number), which keeps simulations fully deterministic.
+//!
+//! Payloads live in a slot arena with an explicit free list; the heap
+//! orders small `Copy` keys only. Slots freed by [`EventQueue::pop`]
+//! are recycled by later schedules, so a steady-state simulation stops
+//! touching the allocator entirely.
 
 use crate::time::{Cycle, Duration};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Debug)]
-struct Scheduled<E> {
+/// What actually moves through the heap: a small `Copy` ordering key
+/// plus the arena slot holding the payload. Keeping the payload out of
+/// the heap means sift-up/sift-down shuffle 24-byte PODs regardless of
+/// the event type's size, and a popped slot is recycled for the next
+/// schedule instead of hitting the allocator.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
     at: Cycle,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `slot` is deliberately not part of the order: `seq` is unique,
+        // so (at, seq) is already a total order and FIFO tie-breaking
+        // among equal timestamps follows from seq monotonicity.
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
@@ -67,7 +80,12 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    /// Payload arena indexed by [`HeapKey::slot`]. `None` slots are
+    /// free and their indices are on [`Self::free`].
+    slots: Vec<Option<E>>,
+    /// Free-slot stack; reused LIFO so the arena stays compact.
+    free: Vec<u32>,
     now: Cycle,
     next_seq: u64,
     scheduled_total: u64,
@@ -79,6 +97,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             now: Cycle::ZERO,
             next_seq: 0,
             scheduled_total: 0,
@@ -110,7 +130,19 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        let slot = match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none(), "free slot was live");
+                self.slots[i as usize] = Some(event);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("event arena overflow");
+                self.slots.push(Some(event));
+                i
+            }
+        };
+        self.heap.push(Reverse(HeapKey { at, seq, slot }));
     }
 
     /// Schedules `event` at absolute time `at`, rejecting past
@@ -136,15 +168,19 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing [`now`](Self::now) to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse(s) = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "time went backwards");
-        self.now = s.at;
-        Some((s.at, s.event))
+        let Reverse(k) = self.heap.pop()?;
+        debug_assert!(k.at >= self.now, "time went backwards");
+        self.now = k.at;
+        let event = self.slots[k.slot as usize]
+            .take()
+            .expect("heap key pointed at a free slot");
+        self.free.push(k.slot);
+        Some((k.at, event))
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+        self.heap.peek().map(|Reverse(k)| k.at)
     }
 
     /// Number of pending events.

@@ -18,6 +18,8 @@
 //!   the fixed-interval [`IntervalSampler`] used for the paper's
 //!   "accesses per cycle per microsecond sample" measurements.
 //! * [`rng`] — a seeded, deterministic random-number wrapper.
+//! * [`fxhash`] — a deterministic multiply-xor hasher ([`FxHashMap`])
+//!   for simulator-internal maps keyed by trusted values.
 //! * [`trace`] — cycle-attributed structured tracing ([`TraceSink`],
 //!   [`TraceHandle`]): bounded span ring plus per-cause interval metrics,
 //!   zero-cost when no sink is attached.
@@ -48,6 +50,7 @@
 //! ```
 
 pub mod event;
+pub mod fxhash;
 pub mod port;
 pub mod rng;
 pub mod stats;
@@ -55,6 +58,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use port::{ThroughputPort, TokenPort};
 pub use rng::SimRng;
 pub use stats::{Cdf, Counter, Histogram, IntervalSampler, RunningStats};

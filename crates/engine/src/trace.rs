@@ -21,8 +21,9 @@
 use crate::stats::IntervalSampler;
 use crate::time::{Cycle, Duration};
 use serde::Value;
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::rc::Rc;
 
 /// Default sampling interval for per-cause metrics: 700 cycles = 1 µs
 /// at the paper's 700 MHz GPU clock (matches the IOMMU's sampler).
@@ -458,48 +459,50 @@ impl TraceSink {
 /// simulator components *after* construction so trace enablement never
 /// enters a config, memo key, or report.
 ///
-/// All methods lock internally; lock poisoning is ignored (the sink
-/// holds plain data, observers only).
+/// The sink is single-threaded by design — a traced run happens
+/// entirely on the thread that built its simulator (the sweep runner's
+/// workers each construct their own sim in-thread), so the handle is
+/// an `Rc<RefCell<_>>`: emitting a span is a refcount-free borrow
+/// instead of an atomic lock on every pipeline stage of every request.
+/// The type is deliberately `!Send`, which turns any future attempt to
+/// share one sink across threads into a compile error rather than a
+/// contended lock.
 #[derive(Debug, Clone)]
 pub struct TraceHandle {
-    sink: Arc<Mutex<TraceSink>>,
+    sink: Rc<RefCell<TraceSink>>,
 }
 
 impl TraceHandle {
     /// Creates a handle over a fresh sink bounded to `capacity` events.
     pub fn new(capacity: usize) -> Self {
         TraceHandle {
-            sink: Arc::new(Mutex::new(TraceSink::new(capacity))),
+            sink: Rc::new(RefCell::new(TraceSink::new(capacity))),
         }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, TraceSink> {
-        self.sink.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// See [`TraceSink::begin_request`].
     pub fn begin_request(&self, cu: u32, at: Cycle) -> u64 {
-        self.lock().begin_request(cu, at)
+        self.sink.borrow_mut().begin_request(cu, at)
     }
 
     /// See [`TraceSink::has_active`].
     pub fn has_active(&self) -> bool {
-        self.lock().has_active()
+        self.sink.borrow().has_active()
     }
 
     /// See [`TraceSink::stage`].
     pub fn stage(&self, cause: TraceCause, end: Cycle) {
-        self.lock().stage(cause, end);
+        self.sink.borrow_mut().stage(cause, end);
     }
 
     /// See [`TraceSink::end_request`].
     pub fn end_request(&self, done_at: Cycle) -> RequestAttribution {
-        self.lock().end_request(done_at)
+        self.sink.borrow_mut().end_request(done_at)
     }
 
     /// Runs `f` against the sink, e.g. for export.
     pub fn with_sink<R>(&self, f: impl FnOnce(&TraceSink) -> R) -> R {
-        f(&self.lock())
+        f(&self.sink.borrow())
     }
 }
 

@@ -29,14 +29,28 @@ use gvc_mem::VAddr;
 /// assert_eq!(lines, vec![VAddr::new(0), VAddr::new(128)]);
 /// ```
 pub fn coalesce(lane_addrs: &[VAddr]) -> Vec<VAddr> {
-    let mut lines: Vec<VAddr> = Vec::with_capacity(lane_addrs.len().min(8));
+    let mut lines = Vec::with_capacity(lane_addrs.len().min(8));
+    coalesce_into(lane_addrs, &mut lines);
+    lines
+}
+
+/// [`coalesce`] into a caller-owned buffer (cleared first), so a hot
+/// loop issuing millions of instructions reuses one allocation instead
+/// of building a fresh `Vec` per instruction.
+pub fn coalesce_into(lane_addrs: &[VAddr], lines: &mut Vec<VAddr>) {
+    lines.clear();
     for &a in lane_addrs {
         let base = a.line_base();
+        // Streaming fast path: consecutive lanes usually fall in the
+        // line just emitted, and first-touch order makes that line the
+        // last one pushed.
+        if lines.last() == Some(&base) {
+            continue;
+        }
         if !lines.contains(&base) {
             lines.push(base);
         }
     }
-    lines
 }
 
 /// Coalescing statistics for a run.

@@ -8,7 +8,7 @@
 //! [`gvc::MemorySystem`] configured as any of the paper's designs;
 //! optional CPU coherence probes interleave with execution.
 
-use crate::coalescer::{coalesce, CoalesceStats};
+use crate::coalescer::{coalesce_into, CoalesceStats};
 use crate::kernel::{KernelSource, WaveOp, WaveProgram};
 use gvc::{inject, InjectEvent, InjectPlan, InjectReport};
 use gvc::{LineAccess, MemReport, MemorySystem, SystemConfig};
@@ -246,6 +246,9 @@ impl GpuSim {
         let mut plan = self.inject.take();
         let mut truncated: Option<Truncation> = None;
         let mut pops = 0u64;
+        // Scratch for per-instruction coalescing, reused across every
+        // instruction of the run (a wavefront has at most 32 lanes).
+        let mut lines: Vec<gvc_mem::VAddr> = Vec::with_capacity(32);
         let wall_deadline = self
             .gpu
             .wall_budget_ms
@@ -338,13 +341,13 @@ impl GpuSim {
                             }
                             WaveOp::Read(ref addrs) | WaveOp::Write(ref addrs) => {
                                 let is_write = matches!(op, WaveOp::Write(_));
-                                let lines = coalesce(addrs);
+                                coalesce_into(addrs, &mut lines);
                                 self.coalesce_stats.record(addrs.len(), lines.len());
                                 mem_instructions += 1;
                                 line_requests += lines.len() as u64;
                                 let mut done = issue + overhead;
                                 let cap = self.gpu.max_outstanding_per_cu.max(1);
-                                for (i, line) in lines.into_iter().enumerate() {
+                                for (i, &line) in lines.iter().enumerate() {
                                     // One line request leaves the
                                     // coalescer per cycle, subject to
                                     // the MSHR admission limit.

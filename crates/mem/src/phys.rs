@@ -9,7 +9,7 @@
 
 use crate::addr::{PAddr, Ppn, PAGE_BYTES};
 use crate::MemError;
-use std::collections::HashMap;
+use gvc_engine::FxHashMap;
 
 /// Number of 8-byte entries in one page-table frame.
 pub const ENTRIES_PER_FRAME: usize = (PAGE_BYTES / 8) as usize;
@@ -34,7 +34,7 @@ pub struct PhysMem {
     next_fresh: u64,
     free_list: Vec<Ppn>,
     /// Backing storage, only for frames used as page-table nodes.
-    tables: HashMap<Ppn, Box<[u64; ENTRIES_PER_FRAME]>>,
+    tables: FxHashMap<Ppn, Box<[u64; ENTRIES_PER_FRAME]>>,
     allocated: u64,
 }
 
@@ -55,7 +55,7 @@ impl PhysMem {
             total_frames,
             next_fresh: 0,
             free_list: Vec::new(),
-            tables: HashMap::new(),
+            tables: FxHashMap::default(),
             allocated: 0,
         }
     }

@@ -6,10 +6,9 @@
 //! page in different address spaces) never collide.
 
 use gvc_engine::time::Cycle;
-use gvc_engine::Counter;
+use gvc_engine::{Counter, FxHashMap};
 use gvc_mem::{Asid, Perms, Ppn, Vpn};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The lookup key: address space + virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,12 +107,17 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: TlbKey,
-    entry: TlbEntry,
-    last_use: u64,
-}
+/// Filler for unoccupied flat-array slots (never observable: scans
+/// stop at each set's occupancy).
+const EMPTY_KEY: TlbKey = TlbKey {
+    asid: Asid(0),
+    vpn: Vpn::new(0),
+};
+const EMPTY_ENTRY: TlbEntry = TlbEntry {
+    ppn: Ppn::new(0),
+    perms: Perms::NONE,
+    inserted_at: Cycle::ZERO,
+};
 
 /// TLB statistics.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -156,10 +160,36 @@ impl TlbStats {
 #[derive(Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    /// One vec per set (a single set when fully associative).
-    sets: Vec<Vec<Slot>>,
+    /// Set count (1 when fully associative, 0 when infinite).
+    n_sets: usize,
+    /// `n_sets - 1` when that is a power of two (every real geometry),
+    /// so [`Self::set_index`] masks instead of divides.
+    set_mask: Option<u64>,
+    /// Struct-of-arrays bounded storage, strided by way: slot `(s, w)`
+    /// lives at `s*ways + w`; set `s` occupies
+    /// `s*ways .. s*ways + occupancy[s]`. The way scan touches only
+    /// `keys`; within-set slot order replicates the previous per-set
+    /// `Vec` exactly (append on fill, swap-remove on evict, ordered
+    /// compaction on invalidate).
+    keys: Vec<TlbKey>,
+    /// The same keys packed to one `u64` each ([`Self::pack`]), kept
+    /// in lockstep with `keys`: the way scan compares these, because a
+    /// padded struct compare defeats vectorization and a dense `u64`
+    /// compare does not.
+    packed: Vec<u64>,
+    entries: Vec<TlbEntry>,
+    last_use: Vec<u64>,
+    occupancy: Vec<u32>,
     /// Infinite organization storage.
-    unbounded: HashMap<TlbKey, TlbEntry>,
+    unbounded: FxHashMap<TlbKey, TlbEntry>,
+    /// MRU hint: `(key, slot, set)` of the most recent bounded hit or
+    /// insert. Coalesced line requests translate the same page many
+    /// times back to back; the hint lets [`Self::lookup`] skip the
+    /// index fold and way scan for those repeats. Purely an
+    /// accelerator: it is verified against the live span before use
+    /// (keys are unique, so a verified match IS the entry), and a
+    /// stale hint just falls back to the scan.
+    last_hit: Option<(TlbKey, usize, usize)>,
     ways: usize,
     use_clock: u64,
     stats: TlbStats,
@@ -184,10 +214,18 @@ impl Tlb {
             }
             TlbOrganization::Infinite => (0, 0),
         };
+        let total = nsets * ways;
         Tlb {
             config,
-            sets: vec![Vec::new(); nsets],
-            unbounded: HashMap::new(),
+            n_sets: nsets,
+            set_mask: (nsets > 0 && nsets.is_power_of_two()).then(|| nsets as u64 - 1),
+            keys: vec![EMPTY_KEY; total],
+            packed: vec![0; total],
+            entries: vec![EMPTY_ENTRY; total],
+            last_use: vec![0; total],
+            occupancy: vec![0; nsets],
+            unbounded: FxHashMap::default(),
+            last_hit: None,
             ways,
             use_clock: 0,
             stats: TlbStats::default(),
@@ -209,7 +247,7 @@ impl Tlb {
         if self.is_infinite() {
             self.unbounded.len()
         } else {
-            self.sets.iter().map(Vec::len).sum()
+            self.occupancy.iter().map(|&n| n as usize).sum()
         }
     }
 
@@ -222,13 +260,33 @@ impl Tlb {
         matches!(self.config.organization, TlbOrganization::Infinite)
     }
 
+    /// Packs a key into one `u64` for the way scan. VPNs of 48-bit
+    /// virtual addresses are at most 36 bits, so the ASID fits below.
+    #[inline]
+    fn pack(key: TlbKey) -> u64 {
+        debug_assert!(key.vpn.raw() >> 48 == 0, "VPN exceeds 48 bits");
+        (key.vpn.raw() << 16) | key.asid.0 as u64
+    }
+
     fn set_index(&self, key: TlbKey) -> usize {
         // Mix the ASID in so homonym-heavy workloads spread across sets.
         // An odd-constant multiply folds ASID bits below the set-index
         // width; a plain left shift would put them above the modulus
         // (at most 2^11 sets here) and be discarded entirely.
         let mix = (key.asid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((key.vpn.raw() ^ mix) % self.sets.len() as u64) as usize
+        let folded = key.vpn.raw() ^ mix;
+        // Identical result either way; the mask path skips the division.
+        match self.set_mask {
+            Some(mask) => (folded & mask) as usize,
+            None => (folded % self.n_sets as u64) as usize,
+        }
+    }
+
+    /// The occupied slot range of set `set` in the flat arrays.
+    #[inline]
+    fn span(&self, set: usize) -> (usize, usize) {
+        let base = set * self.ways;
+        (base, base + self.occupancy[set] as usize)
     }
 
     /// Looks up a translation, updating recency on a hit.
@@ -239,11 +297,29 @@ impl Tlb {
         } else {
             self.use_clock += 1;
             let clock = self.use_clock;
+            if let Some((hk, idx, hset)) = self.last_hit {
+                if hk == key {
+                    let (base, end) = self.span(hset);
+                    if idx >= base && idx < end && self.keys[idx] == key {
+                        self.last_use[idx] = clock;
+                        self.stats.hits.inc();
+                        return Some(self.entries[idx]);
+                    }
+                }
+            }
             let set = self.set_index(key);
-            self.sets[set].iter_mut().find(|s| s.key == key).map(|s| {
-                s.last_use = clock;
-                s.entry
-            })
+            let p = Self::pack(key);
+            let (base, end) = self.span(set);
+            let mut hit = None;
+            for i in base..end {
+                if self.packed[i] == p {
+                    self.last_use[i] = clock;
+                    self.last_hit = Some((key, i, set));
+                    hit = Some(self.entries[i]);
+                    break;
+                }
+            }
+            hit
         };
         if found.is_some() {
             self.stats.hits.inc();
@@ -267,10 +343,11 @@ impl Tlb {
             self.unbounded.get(&key).copied()
         } else {
             let set = self.set_index(key);
-            self.sets[set]
-                .iter()
-                .find(|s| s.key == key)
-                .map(|s| s.entry)
+            let p = Self::pack(key);
+            let (base, end) = self.span(set);
+            (base..end)
+                .find(|&i| self.packed[i] == p)
+                .map(|i| self.entries[i])
         }
     }
 
@@ -289,34 +366,72 @@ impl Tlb {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_index(key);
-        let slots = &mut self.sets[set];
-        if let Some(s) = slots.iter_mut().find(|s| s.key == key) {
-            s.entry = entry;
-            s.last_use = clock;
-            return None;
+        let p = Self::pack(key);
+        let (base, mut end) = self.span(set);
+        for i in base..end {
+            if self.packed[i] == p {
+                self.entries[i] = entry;
+                self.last_use[i] = clock;
+                self.last_hit = Some((key, i, set));
+                return None;
+            }
         }
         let mut displaced = None;
-        if slots.len() >= self.ways {
-            let victim = slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last_use)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            let v = slots.swap_remove(victim);
+        if end - base >= self.ways {
+            // First slot with the minimum use clock, in scan order —
+            // the same victim `min_by_key` picked on the old layout.
+            let mut victim = base;
+            for i in base + 1..end {
+                if self.last_use[i] < self.last_use[victim] {
+                    victim = i;
+                }
+            }
+            let v_key = self.keys[victim];
+            let v_entry = self.entries[victim];
+            // swap_remove: the set's last slot moves into the hole.
+            let last = end - 1;
+            self.keys[victim] = self.keys[last];
+            self.packed[victim] = self.packed[last];
+            self.entries[victim] = self.entries[last];
+            self.last_use[victim] = self.last_use[last];
+            self.occupancy[set] -= 1;
+            end -= 1;
             self.stats.evictions.inc();
             displaced = Some(Evicted {
-                key: v.key,
-                entry: v.entry,
+                key: v_key,
+                entry: v_entry,
                 evicted_at: now,
             });
         }
-        slots.push(Slot {
-            key,
-            entry,
-            last_use: clock,
-        });
+        self.keys[end] = key;
+        self.packed[end] = p;
+        self.entries[end] = entry;
+        self.last_use[end] = clock;
+        self.occupancy[set] += 1;
+        self.last_hit = Some((key, end, set));
         displaced
+    }
+
+    /// Removes every slot of `set` failing `keep`, preserving the
+    /// relative order of survivors (`Vec::retain` semantics); returns
+    /// how many were removed.
+    fn retain_set(&mut self, set: usize, keep: impl Fn(TlbKey) -> bool) -> usize {
+        let (base, end) = self.span(set);
+        let mut write = base;
+        for read in base..end {
+            if keep(self.keys[read]) {
+                if write != read {
+                    self.keys[write] = self.keys[read];
+                    self.packed[write] = self.packed[read];
+                    self.entries[write] = self.entries[read];
+                    self.last_use[write] = self.last_use[read];
+                }
+                write += 1;
+            }
+        }
+        let removed = end - write;
+        self.occupancy[set] = (write - base) as u32;
+        removed
     }
 
     /// Invalidates one entry; returns whether it was present.
@@ -325,9 +440,7 @@ impl Tlb {
             self.unbounded.remove(&key).is_some()
         } else {
             let set = self.set_index(key);
-            let before = self.sets[set].len();
-            self.sets[set].retain(|s| s.key != key);
-            self.sets[set].len() != before
+            self.retain_set(set, |k| k != key) != 0
         };
         if removed {
             self.stats.invalidations.inc();
@@ -344,10 +457,8 @@ impl Tlb {
             self.unbounded.retain(|k, _| k.asid != asid);
             removed = before - self.unbounded.len();
         } else {
-            for set in &mut self.sets {
-                let before = set.len();
-                set.retain(|s| s.key.asid != asid);
-                removed += before - set.len();
+            for set in 0..self.n_sets {
+                removed += self.retain_set(set, |k| k.asid != asid);
             }
         }
         self.stats.invalidations.add(removed as u64);
@@ -358,16 +469,17 @@ impl Tlb {
     pub fn flush(&mut self) -> usize {
         let n = self.len();
         self.unbounded.clear();
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.occupancy.fill(0);
         self.stats.invalidations.add(n as u64);
         n
     }
 
     /// Iterates over resident entries (diagnostics and invariants).
     pub fn iter(&self) -> impl Iterator<Item = (TlbKey, TlbEntry)> + '_ {
-        let bounded = self.sets.iter().flatten().map(|s| (s.key, s.entry));
+        let bounded = (0..self.n_sets).flat_map(move |set| {
+            let (base, end) = self.span(set);
+            (base..end).map(move |i| (self.keys[i], self.entries[i]))
+        });
         let unbounded = self.unbounded.iter().map(|(k, e)| (*k, *e));
         bounded.chain(unbounded)
     }

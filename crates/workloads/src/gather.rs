@@ -72,8 +72,19 @@ pub fn gather_waves(
 ) -> Vec<Vec<WaveOp>> {
     let g = &spec.graph;
     let mut waves = Vec::with_capacity(active.len().div_ceil(LANES as usize));
+    // Worst case per round: the targets read, every edge stream and
+    // gather array, a scatter write, and a periodic compute op.
+    let ops_per_round = 2 + spec.edge_streams.len() + spec.gather.len() + 1;
     for chunk in active.chunks(LANES as usize) {
-        let mut ops: Vec<WaveOp> = Vec::new();
+        let rounds_cap = chunk
+            .iter()
+            .map(|&v| g.degree(v))
+            .max()
+            .unwrap_or(0)
+            .min(spec.max_rounds) as usize;
+        let mut ops: Vec<WaveOp> = Vec::with_capacity(
+            spec.vertex_reads.len() + spec.vertex_writes.len() + 2 + rounds_cap * ops_per_round,
+        );
         // Per-vertex metadata reads.
         for arr in &spec.vertex_reads {
             ops.push(WaveOp::read(
@@ -86,12 +97,7 @@ pub fn gather_waves(
             chunk.iter().map(|&v| spec.offsets.addr(v as u64)).collect(),
         ));
 
-        let rounds = chunk
-            .iter()
-            .map(|&v| g.degree(v))
-            .max()
-            .unwrap_or(0)
-            .min(spec.max_rounds);
+        let rounds = rounds_cap as u32;
         for r in 0..rounds {
             let mut tgt_addrs: Vec<VAddr> = Vec::with_capacity(chunk.len());
             let mut edge_idx: Vec<u64> = Vec::with_capacity(chunk.len());

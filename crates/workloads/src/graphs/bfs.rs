@@ -38,21 +38,35 @@ impl KernelSource for BfsSource {
             return None;
         }
         let depth = self.next_level as u32;
-        let frontier: std::collections::HashSet<u32> =
-            self.levels[self.next_level].iter().copied().collect();
         let g = &self.graph;
         let mut b = Kernel::builder(format!("bfs_level{depth}"), self.asid);
         // Rodinia-style: sweep all vertices; frontier members expand.
         for chunk_base in (0..g.n).step_by(LANES as usize) {
-            let chunk: Vec<u32> = (chunk_base..(chunk_base + LANES).min(g.n)).collect();
-            let mut ops = vec![WaveOp::read(
-                chunk.iter().map(|&v| self.mask.addr(v as u64)).collect(),
-            )];
-            let active: Vec<u32> = chunk
+            let chunk = chunk_base..(chunk_base + LANES).min(g.n);
+            // Frontier membership at this depth is exactly
+            // `level_of[v] == depth` — no set needed. At most LANES
+            // vertices per chunk, so the actives fit on the stack.
+            let mut active = [0u32; LANES as usize];
+            let mut n_active = 0usize;
+            for v in chunk.clone() {
+                if self.level_of[v as usize] == depth {
+                    active[n_active] = v;
+                    n_active += 1;
+                }
+            }
+            let active = &active[..n_active];
+            let rounds = active
                 .iter()
-                .copied()
-                .filter(|v| frontier.contains(v))
-                .collect();
+                .map(|&v| g.degree(v))
+                .max()
+                .unwrap_or(0)
+                .min(self.max_rounds);
+            // Worst case per round: two reads, a write, and every
+            // fourth round a compute op.
+            let mut ops = Vec::with_capacity(3 + rounds as usize * 3 + rounds as usize / 4);
+            ops.push(WaveOp::read(
+                chunk.map(|v| self.mask.addr(v as u64)).collect(),
+            ));
             if !active.is_empty() {
                 ops.push(WaveOp::read(
                     active
@@ -60,17 +74,11 @@ impl KernelSource for BfsSource {
                         .map(|&v| self.offsets.addr(v as u64))
                         .collect(),
                 ));
-                let rounds = active
-                    .iter()
-                    .map(|&v| g.degree(v))
-                    .max()
-                    .unwrap_or(0)
-                    .min(self.max_rounds);
                 for r in 0..rounds {
-                    let mut tgt_addrs: Vec<VAddr> = Vec::new();
-                    let mut dist_reads: Vec<VAddr> = Vec::new();
+                    let mut tgt_addrs: Vec<VAddr> = Vec::with_capacity(active.len());
+                    let mut dist_reads: Vec<VAddr> = Vec::with_capacity(active.len());
                     let mut discover_writes: Vec<VAddr> = Vec::new();
-                    for &v in &active {
+                    for &v in active {
                         if r < g.degree(v) {
                             let e = g.offsets[v as usize] as u64 + r as u64;
                             let t = g.targets[e as usize];
@@ -107,7 +115,7 @@ impl KernelSource for BfsSource {
 /// Builds the workload.
 pub fn build(scale: Scale, seed: u64) -> Workload {
     let n = scale.apply(64 * 1024, 2048) as u32;
-    let graph = Arc::new(Graph::power_law(n, 8, seed));
+    let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);

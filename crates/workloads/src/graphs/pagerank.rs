@@ -14,7 +14,6 @@ use crate::graphs::Graph;
 use crate::{Scale, Workload};
 use gvc_gpu::kernel::{Kernel, KernelSource};
 use gvc_mem::{Asid, OsLite};
-use std::sync::Arc;
 
 const ITERATIONS: u32 = 2;
 
@@ -59,7 +58,7 @@ impl KernelSource for PagerankSource {
 /// Builds the workload. `spmv` adds the per-edge matrix-value stream.
 pub fn build(scale: Scale, seed: u64, spmv: bool) -> Workload {
     let n = scale.apply(32 * 1024, 2048) as u32;
-    let graph = Arc::new(Graph::power_law(n, 8, seed));
+    let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
