@@ -55,6 +55,22 @@ if grep -rlE 'NaN|Infinity|-inf|\bnull\b' "$trace_dir"; then
     exit 1
 fi
 
+echo "== multi-tenant service smoke (release)"
+# Multi-tenant service curves (DESIGN.md §11): one seeded sweep under
+# paranoid checking (which adds the cross-tenant residue sweep after
+# every eviction), twice at different --jobs values; the JSON must be
+# byte-identical — the sweep bypasses the memo cache, so any
+# divergence is a real determinism bug.
+tenants_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$tenants_dir"' EXIT
+./target/release/repro tenants --tenants 8 --quantum 256 \
+    --design baseline --design vc \
+    --scale test --seed 7 --paranoid --json "$tenants_dir/a" --jobs 1
+./target/release/repro tenants --tenants 8 --quantum 256 \
+    --design baseline --design vc \
+    --scale test --seed 7 --paranoid --json "$tenants_dir/b" --jobs 4
+cmp "$tenants_dir/a/tenants.json" "$tenants_dir/b/tenants.json"
+
 echo "== pinned bench smoke (release)"
 # Validate the committed bench baseline's schema and fail on a >15%
 # throughput regression against BENCH_0.json, the trajectory anchor

@@ -35,9 +35,10 @@ fn usage() -> ! {
         "usage: repro [{targets}]... \
          [trace <design> <workload>] \
          [bench [--micro] [--check BENCH_n.json]] \
+         [tenants [--tenants N] [--quantum N] [--design NAME]...] \
          [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid] \
          [--inject RATE] [--max-cycles N]\n\
-         trace designs: {designs}",
+         trace/tenants designs: {designs}",
         targets = cli::TARGETS.join("|"),
         designs = trace::DESIGN_NAMES.join("|"),
     );
@@ -170,9 +171,41 @@ fn main() {
         run_trace(&opts);
     }
 
+    if opts.tenants {
+        run_tenants(&opts);
+    }
+
     if opts.bench {
         run_bench(&opts);
     }
+}
+
+/// Runs the multi-tenant service sweep (`repro tenants`): emits the
+/// tenants × designs curves like a figure (text + `--json
+/// DIR/tenants.json`). The sweep bypasses the runner's memo cache and
+/// assembles serially, so output is byte-identical for any `--jobs`.
+fn run_tenants(opts: &CliOptions) {
+    let mut spec = tenants::TenantsSpec {
+        paranoid: opts.paranoid,
+        jobs: runner::jobs(),
+        ..tenants::TenantsSpec::default()
+    };
+    if let Some(n) = opts.tenant_count {
+        spec.tenant_counts = vec![n.get()];
+    }
+    if let Some(q) = opts.quantum {
+        spec.quantum = q;
+    }
+    if !opts.designs.is_empty() {
+        spec.designs = opts.designs.clone();
+    }
+    let t0 = Instant::now();
+    emit(
+        "tenants",
+        &tenants::collect(&spec, opts.scale, opts.seed),
+        &opts.json_dir,
+    );
+    eprintln!("[tenants took {:.1?}]", t0.elapsed());
 }
 
 /// Runs the pinned perf suite (`repro bench`): emits the report like

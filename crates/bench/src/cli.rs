@@ -51,6 +51,16 @@ pub struct CliOptions {
     pub trace: Option<TraceSpec>,
     /// A `bench` subcommand: run the pinned perf suite.
     pub bench: bool,
+    /// A `tenants` subcommand: run the multi-tenant service sweep.
+    pub tenants: bool,
+    /// `--tenants N`: replace the default tenant-count sweep with the
+    /// single count `N` (validated nonzero).
+    pub tenant_count: Option<NonZeroUsize>,
+    /// `--quantum N`: scheduler quantum override (validated nonzero).
+    pub quantum: Option<u64>,
+    /// `--design NAME` (repeatable): designs for the tenants sweep, in
+    /// request order (validated against [`crate::trace::design_by_name`]).
+    pub designs: Vec<String>,
     /// `--micro`: include component microbenchmarks in `bench`.
     pub micro: bool,
     /// `--check FILE`: compare the `bench` run against a committed
@@ -113,6 +123,10 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         targets: Vec::new(),
         trace: None,
         bench: false,
+        tenants: false,
+        tenant_count: None,
+        quantum: None,
+        designs: Vec::new(),
         micro: false,
         bench_check: None,
         scale: Scale::paper(),
@@ -189,6 +203,49 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             }
             "--help" | "-h" => return Err(CliError::Usage),
             "bench" => o.bench = true,
+            "tenants" => o.tenants = true,
+            "--tenants" => {
+                let v = value(&mut it, "--tenants")?;
+                let n: usize = v.parse().map_err(|_| {
+                    invalid(
+                        "--tenants",
+                        format!("expected an unsigned integer, got {v:?}"),
+                    )
+                })?;
+                o.tenant_count = Some(NonZeroUsize::new(n).ok_or_else(|| {
+                    invalid("--tenants", "must be at least 1 (a service needs a tenant)")
+                })?);
+            }
+            "--quantum" => {
+                let v = value(&mut it, "--quantum")?;
+                let n: u64 = v.parse().map_err(|_| {
+                    invalid(
+                        "--quantum",
+                        format!("expected an unsigned integer, got {v:?}"),
+                    )
+                })?;
+                if n == 0 {
+                    return Err(invalid(
+                        "--quantum",
+                        "must be at least 1 cycle — a zero quantum would never \
+                         let the active tenant issue",
+                    ));
+                }
+                o.quantum = Some(n);
+            }
+            "--design" => {
+                let name = value(&mut it, "--design")?;
+                if crate::trace::design_by_name(&name).is_none() {
+                    return Err(invalid(
+                        "--design",
+                        format!(
+                            "unknown design {name:?}; expected one of {}",
+                            crate::trace::DESIGN_NAMES.join("|")
+                        ),
+                    ));
+                }
+                o.designs.push(name);
+            }
             "--micro" => o.micro = true,
             "--check" => o.bench_check = Some(value(&mut it, "--check")?),
             "trace" => {
@@ -253,7 +310,20 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             "only meaningful with the `bench` subcommand",
         ));
     }
-    if o.targets.is_empty() && o.trace.is_none() && !o.bench {
+    if (o.tenant_count.is_some() || o.quantum.is_some() || !o.designs.is_empty()) && !o.tenants {
+        let flag = if o.tenant_count.is_some() {
+            "--tenants"
+        } else if o.quantum.is_some() {
+            "--quantum"
+        } else {
+            "--design"
+        };
+        return Err(invalid(
+            flag,
+            "only meaningful with the `tenants` subcommand",
+        ));
+    }
+    if o.targets.is_empty() && o.trace.is_none() && !o.bench && !o.tenants {
         return Err(CliError::Usage);
     }
     Ok(o)

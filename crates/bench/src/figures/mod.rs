@@ -15,6 +15,7 @@
 //! | [`fig12`] | Figure 12 (appendix) — TLB-entry vs cache-line lifetimes |
 //! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
 //! | [`energy`] | §5.3 Takeaway 3 — energy comparison (extension) |
+//! | [`tenants`] | DESIGN.md §11 — multi-tenant service curves (extension) |
 
 pub mod ablations;
 pub mod energy;
@@ -29,3 +30,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod table1;
 pub mod table2;
+pub mod tenants;

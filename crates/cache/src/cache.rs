@@ -596,6 +596,45 @@ mod tests {
     }
 
     #[test]
+    fn packed_tags_keep_all_48_line_bits() {
+        // Line indices agreeing on the low 32 bits but differing above
+        // must keep distinct tags: a truncating pack would alias them
+        // and let one tenant's lookup hit the other's line.
+        let hi = (1u64 << 48) - 1;
+        let lo = hi & 0xFFFF_FFFF;
+        assert_ne!(
+            SetAssocCache::pack(LineKey::new(Asid(3), hi)),
+            SetAssocCache::pack(LineKey::new(Asid(3), lo)),
+            "pack lost line-index bits above bit 31"
+        );
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        c.insert(
+            LineKey::new(Asid(3), hi),
+            Perms::READ_WRITE,
+            false,
+            Cycle::new(0),
+        );
+        assert!(
+            c.peek(LineKey::new(Asid(3), lo)).is_none(),
+            "near-2^48 line index aliased its truncation in the way scan"
+        );
+        assert!(c.peek(LineKey::new(Asid(3), hi)).is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "line index exceeds 48 bits")]
+    fn pack_rejects_line_past_48_bits() {
+        let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
+        c.insert(
+            LineKey::new(Asid(0), 1u64 << 48),
+            Perms::READ_WRITE,
+            false,
+            Cycle::new(0),
+        );
+    }
+
+    #[test]
     fn miss_then_hit() {
         let mut c = SetAssocCache::new(CacheConfig::gpu_l1());
         assert!(c.lookup(key(1), Cycle::new(0)).is_none());

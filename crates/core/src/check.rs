@@ -276,6 +276,82 @@ impl MemorySystem {
         }
     }
 
+    /// Cross-tenant isolation check: asserts the hierarchy holds *no*
+    /// state tagged with `asid` — no per-CU or IOMMU TLB entry, no
+    /// in-flight TLB fill, no L1/L2 line, no FBT entry, and no
+    /// invalidation-filter page count. Run after a tenant's full
+    /// shootdown, before its ASID is recycled: any residue found here
+    /// is state the next tenant minted under the same ASID could hit,
+    /// breaking the "no tenant may ever hit another tenant's lines"
+    /// guarantee. Physically keyed lines (ASID [`PHYS`]) belong to
+    /// frames, not tenants, and are exempt. The synonym remap tables
+    /// are flushed wholesale on every shootdown path and hold no
+    /// per-ASID state to inspect.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first piece of residue found.
+    pub fn assert_no_asid_residue(&self, asid: Asid) {
+        assert_ne!(asid, PHYS, "PHYS is the physical-cache key, not a tenant");
+        for (cu, tlb) in self.tlbs.iter().enumerate() {
+            for (key, _) in tlb.iter() {
+                assert_ne!(
+                    key.asid, asid,
+                    "CU {cu}: TLB still holds {:?} for a destroyed ASID",
+                    key.vpn
+                );
+            }
+        }
+        for (key, _) in self.iommu.tlb().iter() {
+            assert_ne!(
+                key.asid, asid,
+                "IOMMU TLB still holds {:?} for a destroyed ASID",
+                key.vpn
+            );
+        }
+        for (cu, inflight) in self.tlb_inflight.iter().enumerate() {
+            for key in inflight.keys() {
+                assert_ne!(
+                    key.asid, asid,
+                    "CU {cu}: in-flight TLB fill for {:?} outlived its ASID",
+                    key.vpn
+                );
+            }
+        }
+        for (cu, l1) in self.l1.iter().enumerate() {
+            for line in l1.iter() {
+                assert_ne!(
+                    line.key.asid, asid,
+                    "CU {cu}: L1 line {} survived its ASID's shootdown",
+                    line.key.line
+                );
+            }
+        }
+        for line in self.l2.iter() {
+            assert_ne!(
+                line.key.asid, asid,
+                "L2 line {} survived its ASID's shootdown",
+                line.key.line
+            );
+        }
+        for (_, e) in self.fbt.iter() {
+            assert_ne!(
+                e.leading.asid, asid,
+                "FBT entry for {:?} survived its ASID's shootdown",
+                e.leading.vpn
+            );
+        }
+        for (cu, filter) in self.filters.iter().enumerate() {
+            for ((fa, vpn), count) in filter.iter() {
+                assert!(
+                    fa != asid || count == 0,
+                    "CU {cu}: inval filter still counts {count} lines for \
+                     {vpn:?} under a destroyed ASID"
+                );
+            }
+        }
+    }
+
     /// The architectural write-back state: the set of *physical* line
     /// indices currently dirty in the hierarchy. Virtual L2 lines are
     /// resolved to physical lines through their page's BT entry (which
@@ -386,5 +462,46 @@ mod tests {
     fn conservation_holds_without_paranoid_flag() {
         let mem = drive(SystemConfig::baseline_512(), 8, 100);
         mem.check_conservation();
+    }
+
+    #[test]
+    fn destroyed_tenant_leaves_no_residue_on_any_design() {
+        for cfg in [
+            SystemConfig::ideal_mmu(),
+            SystemConfig::baseline_512(),
+            SystemConfig::vc_without_opt(),
+            SystemConfig::vc_with_opt(),
+            SystemConfig::l1_only_vc_32(),
+        ] {
+            let (mut os, pid, r) = setup(8);
+            let survivor = os.create_process();
+            let sr = os
+                .mmap(survivor, 4 * PAGE_BYTES, Perms::READ_WRITE)
+                .unwrap();
+            let mut mem = MemorySystem::new(cfg);
+            let mut t = Cycle::ZERO;
+            for i in 0..120u64 {
+                let (asid, range) = if i % 3 == 0 {
+                    (survivor.asid(), &sr)
+                } else {
+                    (pid.asid(), &r)
+                };
+                let res = mem.access(
+                    LineAccess {
+                        cu: (i % 4) as usize,
+                        asid,
+                        vaddr: range.addr_at((i * 128) % range.bytes()),
+                        is_write: i % 5 == 0,
+                        at: t,
+                    },
+                    &os,
+                );
+                t = res.done_at;
+            }
+            let sd = os.destroy_process(pid).unwrap();
+            mem.apply_shootdown(&sd, t);
+            mem.assert_no_asid_residue(pid.asid());
+            mem.check_invariants();
+        }
     }
 }

@@ -61,6 +61,12 @@ impl MemorySystem {
                 for tlb in &mut self.tlbs {
                     tlb.invalidate_asid(*asid);
                 }
+                // In-flight fills for the dead space must die with it:
+                // a stale entry would merge a recycled tenant's first
+                // miss into the previous tenant's fill timing.
+                for inflight in &mut self.tlb_inflight {
+                    inflight.retain(|key, _| key.asid != *asid);
+                }
                 match self.cfg.design {
                     MmuDesign::Baseline => {}
                     MmuDesign::L1OnlyVirtual => {

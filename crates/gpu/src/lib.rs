@@ -42,8 +42,10 @@
 
 pub mod coalescer;
 pub mod kernel;
+pub mod service;
 pub mod sim;
 
 pub use coalescer::coalesce;
 pub use kernel::{Kernel, KernelBuilder, KernelSource, WaveOp, WaveProgram};
+pub use service::{run_service, ServiceConfig, ServiceReport, TenantStats};
 pub use sim::{GpuConfig, GpuSim, RunReport, Truncation};

@@ -68,6 +68,9 @@ pub enum MemError {
     NotMapped(VAddr),
     /// The process id is unknown.
     NoSuchProcess(u16),
+    /// Every usable ASID is live: the allocator's recycling free list
+    /// is empty and the namespace (see [`os::MAX_PROCESSES`]) is full.
+    AsidsExhausted,
     /// A length or alignment argument was invalid.
     BadArgument(&'static str),
 }
@@ -79,6 +82,11 @@ impl fmt::Display for MemError {
             MemError::AlreadyMapped(va) => write!(f, "virtual address {va} is already mapped"),
             MemError::NotMapped(va) => write!(f, "virtual address {va} is not mapped"),
             MemError::NoSuchProcess(pid) => write!(f, "no such process {pid}"),
+            MemError::AsidsExhausted => write!(
+                f,
+                "ASID namespace exhausted: {} address spaces are live",
+                os::MAX_PROCESSES
+            ),
             MemError::BadArgument(what) => write!(f, "invalid argument: {what}"),
         }
     }

@@ -17,7 +17,13 @@ use crate::MemError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Identifies a simulated process; its ASID equals its index.
+/// Maximum live processes (= usable ASIDs). The top ASID
+/// (`Asid(u16::MAX)`) is reserved: the hardware model keys physically
+/// indexed cache lines under it, so handing it to a process would alias
+/// that process's lines with every physical line in the hierarchy.
+pub const MAX_PROCESSES: usize = u16::MAX as usize;
+
+/// Identifies a simulated process; its ASID equals its slot index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProcessId(pub u16);
 
@@ -51,7 +57,14 @@ pub enum Shootdown {
 #[derive(Debug)]
 pub struct OsLite {
     phys: PhysMem,
-    spaces: Vec<AddressSpace>,
+    /// Address-space slots indexed by ASID; `None` marks an evicted
+    /// process whose ASID sits on the recycling free list.
+    spaces: Vec<Option<AddressSpace>>,
+    /// ASIDs of destroyed processes, reused LIFO before the namespace
+    /// grows. Without recycling, long-lived tenant churn would mint
+    /// `spaces.len() as u16` past 65535 and silently alias two live
+    /// address spaces onto one ASID.
+    free_asids: Vec<u16>,
     /// How many virtual pages (across all spaces) map each frame —
     /// used to free frames only when the last alias goes away.
     frame_refs: HashMap<Ppn, u32>,
@@ -65,6 +78,7 @@ impl OsLite {
         OsLite {
             phys: PhysMem::new(phys_bytes),
             spaces: Vec::new(),
+            free_asids: Vec::new(),
             frame_refs: HashMap::new(),
             large_regions: HashMap::new(),
         }
@@ -74,17 +88,116 @@ impl OsLite {
     ///
     /// # Panics
     ///
-    /// Panics if physical memory cannot hold even the page-table root.
+    /// Panics if physical memory cannot hold even the page-table root,
+    /// or if every usable ASID is live (see
+    /// [`OsLite::try_create_process`] for the fallible form).
     pub fn create_process(&mut self) -> ProcessId {
-        let asid = Asid(self.spaces.len() as u16);
-        let table = PageTable::new(&mut self.phys).expect("no frame for page-table root");
-        self.spaces.push(AddressSpace::new(asid, table));
-        ProcessId(asid.0)
+        match self.try_create_process() {
+            Ok(pid) => pid,
+            Err(MemError::OutOfFrames) => panic!("no frame for page-table root"),
+            Err(e) => panic!("create_process: {e}"),
+        }
+    }
+
+    /// Creates a process, recycling the ASID of the most recently
+    /// destroyed one if any. Fresh ASIDs are minted in slot order until
+    /// the namespace holds [`MAX_PROCESSES`] live spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AsidsExhausted`] when every usable ASID is
+    /// live, or [`MemError::OutOfFrames`] if physical memory cannot
+    /// hold the page-table root.
+    pub fn try_create_process(&mut self) -> Result<ProcessId, MemError> {
+        let asid = match self.free_asids.pop() {
+            Some(recycled) => Asid(recycled),
+            None => {
+                if self.spaces.len() >= MAX_PROCESSES {
+                    return Err(MemError::AsidsExhausted);
+                }
+                Asid(self.spaces.len() as u16)
+            }
+        };
+        let table = PageTable::new(&mut self.phys)?;
+        let space = AddressSpace::new(asid, table);
+        let slot = asid.0 as usize;
+        if slot == self.spaces.len() {
+            self.spaces.push(Some(space));
+        } else {
+            debug_assert!(self.spaces[slot].is_none(), "recycled a live ASID");
+            self.spaces[slot] = Some(space);
+        }
+        Ok(ProcessId(asid.0))
+    }
+
+    /// Destroys a process: unmaps every region (freeing data frames
+    /// whose last mapping disappears), releases the page-table frames,
+    /// and pushes the ASID onto the recycling free list. Returns the
+    /// full-address-space shootdown the hardware must apply — any
+    /// translation or cache line still tagged with this ASID would
+    /// otherwise leak to the next tenant that recycles it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchProcess`] for an unknown or already
+    /// destroyed id.
+    pub fn destroy_process(&mut self, pid: ProcessId) -> Result<Shootdown, MemError> {
+        let space = self
+            .spaces
+            .get_mut(pid.0 as usize)
+            .and_then(Option::take)
+            .ok_or(MemError::NoSuchProcess(pid.0))?;
+        let asid = space.asid();
+        // Large mappings first: their subpages are not refcounted.
+        // Sort for a deterministic free order (the allocator free list
+        // is order-sensitive and HashMap iteration is not).
+        let mut large: Vec<u64> = self
+            .large_regions
+            .keys()
+            .filter(|(owner, _)| *owner == pid.0)
+            .map(|&(_, vpn)| vpn)
+            .collect();
+        large.sort_unstable();
+        let regions: Vec<VRange> = space.regions().to_vec();
+        let mut table = space.into_table();
+        for vpn in &large {
+            table
+                .unmap_large(&mut self.phys, Vpn::new(*vpn))
+                .expect("tracked large mapping");
+            self.large_regions.remove(&(pid.0, *vpn));
+        }
+        // Remaining small pages: walk each region, skipping pages the
+        // large teardown already removed and pages never mapped.
+        for range in regions {
+            for vpn in range.pages() {
+                let large_base = vpn.raw() - vpn.raw() % PAGES_PER_LARGE;
+                if large.binary_search(&large_base).is_ok() {
+                    continue;
+                }
+                if let Ok(frame) = table.unmap(&mut self.phys, vpn) {
+                    let refs = self.frame_refs.get_mut(&frame).expect("refcounted frame");
+                    *refs -= 1;
+                    if *refs == 0 {
+                        self.frame_refs.remove(&frame);
+                        self.phys.free_frame(frame);
+                    }
+                }
+            }
+        }
+        table.release(&mut self.phys);
+        self.free_asids.push(asid.0);
+        Ok(Shootdown::AllOf { asid })
+    }
+
+    /// Live process count (destroyed slots excluded).
+    pub fn live_processes(&self) -> usize {
+        self.spaces.iter().filter(|s| s.is_some()).count()
     }
 
     fn space_mut(&mut self, pid: ProcessId) -> Result<&mut AddressSpace, MemError> {
         self.spaces
             .get_mut(pid.0 as usize)
+            .and_then(|s| s.as_mut())
             .ok_or(MemError::NoSuchProcess(pid.0))
     }
 
@@ -96,6 +209,7 @@ impl OsLite {
         let space = self
             .spaces
             .get_mut(pid.0 as usize)
+            .and_then(|s| s.as_mut())
             .ok_or(MemError::NoSuchProcess(pid.0))?;
         Ok((space, &mut self.phys))
     }
@@ -108,6 +222,7 @@ impl OsLite {
     pub fn space(&self, pid: ProcessId) -> Result<&AddressSpace, MemError> {
         self.spaces
             .get(pid.0 as usize)
+            .and_then(|s| s.as_ref())
             .ok_or(MemError::NoSuchProcess(pid.0))
     }
 
@@ -613,6 +728,74 @@ mod tests {
         ));
         // The large mapping is untouched.
         assert!(os.translate(pid, inside.base()).is_some());
+    }
+
+    #[test]
+    fn asid_mint_errors_at_the_limit_instead_of_aliasing() {
+        // Enough lazy physical memory for one root frame per process.
+        let mut os = OsLite::new((MAX_PROCESSES as u64 + 8) * PAGE_BYTES);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..MAX_PROCESSES {
+            let pid = os.try_create_process().expect("below the limit");
+            assert!(
+                seen.insert(pid.asid()),
+                "ASID {:?} minted twice",
+                pid.asid()
+            );
+        }
+        // The old `spaces.len() as u16` minting would wrap here and
+        // hand out Asid(65535) — the reserved physical-cache key — and
+        // then alias Asid(0). With recycling + the structured error the
+        // namespace refuses instead.
+        assert_eq!(os.try_create_process(), Err(MemError::AsidsExhausted));
+        assert_eq!(os.live_processes(), MAX_PROCESSES);
+        // Destroying any process makes room again, reusing its ASID.
+        os.destroy_process(ProcessId(123)).unwrap();
+        let recycled = os.try_create_process().unwrap();
+        assert_eq!(recycled.asid(), Asid(123));
+    }
+
+    #[test]
+    fn destroy_process_frees_every_frame_and_recycles_the_asid() {
+        let mut os = OsLite::new(64 << 20);
+        let baseline = os.phys().allocated_frames();
+        let pid = os.create_process();
+        let r = os.mmap(pid, 4 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        os.mmap_alias(pid, r).unwrap();
+        os.mmap_large(pid, 1, Perms::READ_WRITE).unwrap();
+        let sd = os.destroy_process(pid).unwrap();
+        assert_eq!(sd, Shootdown::AllOf { asid: pid.asid() });
+        // Data frames and every page-table node frame are returned;
+        // only the intentionally retired 2 MB contiguous block stays.
+        assert_eq!(
+            os.phys().allocated_frames(),
+            baseline + PAGES_PER_LARGE,
+            "teardown must not leak refcounted or page-table frames"
+        );
+        assert_eq!(os.phys().table_frame_count(), 0);
+        // The dead pid no longer resolves …
+        assert!(matches!(
+            os.mmap(pid, PAGE_BYTES, Perms::READ_WRITE),
+            Err(MemError::NoSuchProcess(_))
+        ));
+        assert!(os.destroy_process(pid).is_err());
+        // … and the next tenant recycles its ASID with a clean table.
+        let reborn = os.create_process();
+        assert_eq!(reborn.asid(), pid.asid());
+        assert!(os.translate(reborn, r.start()).is_none());
+    }
+
+    #[test]
+    fn destroy_process_keeps_shared_frames_alive() {
+        let mut os = OsLite::new(8 << 20);
+        let p1 = os.create_process();
+        let p2 = os.create_process();
+        let r = os.mmap(p1, 2 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let shared = os.mmap_shared(p2, p1, r).unwrap();
+        let (pa, _) = os.translate(p2, shared.start()).unwrap();
+        os.destroy_process(p1).unwrap();
+        // p2's view of the shared frames survives p1's exit.
+        assert_eq!(os.translate(p2, shared.start()).unwrap().0, pa);
     }
 
     #[test]

@@ -338,6 +338,29 @@ impl PageTable {
         Ok(())
     }
 
+    /// Tears the table down, freeing every radix node frame including
+    /// the root. Data frames referenced by still-present leaf entries
+    /// are *not* freed — they belong to the frame refcounting in
+    /// [`crate::OsLite`] — so callers should unmap data pages first.
+    pub fn release(self, pm: &mut PhysMem) {
+        // Nodes exist at depths 0 (root) through PT_LEVELS - 1 (leaf
+        // tables). Depth PT_LEVELS - 1 entries point at data frames;
+        // a large leaf at depth PT_LEVELS - 2 points at a contiguous
+        // data block. Neither is descended into.
+        fn free_node(pm: &mut PhysMem, node: Ppn, depth: usize) {
+            if depth < PT_LEVELS - 1 {
+                for i in 0..crate::phys::ENTRIES_PER_FRAME as u64 {
+                    let pte = pm.read_u64(PageTable::entry_addr(node, i));
+                    if pte_present(pte) && !(depth == PT_LEVELS - 2 && pte_large(pte)) {
+                        free_node(pm, pte_ppn(pte), depth + 1);
+                    }
+                }
+            }
+            pm.free_frame(node);
+        }
+        free_node(pm, self.root, 0);
+    }
+
     fn leaf_addr(&self, pm: &PhysMem, vpn: Vpn) -> Option<PAddr> {
         let mut node = self.root;
         for level in 0..PT_LEVELS - 1 {
@@ -511,6 +534,26 @@ mod tests {
             pt.translate(&pm, Vpn::new(1024 + 511)),
             Some((Ppn::new(base.raw() + 511), Perms::READ_ONLY))
         );
+    }
+
+    #[test]
+    fn release_frees_every_node_frame() {
+        let (mut pm, mut pt) = setup();
+        let f1 = pm.alloc_frame().unwrap();
+        let f2 = pm.alloc_frame().unwrap();
+        // Two distant mappings build disjoint subtrees.
+        pt.map(&mut pm, Vpn::new(0), f1, Perms::READ_WRITE).unwrap();
+        pt.map(&mut pm, Vpn::new(1 << 27), f2, Perms::READ_WRITE)
+            .unwrap();
+        pt.unmap(&mut pm, Vpn::new(0)).unwrap();
+        pt.unmap(&mut pm, Vpn::new(1 << 27)).unwrap();
+        pm.free_frame(f1);
+        pm.free_frame(f2);
+        let nodes = pm.allocated_frames();
+        assert!(nodes >= PT_LEVELS as u64, "intermediate nodes retained");
+        pt.release(&mut pm);
+        assert_eq!(pm.allocated_frames(), 0, "release frees every node");
+        assert_eq!(pm.table_frame_count(), 0, "node storage dropped");
     }
 
     #[test]

@@ -48,6 +48,11 @@ impl AddressSpace {
         &mut self.table
     }
 
+    /// Consumes the space, yielding its page table (process teardown).
+    pub(crate) fn into_table(self) -> PageTable {
+        self.table
+    }
+
     /// Regions allocated so far, in allocation order.
     pub fn regions(&self) -> &[VRange] {
         &self.regions

@@ -505,6 +505,49 @@ mod tests {
     }
 
     #[test]
+    fn packed_tags_keep_all_48_vpn_bits() {
+        // Two VPNs agreeing on the low 32 bits but differing above: a
+        // pack that silently truncated high bits (e.g. folding into
+        // fewer than 48+16 bits) would collapse these onto one tag and
+        // alias the translations.
+        let hi = Vpn::new((1u64 << 48) - 1);
+        let lo = Vpn::new(((1u64 << 48) - 1) & 0xFFFF_FFFF);
+        assert_ne!(
+            Tlb::pack(TlbKey::new(Asid(3), hi)),
+            Tlb::pack(TlbKey::new(Asid(3), lo)),
+            "pack lost VPN bits above bit 31"
+        );
+        let mut tlb = Tlb::new(TlbConfig::per_cu(8));
+        tlb.insert(
+            TlbKey::new(Asid(3), hi),
+            Ppn::new(1),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+        );
+        assert!(
+            tlb.lookup(TlbKey::new(Asid(3), lo), Cycle::new(1))
+                .is_none(),
+            "near-2^48 VPN aliased its truncation in the way scan"
+        );
+        assert!(tlb
+            .lookup(TlbKey::new(Asid(3), hi), Cycle::new(2))
+            .is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "VPN exceeds 48 bits")]
+    fn pack_rejects_vpn_past_48_bits() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(8));
+        tlb.insert(
+            TlbKey::new(Asid(0), Vpn::new(1u64 << 48)),
+            Ppn::new(1),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+        );
+    }
+
+    #[test]
     fn hit_returns_translation() {
         let mut tlb = Tlb::new(TlbConfig::per_cu(4));
         tlb.insert(key(7), Ppn::new(70), Perms::READ_ONLY, Cycle::new(0));

@@ -273,6 +273,131 @@ proptest! {
     }
 }
 
+/// Tenant eviction must leave no residue: replays traffic for a tenant,
+/// destroys its process (full shootdown), respawns it under the
+/// *recycled* ASID, and asserts the respawned tenant observes zero
+/// stale state on one design. Returns the respawned tenant's fault
+/// pattern and the hierarchy's dirty lines for cross-design comparison.
+fn replay_evict_respawn(cfg: SystemConfig) -> (Vec<Option<AccessFault>>, BTreeSet<u64>) {
+    let mut w = World::build();
+    let mut mem = MemorySystem::new(cfg.with_paranoid());
+    let mut t = Cycle::ZERO;
+
+    // Warm every level with the victim's translations and lines (mixed
+    // CUs so per-CU TLBs, L1s, and filters all hold its state), plus a
+    // bystander's, so the shootdown has real residue to miss.
+    for i in 0..48u64 {
+        let (pid, region) = if i % 3 == 2 {
+            (w.p1, w.priv1)
+        } else {
+            (w.p0, w.priv0)
+        };
+        let r = mem.access(
+            LineAccess {
+                cu: (i % 4) as usize,
+                asid: pid.asid(),
+                vaddr: region.addr_at((i * 128) % region.bytes()),
+                is_write: i % 4 == 1 && region == w.priv0,
+                at: t,
+            },
+            &w.os,
+        );
+        assert_eq!(r.fault, None);
+        t = r.done_at;
+    }
+    let old_ro = w.ro;
+    let victim_asid = w.p0.asid();
+
+    // Evict: destroy + full shootdown; nothing tagged with the dead
+    // ASID may survive anywhere in the hierarchy.
+    let sd = w.os.destroy_process(w.p0).unwrap();
+    t = t.max(mem.apply_shootdown(&sd, t));
+    mem.assert_no_asid_residue(victim_asid);
+
+    // Respawn: LIFO recycling hands back the same ASID — exactly the
+    // identity under which any stale translation or line would leak.
+    let reborn = w.os.try_create_process().unwrap();
+    assert_eq!(reborn.asid(), victim_asid, "eviction must recycle the ASID");
+    let fresh =
+        w.os.mmap(reborn, 4 * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+
+    let mut faults = Vec::new();
+    // The old process's regions are gone: accesses under the recycled
+    // ASID must fault (a stale TLB/FBT entry would let them "hit").
+    for page in 0..2u64 {
+        let r = mem.access(
+            LineAccess {
+                cu: page as usize % 4,
+                asid: reborn.asid(),
+                vaddr: old_ro.addr_at(page * PAGE_BYTES),
+                is_write: false,
+                at: t,
+            },
+            &w.os,
+        );
+        assert_eq!(
+            r.fault,
+            Some(AccessFault::PageFault),
+            "respawned tenant resolved a dead mapping — stale translation"
+        );
+        faults.push(r.fault);
+        t = r.done_at;
+    }
+    // The fresh region works normally, and the bystander is untouched.
+    for i in 0..16u64 {
+        let r = mem.access(
+            LineAccess {
+                cu: (i % 4) as usize,
+                asid: reborn.asid(),
+                vaddr: fresh.addr_at((i * 128) % fresh.bytes()),
+                is_write: i % 4 == 1,
+                at: t,
+            },
+            &w.os,
+        );
+        assert_eq!(r.fault, None, "fresh mapping must be usable");
+        faults.push(r.fault);
+        t = r.done_at;
+    }
+    let r = mem.access(
+        LineAccess {
+            cu: 0,
+            asid: w.p1.asid(),
+            vaddr: w.priv1.addr_at(0),
+            is_write: false,
+            at: t,
+        },
+        &w.os,
+    );
+    assert_eq!(r.fault, None, "bystander must survive the eviction");
+    faults.push(r.fault);
+    t = r.done_at;
+
+    mem.check_invariants();
+    let dirty = mem.dirty_physical_lines();
+    mem.finish(t);
+    (faults, dirty)
+}
+
+/// Evict-then-respawn-same-ASID leaves zero stale translations or
+/// lines, uniformly across every preset.
+#[test]
+fn evict_respawn_same_asid_is_residue_free_on_all_presets() {
+    let mut reference: Option<Vec<Option<AccessFault>>> = None;
+    for (name, cfg) in presets() {
+        let (faults, _) = replay_evict_respawn(cfg);
+        if let Some(first) = &reference {
+            assert_eq!(
+                &faults, first,
+                "{name}: evict/respawn fault pattern diverged across designs"
+            );
+        } else {
+            reference = Some(faults);
+        }
+    }
+}
+
 /// A deterministic smoke trace exercising every op kind, so the oracle
 /// path itself is covered even with `PROPTEST_CASES=0`.
 #[test]
