@@ -71,6 +71,40 @@ trap 'rm -rf "$trace_dir" "$tenants_dir"' EXIT
     --scale test --seed 7 --paranoid --json "$tenants_dir/b" --jobs 4
 cmp "$tenants_dir/a/tenants.json" "$tenants_dir/b/tenants.json"
 
+echo "== soak kill/resume smoke (release)"
+# Long-horizon soak harness (DESIGN.md §12): a seeded soak is killed
+# at an epoch boundary (--kill-after, exit 76), resumed from its
+# on-disk checkpoint, and the resumed run's final report must be
+# byte-identical to an uninterrupted run of the same soak. The
+# checkpoint itself must re-parse and contain no non-finite numbers.
+soak_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$tenants_dir" "$soak_dir"' EXIT
+soak_flags=(--tenants 3 --epochs 6 --epoch-cycles 20000 --design vc
+            --seed 9 --paranoid)
+./target/release/repro soak "${soak_flags[@]}" --json "$soak_dir/clean"
+if ./target/release/repro soak "${soak_flags[@]}" \
+    --state "$soak_dir/state" --checkpoint-every 2 --kill-after 3; then
+    echo "soak --kill-after must exit with the drill status" >&2
+    exit 1
+else
+    status=$?
+    if [ "$status" -ne 76 ]; then
+        echo "soak --kill-after exited $status, expected 76" >&2
+        exit 1
+    fi
+fi
+if grep -E 'NaN|Infinity' "$soak_dir/state/soak_vc.ckpt.json"; then
+    echo "soak checkpoint contains non-finite values" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+        "$soak_dir/state/soak_vc.ckpt.json"
+fi
+./target/release/repro soak "${soak_flags[@]}" \
+    --state "$soak_dir/state" --checkpoint-every 2 --json "$soak_dir/resumed"
+cmp "$soak_dir/clean/soak.json" "$soak_dir/resumed/soak.json"
+
 echo "== pinned bench smoke (release)"
 # Validate the committed bench baseline's schema and fail on a >15%
 # throughput regression against BENCH_0.json, the trajectory anchor

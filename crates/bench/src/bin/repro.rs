@@ -26,7 +26,7 @@
 
 use gvc_bench::cli::{self, CliError, CliOptions};
 use gvc_bench::figures::*;
-use gvc_bench::{assert_json_finite, perf, runner, trace};
+use gvc_bench::{assert_json_finite, perf, runner, signals, soak, trace};
 use std::fmt::Display;
 use std::time::Instant;
 
@@ -36,11 +36,17 @@ fn usage() -> ! {
          [trace <design> <workload>] \
          [bench [--micro] [--check BENCH_n.json]] \
          [tenants [--tenants N] [--quantum N] [--design NAME]...] \
+         [soak [--epochs N] [--epoch-cycles N] [--checkpoint-every N] [--state DIR] \
+         [--kill-after N] [--fault-epoch E:K[:hang]] [--retries N] [--epoch-wall-ms N]] \
          [--scale paper|quick|test] [--seed N] [--json DIR] [--jobs N] [--paranoid] \
          [--inject RATE] [--max-cycles N]\n\
-         trace/tenants designs: {designs}",
+         trace/tenants/soak designs: {designs}\n\
+         soak exit codes: 0 done, {trunc} signal-truncated (resume by rerunning), \
+         {killed} --kill-after drill",
         targets = cli::TARGETS.join("|"),
         designs = trace::DESIGN_NAMES.join("|"),
+        trunc = signals::EXIT_TRUNCATED,
+        killed = signals::EXIT_KILLED,
     );
     std::process::exit(2);
 }
@@ -171,8 +177,18 @@ fn main() {
         run_trace(&opts);
     }
 
+    // Long-running, resumable subcommands trap SIGINT/SIGTERM and
+    // shut down gracefully at the next epoch/cell boundary.
+    if opts.tenants || opts.soak {
+        signals::install();
+    }
+
     if opts.tenants {
         run_tenants(&opts);
+    }
+
+    if opts.soak {
+        run_soak(&opts);
     }
 
     if opts.bench {
@@ -200,12 +216,104 @@ fn run_tenants(opts: &CliOptions) {
         spec.designs = opts.designs.clone();
     }
     let t0 = Instant::now();
-    emit(
-        "tenants",
-        &tenants::collect(&spec, opts.scale, opts.seed),
-        &opts.json_dir,
-    );
+    let fig = tenants::collect(&spec, opts.scale, opts.seed);
+    let truncated = fig.truncated;
+    emit("tenants", &fig, &opts.json_dir);
     eprintln!("[tenants took {:.1?}]", t0.elapsed());
+    if truncated {
+        eprintln!("repro: tenants sweep truncated by signal; partial figure emitted");
+        std::process::exit(signals::EXIT_TRUNCATED);
+    }
+}
+
+/// Runs the long-horizon soak (`repro soak`): one supervised,
+/// checkpointed [`gvc_gpu::SoakSim`] per design. Emits the figure
+/// like the others unless the `--kill-after` crash drill stopped the
+/// run, in which case the on-disk checkpoints are the output and the
+/// process exits with [`signals::EXIT_KILLED`].
+fn run_soak(opts: &CliOptions) {
+    let mut cfg = gvc_gpu::SoakConfig {
+        seed: opts.seed,
+        ..gvc_gpu::SoakConfig::default()
+    };
+    if let Some(n) = opts.tenant_count {
+        cfg.tenants = n.get();
+    }
+    if let Some(q) = opts.quantum {
+        cfg.quantum = q;
+    }
+    if let Some(e) = opts.soak_epochs {
+        cfg.horizon_epochs = e;
+    }
+    if let Some(c) = opts.soak_epoch_cycles {
+        cfg.epoch_cycles = c;
+    }
+    let spec = soak::SoakSpec {
+        designs: if opts.designs.is_empty() {
+            soak::DEFAULT_SOAK_DESIGNS
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            opts.designs.clone()
+        },
+        cfg,
+        paranoid: opts.paranoid,
+        inject_rate: opts.inject_rate,
+        jobs: runner::jobs(),
+        checkpoint_every: opts.checkpoint_every.unwrap_or(1),
+        state_dir: opts.state_dir.clone(),
+        retries: opts.soak_retries.unwrap_or(1),
+        kill_after: opts.kill_after,
+        fault: opts.fault,
+        epoch_wall_ms: opts.epoch_wall_ms,
+    };
+    let t0 = Instant::now();
+    let run = match soak::collect(&spec) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("repro: soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    if run.recoveries > 0 {
+        eprintln!(
+            "[soak recovered {} crashed/hung epoch(s) from checkpoints]",
+            run.recoveries
+        );
+    }
+    match run.outcome {
+        soak::SoakOutcome::Killed { at_epoch } => {
+            eprintln!(
+                "[soak crash drill: killed at epoch {at_epoch} after {:.1?}; \
+                 checkpoints in {}; rerun without --kill-after to resume]",
+                t0.elapsed(),
+                spec.state_dir.as_deref().unwrap_or("--state"),
+            );
+            std::process::exit(signals::EXIT_KILLED);
+        }
+        soak::SoakOutcome::Truncated => {
+            emit(
+                "soak",
+                &run.figure.expect("truncated runs carry a figure"),
+                &opts.json_dir,
+            );
+            eprintln!(
+                "[soak truncated by signal after {:.1?}; final checkpoint written, \
+                 rerun to resume]",
+                t0.elapsed()
+            );
+            std::process::exit(signals::EXIT_TRUNCATED);
+        }
+        soak::SoakOutcome::Completed => {
+            emit(
+                "soak",
+                &run.figure.expect("completed runs carry a figure"),
+                &opts.json_dir,
+            );
+            eprintln!("[soak took {:.1?}]", t0.elapsed());
+        }
+    }
 }
 
 /// Runs the pinned perf suite (`repro bench`): emits the report like

@@ -53,14 +53,37 @@ pub struct CliOptions {
     pub bench: bool,
     /// A `tenants` subcommand: run the multi-tenant service sweep.
     pub tenants: bool,
+    /// A `soak` subcommand: run the long-horizon checkpointed soak.
+    pub soak: bool,
     /// `--tenants N`: replace the default tenant-count sweep with the
     /// single count `N` (validated nonzero).
     pub tenant_count: Option<NonZeroUsize>,
     /// `--quantum N`: scheduler quantum override (validated nonzero).
     pub quantum: Option<u64>,
-    /// `--design NAME` (repeatable): designs for the tenants sweep, in
-    /// request order (validated against [`crate::trace::design_by_name`]).
+    /// `--design NAME` (repeatable): designs for the tenants/soak
+    /// sweeps, in request order (validated against
+    /// [`crate::trace::design_by_name`]).
     pub designs: Vec<String>,
+    /// `--epochs N`: soak horizon in epochs (validated nonzero).
+    pub soak_epochs: Option<u64>,
+    /// `--epoch-cycles N`: soak epoch length (validated nonzero).
+    pub soak_epoch_cycles: Option<u64>,
+    /// `--checkpoint-every N`: epochs between persisted checkpoints
+    /// (validated nonzero).
+    pub checkpoint_every: Option<u64>,
+    /// `--state DIR`: soak checkpoint directory.
+    pub state_dir: Option<String>,
+    /// `--kill-after N`: crash drill — checkpoint and stop after `N`
+    /// epochs (validated nonzero; requires `--state`).
+    pub kill_after: Option<u64>,
+    /// `--fault-epoch E:K[:hang]`: sabotage epoch `E` for its first
+    /// `K` attempts (recovery drill).
+    pub fault: Option<crate::soak::FaultSpec>,
+    /// `--retries N`: per-epoch crash-recovery budget (0 = fail fast).
+    pub soak_retries: Option<u32>,
+    /// `--epoch-wall-ms N`: per-epoch wall watchdog (validated
+    /// nonzero).
+    pub epoch_wall_ms: Option<u64>,
     /// `--micro`: include component microbenchmarks in `bench`.
     pub micro: bool,
     /// `--check FILE`: compare the `bench` run against a committed
@@ -117,6 +140,26 @@ fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, Cl
     it.next().ok_or_else(|| invalid(flag, "missing value"))
 }
 
+/// Parses a flag value as a positive integer, rejecting 0 with a
+/// flag-specific explanation of what a zero would silently do.
+fn nonzero_u64(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    why_not_zero: &str,
+) -> Result<u64, CliError> {
+    let v = value(it, flag)?;
+    let n: u64 = v
+        .parse()
+        .map_err(|_| invalid(flag, format!("expected an unsigned integer, got {v:?}")))?;
+    if n == 0 {
+        return Err(invalid(
+            flag,
+            format!("must be at least 1 — {why_not_zero}"),
+        ));
+    }
+    Ok(n)
+}
+
 /// Parses and validates `repro` arguments (everything after argv[0]).
 pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
     let mut o = CliOptions {
@@ -124,9 +167,18 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         trace: None,
         bench: false,
         tenants: false,
+        soak: false,
         tenant_count: None,
         quantum: None,
         designs: Vec::new(),
+        soak_epochs: None,
+        soak_epoch_cycles: None,
+        checkpoint_every: None,
+        state_dir: None,
+        kill_after: None,
+        fault: None,
+        soak_retries: None,
+        epoch_wall_ms: None,
         micro: false,
         bench_check: None,
         scale: Scale::paper(),
@@ -204,6 +256,58 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             "--help" | "-h" => return Err(CliError::Usage),
             "bench" => o.bench = true,
             "tenants" => o.tenants = true,
+            "soak" => o.soak = true,
+            "--epochs" => {
+                o.soak_epochs = Some(nonzero_u64(
+                    &mut it,
+                    "--epochs",
+                    "a zero-epoch soak does nothing",
+                )?)
+            }
+            "--epoch-cycles" => {
+                o.soak_epoch_cycles = Some(nonzero_u64(
+                    &mut it,
+                    "--epoch-cycles",
+                    "a zero-length epoch would never close",
+                )?)
+            }
+            "--checkpoint-every" => {
+                o.checkpoint_every = Some(nonzero_u64(
+                    &mut it,
+                    "--checkpoint-every",
+                    "a zero cadence would never checkpoint",
+                )?)
+            }
+            "--state" => o.state_dir = Some(value(&mut it, "--state")?),
+            "--kill-after" => {
+                o.kill_after = Some(nonzero_u64(
+                    &mut it,
+                    "--kill-after",
+                    "killing before the first epoch would checkpoint nothing new",
+                )?)
+            }
+            "--fault-epoch" => {
+                let v = value(&mut it, "--fault-epoch")?;
+                o.fault = Some(
+                    crate::soak::FaultSpec::parse(&v).map_err(|m| invalid("--fault-epoch", m))?,
+                );
+            }
+            "--retries" => {
+                let v = value(&mut it, "--retries")?;
+                o.soak_retries = Some(v.parse().map_err(|_| {
+                    invalid(
+                        "--retries",
+                        format!("expected an unsigned integer, got {v:?}"),
+                    )
+                })?);
+            }
+            "--epoch-wall-ms" => {
+                o.epoch_wall_ms = Some(nonzero_u64(
+                    &mut it,
+                    "--epoch-wall-ms",
+                    "a zero wall budget would declare every epoch hung",
+                )?)
+            }
             "--tenants" => {
                 let v = value(&mut it, "--tenants")?;
                 let n: usize = v.parse().map_err(|_| {
@@ -310,7 +414,10 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
             "only meaningful with the `bench` subcommand",
         ));
     }
-    if (o.tenant_count.is_some() || o.quantum.is_some() || !o.designs.is_empty()) && !o.tenants {
+    if (o.tenant_count.is_some() || o.quantum.is_some() || !o.designs.is_empty())
+        && !o.tenants
+        && !o.soak
+    {
         let flag = if o.tenant_count.is_some() {
             "--tenants"
         } else if o.quantum.is_some() {
@@ -320,10 +427,39 @@ pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
         };
         return Err(invalid(
             flag,
-            "only meaningful with the `tenants` subcommand",
+            "only meaningful with the `tenants` or `soak` subcommands",
         ));
     }
-    if o.targets.is_empty() && o.trace.is_none() && !o.bench && !o.tenants {
+    if !o.soak {
+        let soak_flag = [
+            ("--epochs", o.soak_epochs.is_some()),
+            ("--epoch-cycles", o.soak_epoch_cycles.is_some()),
+            ("--checkpoint-every", o.checkpoint_every.is_some()),
+            ("--state", o.state_dir.is_some()),
+            ("--kill-after", o.kill_after.is_some()),
+            ("--fault-epoch", o.fault.is_some()),
+            ("--retries", o.soak_retries.is_some()),
+            ("--epoch-wall-ms", o.epoch_wall_ms.is_some()),
+        ]
+        .into_iter()
+        .find(|(_, set)| *set);
+        if let Some((flag, _)) = soak_flag {
+            return Err(invalid(flag, "only meaningful with the `soak` subcommand"));
+        }
+    }
+    if o.kill_after.is_some() && o.state_dir.is_none() {
+        return Err(invalid(
+            "--kill-after",
+            "requires --state DIR — resuming the drill needs a checkpoint on disk",
+        ));
+    }
+    if o.fault.is_some_and(|f| f.hang) && o.epoch_wall_ms.is_none() {
+        return Err(invalid(
+            "--fault-epoch",
+            "a `hang` fault needs --epoch-wall-ms, or the watchdog can never detect it",
+        ));
+    }
+    if o.targets.is_empty() && o.trace.is_none() && !o.bench && !o.tenants && !o.soak {
         return Err(CliError::Usage);
     }
     Ok(o)

@@ -66,6 +66,11 @@ pub struct Tenants {
     pub quantum: u64,
     /// Master seed.
     pub seed: u64,
+    /// Set when a shutdown signal cut the sweep short: `cells` is the
+    /// completed prefix (still byte-identical cell-for-cell to an
+    /// uninterrupted sweep). Always `false` unless the binary armed
+    /// the [`crate::signals`] latch.
+    pub truncated: bool,
     /// One service report per (tenant count × design), tenant counts
     /// outermost, designs in request order within each count.
     pub cells: Vec<ServiceReport>,
@@ -117,6 +122,11 @@ pub fn collect(spec: &TenantsSpec, scale: Scale, seed: u64) -> Tenants {
         cells.iter().map(|_| Mutex::new(None)).collect();
     if workers <= 1 {
         for (cell, slot) in cells.iter().zip(&results) {
+            // A SIGINT/SIGTERM between cells ends the sweep at a cell
+            // boundary; the completed prefix becomes a partial figure.
+            if crate::signals::triggered() {
+                break;
+            }
             *slot.lock().expect("no worker panicked") = Some(compute(cell));
         }
     } else {
@@ -125,6 +135,9 @@ pub fn collect(spec: &TenantsSpec, scale: Scale, seed: u64) -> Tenants {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || loop {
+                    if crate::signals::triggered() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let report = compute(cell);
@@ -133,19 +146,21 @@ pub fn collect(spec: &TenantsSpec, scale: Scale, seed: u64) -> Tenants {
             }
         });
     }
+    // Serial assembly in cell-index order: byte-identical for any
+    // worker count. Claims are monotonic and in-flight cells always
+    // finish, so the computed set is a prefix of the cell list.
+    let mut done = Vec::new();
+    for slot in results {
+        match slot.into_inner().expect("no worker panicked") {
+            Some(report) => done.push(report),
+            None => break,
+        }
+    }
     Tenants {
         quantum: spec.quantum,
         seed,
-        // Serial assembly in cell-index order: byte-identical for any
-        // worker count.
-        cells: results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("no worker panicked")
-                    .expect("every cell was computed")
-            })
-            .collect(),
+        truncated: done.len() < cells.len(),
+        cells: done,
     }
 }
 
@@ -153,8 +168,14 @@ impl fmt::Display for Tenants {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Multi-tenant service curves (quantum {} cycles, seed {}; paper extension)",
-            self.quantum, self.seed
+            "Multi-tenant service curves (quantum {} cycles, seed {}; paper extension){}",
+            self.quantum,
+            self.seed,
+            if self.truncated {
+                " [TRUNCATED by signal - partial]"
+            } else {
+                ""
+            }
         )?;
         writeln!(
             f,

@@ -11,6 +11,8 @@ pub mod cli;
 pub mod figures;
 pub mod perf;
 pub mod runner;
+pub mod signals;
+pub mod soak;
 pub mod trace;
 
 pub use runner::{run, RunKey};

@@ -287,6 +287,11 @@ pub enum RunError {
         message: String,
         /// Attempts made (1 + configured retries).
         attempts: u32,
+        /// The retry budget that was in force ([`set_max_retries`]).
+        retry_budget: u32,
+        /// Total deterministic backoff slept between attempts, in
+        /// milliseconds (see [`retry_backoff_ms`]).
+        backoff_ms: u64,
     },
     /// A watchdog cut the run; `partial` holds everything simulated up
     /// to the cut point.
@@ -302,8 +307,17 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Panicked { message, attempts } => {
-                write!(f, "run panicked after {attempts} attempt(s): {message}")
+            RunError::Panicked {
+                message,
+                attempts,
+                retry_budget,
+                backoff_ms,
+            } => {
+                write!(
+                    f,
+                    "run panicked after {attempts} attempt(s) \
+                     (retry budget {retry_budget}, {backoff_ms} ms backoff): {message}"
+                )
             }
             RunError::Timeout {
                 truncation,
@@ -335,17 +349,45 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// [`compute`] with panic isolation and bounded retry.
+/// Deterministic seeded backoff before retry `attempt` (1-based) of a
+/// failed run: exponential base `4ms << (attempt-1)` capped at 256 ms,
+/// jittered into `[base/2, 3·base/2)` by an RNG seeded from the run
+/// key and attempt number. Same key + attempt → same delay, so a retry
+/// schedule is replayable; different keys decorrelate, so a sweep full
+/// of simultaneous failures does not retry in lockstep.
+pub fn retry_backoff_ms(key: &RunKey, attempt: u32) -> u64 {
+    let base = (4u64 << attempt.saturating_sub(1).min(6)).min(256);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    let mut rng = gvc_engine::SimRng::seeded(h.finish() ^ u64::from(attempt));
+    rng.range(base / 2, base + base / 2)
+}
+
+/// [`compute`] with panic isolation and bounded retry. Retries are
+/// spaced by [`retry_backoff_ms`] — back-to-back retries of a
+/// host-transient failure tend to refail into the same condition.
 fn compute_caught(key: &RunKey) -> Result<RunReport, RunError> {
-    let attempts = MAX_RETRIES.load(Ordering::SeqCst) as u32 + 1;
+    let retry_budget = MAX_RETRIES.load(Ordering::SeqCst) as u32;
+    let attempts = retry_budget + 1;
     let mut message = String::new();
-    for _ in 0..attempts {
+    let mut backoff_ms = 0u64;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            let delay = retry_backoff_ms(key, attempt - 1);
+            backoff_ms += delay;
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
         match catch_unwind(AssertUnwindSafe(|| compute(key))) {
             Ok(report) => return Ok(report),
             Err(payload) => message = panic_message(payload.as_ref()),
         }
     }
-    Err(RunError::Panicked { message, attempts })
+    Err(RunError::Panicked {
+        message,
+        attempts,
+        retry_budget,
+        backoff_ms,
+    })
 }
 
 /// Maps a computed report to the hardened result: a truncated report

@@ -1,0 +1,93 @@
+//! Graceful-shutdown signal latch for long-running subcommands.
+//!
+//! `repro soak` and `repro tenants` can run for hours; a plain Ctrl-C
+//! (SIGINT) or a scheduler's SIGTERM would discard everything since
+//! the last checkpoint. Installing this latch turns either signal into
+//! a flag the epoch/cell loops poll at their next safe boundary, where
+//! they write a final checkpoint plus a partial report flagged
+//! `truncated` and exit with [`EXIT_TRUNCATED`].
+//!
+//! The handler itself only stores one atomic — the strictest
+//! async-signal-safety discipline — and is registered through the
+//! C `signal(2)` entry point directly, so no extra dependency is
+//! needed. On non-Unix targets installation is a no-op and the latch
+//! simply never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit status for a run cut short by SIGINT/SIGTERM after writing its
+/// final checkpoint and truncated report (mirrors BSD's `EX_TEMPFAIL`:
+/// rerun to resume).
+pub const EXIT_TRUNCATED: i32 = 75;
+
+/// Exit status for a run that stopped itself deliberately at a
+/// `--kill-after` epoch boundary (crash-drill mode; checkpoints are on
+/// disk, rerun to resume).
+pub const EXIT_KILLED: i32 = 76;
+
+/// Set by the handler on the first SIGINT/SIGTERM.
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        /// C `signal(2)`. Handler/`SIG_DFL` are passed as raw function
+        /// addresses; the return value (the previous handler) is
+        /// ignored.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn latch(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let h = latch as SigHandler as usize;
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM latch (idempotent). Call once at the
+/// start of a resumable subcommand; plain figure runs keep the default
+/// die-on-signal behavior by never calling this.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has arrived. Loops poll this at epoch or
+/// cell boundaries.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Simulates a received signal (tests drive the truncation paths
+/// through the same latch the real handler sets).
+pub fn trigger_for_test() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch (tests only; a real run exits instead).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+// No in-crate tests: the latch is process-global state, and sibling
+// unit tests (the tenants sweep, the soak supervisor) poll it.
+// Coverage lives in tests/tests/soak.rs, which owns its process.

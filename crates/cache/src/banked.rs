@@ -5,10 +5,11 @@
 //! port (one access per cycle), so bank conflicts — not total capacity
 //! — bound L2 bandwidth, as in real designs.
 
-use crate::cache::{CacheConfig, CacheLine, CacheStats, LineKey, SetAssocCache};
+use crate::cache::{CacheConfig, CacheLine, CacheSnapshot, CacheStats, LineKey, SetAssocCache};
 use gvc_engine::time::Cycle;
 use gvc_engine::ThroughputPort;
 use gvc_mem::{Asid, Perms};
+use serde::{Deserialize, Serialize};
 
 /// A multi-banked cache: N independent [`SetAssocCache`] banks with
 /// per-bank service ports.
@@ -159,6 +160,49 @@ impl BankedCache {
     pub fn iter(&self) -> impl Iterator<Item = CacheLine> + '_ {
         self.banks.iter().flat_map(|b| b.iter())
     }
+
+    /// Captures every bank's state plus the per-bank port backlogs for
+    /// checkpointing.
+    pub fn snapshot(&self) -> BankedCacheSnapshot {
+        BankedCacheSnapshot {
+            banks: self.banks.iter().map(SetAssocCache::snapshot).collect(),
+            ports: self.ports.clone(),
+        }
+    }
+
+    /// Restores state captured by [`BankedCache::snapshot`]. The cache
+    /// must have been built with the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's bank count or any bank geometry does
+    /// not match.
+    pub fn restore(&mut self, snap: &BankedCacheSnapshot) {
+        assert_eq!(
+            snap.banks.len(),
+            self.banks.len(),
+            "banked cache snapshot bank count mismatch"
+        );
+        assert_eq!(
+            snap.ports.len(),
+            self.ports.len(),
+            "banked cache snapshot port count mismatch"
+        );
+        for (bank, s) in self.banks.iter_mut().zip(&snap.banks) {
+            bank.restore(s);
+        }
+        self.ports.clone_from(&snap.ports);
+    }
+}
+
+/// Full serializable state of a [`BankedCache`]
+/// (see [`BankedCache::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankedCacheSnapshot {
+    /// Per-bank cache state, in bank order.
+    pub banks: Vec<CacheSnapshot>,
+    /// Per-bank service-port backlogs.
+    pub ports: Vec<ThroughputPort>,
 }
 
 #[cfg(test)]

@@ -122,7 +122,7 @@ impl CacheLine {
 }
 
 /// Hit/miss/eviction counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups performed.
     pub lookups: Counter,
@@ -475,6 +475,91 @@ impl SetAssocCache {
             (base..end).map(move |i| self.line_at(i))
         })
     }
+
+    /// Captures the cache's full behavioral state for checkpointing:
+    /// resident slots in within-set scan order (which encodes the
+    /// replacement bookkeeping exactly), the LRU clock, and statistics.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let sets = (0..self.n_sets)
+            .map(|set| {
+                let (base, end) = self.span(set);
+                (base..end)
+                    .map(|i| CacheSlotSnapshot {
+                        line: self.line_at(i),
+                        last_use: self.last_use[i],
+                    })
+                    .collect()
+            })
+            .collect();
+        CacheSnapshot {
+            config: self.config,
+            sets,
+            use_clock: self.use_clock,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`SetAssocCache::snapshot`] into this
+    /// cache, which must have been built with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry does not match, or a set holds
+    /// more slots than the geometry allows.
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        assert_eq!(self.config, snap.config, "cache snapshot config mismatch");
+        assert_eq!(
+            snap.sets.len(),
+            self.n_sets,
+            "cache snapshot set count mismatch"
+        );
+        self.occupancy.fill(0);
+        for (set, slots) in snap.sets.iter().enumerate() {
+            assert!(
+                slots.len() <= self.config.ways,
+                "cache snapshot set {set} overflows {} ways",
+                self.config.ways
+            );
+            let base = set * self.config.ways;
+            for (w, slot) in slots.iter().enumerate() {
+                self.keys[base + w] = slot.line.key;
+                self.packed[base + w] = Self::pack(slot.line.key);
+                self.last_use[base + w] = slot.last_use;
+                self.meta[base + w] = LineMeta {
+                    perms: slot.line.perms,
+                    dirty: slot.line.dirty,
+                    inserted_at: slot.line.inserted_at,
+                    last_access: slot.line.last_access,
+                };
+            }
+            self.occupancy[set] = slots.len() as u32;
+        }
+        self.use_clock = snap.use_clock;
+        self.stats = snap.stats;
+    }
+}
+
+/// One resident cache slot, in within-set scan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSlotSnapshot {
+    /// The resident line.
+    pub line: CacheLine,
+    /// The slot's LRU clock stamp.
+    pub last_use: u64,
+}
+
+/// Full serializable state of a [`SetAssocCache`]
+/// (see [`SetAssocCache::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Geometry and policy (validated on restore).
+    pub config: CacheConfig,
+    /// Per-set resident slots, in scan order.
+    pub sets: Vec<Vec<CacheSlotSnapshot>>,
+    /// The LRU use clock.
+    pub use_clock: u64,
+    /// Statistics so far.
+    pub stats: CacheStats,
 }
 
 /// Outcome of consulting the MSHR file on a miss.
@@ -575,6 +660,49 @@ impl MshrFile {
     pub fn primaries(&self) -> u64 {
         self.primaries.get()
     }
+
+    /// Captures the MSHR file's full state for checkpointing. Every
+    /// in-flight entry is captured — including stale ones awaiting the
+    /// lazy prune — because the size-capped prune in
+    /// [`MshrFile::register`] triggers on map population, so dropping
+    /// stale entries here would change when it fires after restore.
+    pub fn snapshot(&self) -> MshrSnapshot {
+        let mut inflight: Vec<(LineKey, Cycle)> =
+            self.inflight.iter().map(|(k, c)| (*k, *c)).collect();
+        inflight.sort_by_key(|(k, _)| (k.asid.0, k.line));
+        MshrSnapshot {
+            inflight,
+            latest_done: self.latest_done,
+            merges: self.merges,
+            primaries: self.primaries,
+        }
+    }
+
+    /// Restores state captured by [`MshrFile::snapshot`].
+    pub fn restore(&mut self, snap: &MshrSnapshot) {
+        self.inflight.clear();
+        for &(k, c) in &snap.inflight {
+            self.inflight.insert(k, c);
+        }
+        self.latest_done = snap.latest_done;
+        self.merges = snap.merges;
+        self.primaries = snap.primaries;
+    }
+}
+
+/// Full serializable state of an [`MshrFile`] (see
+/// [`MshrFile::snapshot`]). In-flight entries are stored as
+/// `(asid, line)`-sorted pairs so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrSnapshot {
+    /// In-flight (and stale-unpruned) fills, sorted by key.
+    pub inflight: Vec<(LineKey, Cycle)>,
+    /// The fill-completion watermark.
+    pub latest_done: Cycle,
+    /// Merged-miss counter.
+    pub merges: Counter,
+    /// Primary-miss counter.
+    pub primaries: Counter,
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Filter statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InvalFilterStats {
     /// Invalidation requests checked.
     pub checks: Counter,
@@ -112,6 +112,44 @@ impl InvalFilter {
     pub fn stats(&self) -> InvalFilterStats {
         self.stats
     }
+
+    /// Captures the filter's full state for checkpointing.
+    pub fn snapshot(&self) -> InvalFilterSnapshot {
+        let mut counters: Vec<(Asid, Vpn, u32)> = self
+            .counters
+            .iter()
+            .map(|(&(a, v), &c)| (a, v, c))
+            .collect();
+        counters.sort_by_key(|&(a, v, _)| (a.0, v.raw()));
+        InvalFilterSnapshot {
+            counters,
+            max_occupancy: self.max_occupancy as u64,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`InvalFilter::snapshot`].
+    pub fn restore(&mut self, snap: &InvalFilterSnapshot) {
+        self.counters.clear();
+        for &(a, v, c) in &snap.counters {
+            self.counters.insert((a, v), c);
+        }
+        self.max_occupancy = snap.max_occupancy as usize;
+        self.stats = snap.stats;
+    }
+}
+
+/// Full serializable state of an [`InvalFilter`]
+/// (see [`InvalFilter::snapshot`]). Counters are stored as
+/// `(asid, vpn)`-sorted triples so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalFilterSnapshot {
+    /// Tracked pages and their line counts, sorted by `(asid, vpn)`.
+    pub counters: Vec<(Asid, Vpn, u32)>,
+    /// High-water mark of tracked pages.
+    pub max_occupancy: u64,
+    /// Statistics so far.
+    pub stats: InvalFilterStats,
 }
 
 #[cfg(test)]

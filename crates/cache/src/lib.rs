@@ -25,9 +25,10 @@ pub mod cache;
 pub mod inval_filter;
 pub mod lifetime;
 
-pub use banked::BankedCache;
+pub use banked::{BankedCache, BankedCacheSnapshot};
 pub use cache::{
-    CacheConfig, CacheLine, CacheStats, LineKey, MshrFile, SetAssocCache, WritePolicy,
+    CacheConfig, CacheLine, CacheSlotSnapshot, CacheSnapshot, CacheStats, LineKey, MshrFile,
+    MshrSnapshot, SetAssocCache, WritePolicy,
 };
-pub use inval_filter::InvalFilter;
+pub use inval_filter::{InvalFilter, InvalFilterSnapshot};
 pub use lifetime::LifetimeTracker;

@@ -94,7 +94,7 @@ pub struct BtIndex {
 }
 
 /// FBT statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FbtStats {
     /// BT lookups by physical page.
     pub bt_lookups: Counter,
@@ -418,6 +418,76 @@ impl Fbt {
         })
     }
 
+    /// Captures the FBT's full state for checkpointing. Slots are
+    /// serialized per set *with holes preserved* — [`BtIndex`] handles
+    /// encode `(set, way)` positions, so way placement is part of the
+    /// observable state. The FT is not serialized; it is derivable
+    /// from the BT and rebuilt on restore.
+    pub fn snapshot(&self) -> FbtSnapshot {
+        FbtSnapshot {
+            config: self.config,
+            sets: self
+                .sets
+                .iter()
+                .map(|set| {
+                    set.iter()
+                        .map(|slot| {
+                            slot.as_ref().map(|s| FbtSlotSnapshot {
+                                entry: s.entry,
+                                last_use: s.last_use,
+                            })
+                        })
+                        .collect()
+                })
+                .collect(),
+            use_clock: self.use_clock,
+            max_occupancy: self.max_occupancy as u64,
+            usable_ways: self.usable_ways as u64,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Fbt::snapshot`]. The table must
+    /// have been built with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration or geometry does not
+    /// match.
+    pub fn restore(&mut self, snap: &FbtSnapshot) {
+        assert_eq!(self.config, snap.config, "FBT snapshot config mismatch");
+        assert_eq!(
+            snap.sets.len(),
+            self.sets.len(),
+            "FBT snapshot set count mismatch"
+        );
+        self.ft.clear();
+        self.occupancy = 0;
+        for (set_idx, (set, snap_set)) in self.sets.iter_mut().zip(&snap.sets).enumerate() {
+            assert_eq!(snap_set.len(), set.len(), "FBT snapshot way count mismatch");
+            for (way, (slot, snap_slot)) in set.iter_mut().zip(snap_set).enumerate() {
+                *slot = snap_slot.as_ref().map(|s| Slot {
+                    entry: s.entry,
+                    last_use: s.last_use,
+                });
+                if let Some(s) = snap_slot {
+                    self.ft.insert(
+                        s.entry.leading,
+                        BtIndex {
+                            set: set_idx as u32,
+                            way: way as u32,
+                        },
+                    );
+                    self.occupancy += 1;
+                }
+            }
+        }
+        self.use_clock = snap.use_clock;
+        self.max_occupancy = snap.max_occupancy as usize;
+        self.usable_ways = snap.usable_ways as usize;
+        self.stats = snap.stats;
+    }
+
     /// Verifies internal consistency (tests and debug harnesses):
     /// every FT entry points at a resident BT entry with the matching
     /// leading VA, every BT entry is indexed by the FT, and no PPN
@@ -442,6 +512,33 @@ impl Fbt {
         assert_eq!(bt_count, self.ft.len(), "FT size != BT size");
         assert_eq!(bt_count, self.occupancy, "occupancy counter drift");
     }
+}
+
+/// One occupied BT slot in a snapshot (see [`Fbt::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FbtSlotSnapshot {
+    /// The resident entry.
+    pub entry: BtEntry,
+    /// LRU timestamp.
+    pub last_use: u64,
+}
+
+/// Full serializable state of an [`Fbt`] (see [`Fbt::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FbtSnapshot {
+    /// Configuration (validated on restore).
+    pub config: FbtConfig,
+    /// Per-set slots with holes preserved (way positions are part of
+    /// the observable state — [`BtIndex`] encodes them).
+    pub sets: Vec<Vec<Option<FbtSlotSnapshot>>>,
+    /// LRU clock.
+    pub use_clock: u64,
+    /// High-water mark of resident entries.
+    pub max_occupancy: u64,
+    /// Fault-injection way restriction currently in force.
+    pub usable_ways: u64,
+    /// Statistics so far.
+    pub stats: FbtStats,
 }
 
 #[cfg(test)]
@@ -631,6 +728,52 @@ mod tests {
         assert_eq!(fbt.lookup_ppn(Ppn::new(4)), Some(i4));
         assert_eq!(fbt.lookup_va(Asid(0), Vpn::new(11)), Some(i4));
         fbt.check_consistency();
+    }
+
+    #[test]
+    fn snapshot_restore_is_behaviorally_identical() {
+        let mut fbt = small();
+        let (i0, _) = fbt.insert(Ppn::new(0), Asid(0), Vpn::new(10), Perms::READ_WRITE);
+        fbt.insert(Ppn::new(4), Asid(0), Vpn::new(11), Perms::READ_WRITE);
+        fbt.insert(Ppn::new(1), Asid(1), Vpn::new(20), Perms::READ_ONLY);
+        fbt.entry_mut(i0).presence.set(3);
+        fbt.entry_mut(i0).written = true;
+        fbt.lookup_ppn(Ppn::new(4)); // recency matters for victims
+        fbt.set_usable_ways(1);
+
+        let snap = fbt.snapshot();
+        let mut restored = Fbt::new(snap.config);
+        restored.restore(&snap);
+        assert_eq!(restored.snapshot(), snap, "restore is a fixed point");
+        restored.check_consistency();
+
+        // Lockstep: inserts must pick identical victims (LRU clocks,
+        // presence, and the usable-ways restriction all restored).
+        for i in 0..8 {
+            let a = fbt.insert(
+                Ppn::new(100 + i * 4),
+                Asid(2),
+                Vpn::new(1000 + i),
+                Perms::READ_WRITE,
+            );
+            let b = restored.insert(
+                Ppn::new(100 + i * 4),
+                Asid(2),
+                Vpn::new(1000 + i),
+                Perms::READ_WRITE,
+            );
+            assert_eq!(a, b, "insert {i} diverged");
+        }
+        assert_eq!(fbt.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "config mismatch")]
+    fn restore_rejects_mismatched_config() {
+        let fbt = small();
+        let snap = fbt.snapshot();
+        let mut other = Fbt::new(FbtConfig::default());
+        other.restore(&snap);
     }
 
     #[test]

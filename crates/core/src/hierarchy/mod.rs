@@ -24,16 +24,19 @@ pub mod l1only;
 pub mod virtual_hier;
 
 use crate::config::{MmuDesign, SystemConfig};
-use crate::fbt::Fbt;
-use crate::remap::RemapTable;
+use crate::fbt::{Fbt, FbtSnapshot};
+use crate::remap::{RemapSnapshot, RemapTable};
 use crate::report::{HierCounters, MemReport};
-use gvc_cache::{BankedCache, InvalFilter, LifetimeTracker, LineKey, MshrFile, SetAssocCache};
+use gvc_cache::{
+    BankedCache, BankedCacheSnapshot, CacheSnapshot, InvalFilter, InvalFilterSnapshot,
+    LifetimeTracker, LineKey, MshrFile, MshrSnapshot, SetAssocCache,
+};
 use gvc_engine::time::{Cycle, Duration, Frequency};
-use gvc_engine::{FxHashMap, TraceCause, TraceHandle};
+use gvc_engine::{FxHashMap, IntervalSummary, RateAccum, TraceCause, TraceHandle};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, VAddr, LINES_PER_PAGE};
-use gvc_soc::{Directory, Dram, Noc};
-use gvc_tlb::iommu::Iommu;
-use gvc_tlb::tlb::{Tlb, TlbKey, TlbStats};
+use gvc_soc::{Directory, DirectorySnapshot, Dram, DramSnapshot, Noc};
+use gvc_tlb::iommu::{Iommu, IommuSnapshot};
+use gvc_tlb::tlb::{Tlb, TlbKey, TlbSnapshot, TlbStats};
 use serde::{Deserialize, Serialize};
 
 /// The ASID under which physical caches key their lines.
@@ -175,6 +178,48 @@ pub struct MemorySystem {
     /// Optional trace sink (attached post-construction; never part of
     /// the config, memo keys, or reports).
     pub(crate) trace: Option<TraceHandle>,
+}
+
+/// Full serializable state of a [`MemorySystem`]
+/// (see [`MemorySystem::snapshot`]). Hash maps are serialized as
+/// sorted vectors so the encoding is deterministic; the NoC is pure
+/// configuration and carries no state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSystemSnapshot {
+    /// Configuration (validated on restore).
+    pub cfg: SystemConfig,
+    /// Per-CU L1 caches.
+    pub l1: Vec<CacheSnapshot>,
+    /// Per-CU L1 MSHR files.
+    pub l1_mshr: Vec<MshrSnapshot>,
+    /// The shared L2.
+    pub l2: BankedCacheSnapshot,
+    /// The L2 MSHR file.
+    pub l2_mshr: MshrSnapshot,
+    /// DRAM channel backlogs and counters.
+    pub dram: DramSnapshot,
+    /// Directory counters.
+    pub dir: DirectorySnapshot,
+    /// The IOMMU (shared TLB, PWC, walkers, sampler, injection RNG).
+    pub iommu: IommuSnapshot,
+    /// Per-CU TLBs.
+    pub tlbs: Vec<TlbSnapshot>,
+    /// Per-CU in-flight translation fills, sorted by key.
+    pub tlb_inflight: Vec<Vec<(TlbKey, Cycle)>>,
+    /// Per-CU in-flight watermarks.
+    pub tlb_inflight_until: Vec<Cycle>,
+    /// The forward–backward table.
+    pub fbt: FbtSnapshot,
+    /// Per-CU invalidation filters.
+    pub filters: Vec<InvalFilterSnapshot>,
+    /// Per-CU synonym remap tables.
+    pub srt: Vec<RemapSnapshot>,
+    /// Protocol counters.
+    pub counters: HierCounters,
+    /// Paranoid-sweep cadence position.
+    pub steps_since_sweep: u32,
+    /// Remaining accesses in the active FBT-pressure window.
+    pub fbt_pressure_left: u32,
 }
 
 impl MemorySystem {
@@ -537,6 +582,124 @@ impl MemorySystem {
             dram_writes: self.dram.writes(),
             lifetimes: lifetime_curves,
         }
+    }
+
+    /// Spills completed IOMMU access-rate intervals before `up_to`
+    /// into `acc`, keeping the resident sampler bounded on
+    /// long-horizon runs (see [`gvc_engine::IntervalSampler::spill_into`]).
+    /// Returns the number of intervals drained.
+    pub fn spill_iommu_rate(&mut self, up_to: Cycle, acc: &mut RateAccum) -> u64 {
+        self.iommu.spill_access_rate(up_to, acc)
+    }
+
+    /// Summarizes the IOMMU access rate over a spilled long-horizon
+    /// run: `acc` carries the spilled history, the resident window is
+    /// folded in.
+    pub fn iommu_rate_with(&self, end: Cycle, acc: &RateAccum) -> IntervalSummary {
+        self.iommu.access_rate_with(end, acc)
+    }
+
+    /// The IOMMU sampler's interval length, for building a matching
+    /// [`RateAccum`].
+    pub fn iommu_sample_interval(&self) -> gvc_engine::time::Duration {
+        self.iommu.sample_interval()
+    }
+
+    /// Resident (unspilled) IOMMU rate-sampler intervals — the
+    /// quantity the bounded-memory soak contract is about.
+    pub fn resident_iommu_rate_intervals(&self) -> usize {
+        self.iommu.resident_rate_intervals()
+    }
+
+    /// Captures the full simulation state of the memory system for
+    /// checkpointing: every cache, TLB, MSHR file, port backlog, the
+    /// FBT, invalidation filters, remap tables, the IOMMU (including
+    /// its mid-sequence injection RNG), and all counters. The optional
+    /// trace sink is *not* captured (it is observational only), and
+    /// lifetime tracking is incompatible with checkpointing — soak
+    /// runs never enable it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lifetime tracking is enabled — `LifetimeTracker`
+    /// holds unbounded sample vectors, which a bounded-memory
+    /// checkpoint must not carry.
+    pub fn snapshot(&self) -> MemSystemSnapshot {
+        assert!(
+            self.lifetimes.is_none(),
+            "cannot snapshot a memory system with lifetime tracking enabled"
+        );
+        MemSystemSnapshot {
+            cfg: self.cfg,
+            l1: self.l1.iter().map(SetAssocCache::snapshot).collect(),
+            l1_mshr: self.l1_mshr.iter().map(MshrFile::snapshot).collect(),
+            l2: self.l2.snapshot(),
+            l2_mshr: self.l2_mshr.snapshot(),
+            dram: self.dram.snapshot(),
+            dir: self.dir.snapshot(),
+            iommu: self.iommu.snapshot(),
+            tlbs: self.tlbs.iter().map(Tlb::snapshot).collect(),
+            tlb_inflight: self
+                .tlb_inflight
+                .iter()
+                .map(|m| {
+                    let mut v: Vec<(TlbKey, Cycle)> = m.iter().map(|(&k, &d)| (k, d)).collect();
+                    v.sort_by_key(|&(k, _)| (k.asid.0, k.vpn.raw()));
+                    v
+                })
+                .collect(),
+            tlb_inflight_until: self.tlb_inflight_until.clone(),
+            fbt: self.fbt.snapshot(),
+            filters: self.filters.iter().map(InvalFilter::snapshot).collect(),
+            srt: self.srt.iter().map(RemapTable::snapshot).collect(),
+            counters: self.counters,
+            steps_since_sweep: self.steps_since_sweep,
+            fbt_pressure_left: self.fbt_pressure_left,
+        }
+    }
+
+    /// Restores state captured by [`MemorySystem::snapshot`]. The
+    /// system must have been built from the same [`SystemConfig`];
+    /// build fresh with [`MemorySystem::new`] and then restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration or any component
+    /// geometry does not match.
+    pub fn restore(&mut self, snap: &MemSystemSnapshot) {
+        assert_eq!(self.cfg, snap.cfg, "memory system snapshot config mismatch");
+        assert_eq!(snap.l1.len(), self.l1.len(), "snapshot CU count mismatch");
+        for (c, s) in self.l1.iter_mut().zip(&snap.l1) {
+            c.restore(s);
+        }
+        for (m, s) in self.l1_mshr.iter_mut().zip(&snap.l1_mshr) {
+            m.restore(s);
+        }
+        self.l2.restore(&snap.l2);
+        self.l2_mshr.restore(&snap.l2_mshr);
+        self.dram.restore(&snap.dram);
+        self.dir.restore(&snap.dir);
+        self.iommu.restore(&snap.iommu);
+        for (t, s) in self.tlbs.iter_mut().zip(&snap.tlbs) {
+            t.restore(s);
+        }
+        for (m, s) in self.tlb_inflight.iter_mut().zip(&snap.tlb_inflight) {
+            m.clear();
+            for &(k, d) in s {
+                m.insert(k, d);
+            }
+        }
+        self.tlb_inflight_until.clone_from(&snap.tlb_inflight_until);
+        self.fbt.restore(&snap.fbt);
+        for (f, s) in self.filters.iter_mut().zip(&snap.filters) {
+            f.restore(s);
+        }
+        for (r, s) in self.srt.iter_mut().zip(&snap.srt) {
+            r.restore(s);
+        }
+        self.counters = snap.counters;
+        self.steps_since_sweep = snap.steps_since_sweep;
+        self.fbt_pressure_left = snap.fbt_pressure_left;
     }
 
     /// Verifies the cross-structure invariants of the virtual

@@ -39,7 +39,7 @@
 //! touched page exercises nothing.
 
 use crate::config::SystemConfig;
-use gvc_engine::SimRng;
+use gvc_engine::{RngSnapshot, SimRng};
 use gvc_mem::{Asid, Shootdown, Vpn, LINES_PER_PAGE};
 use serde::{Deserialize, Serialize};
 
@@ -316,6 +316,33 @@ impl InjectPlan {
         InjectEvent::Shootdown(Shootdown::Pages { asid, vpns })
     }
 
+    /// Captures the plan's full state — RNG position, hot ring, and
+    /// report — for checkpointing.
+    pub fn snapshot(&self) -> InjectPlanSnapshot {
+        InjectPlanSnapshot {
+            cfg: self.cfg,
+            rng: self.rng.snapshot(),
+            hot: self.hot.iter().map(|&(a, v)| (a, v)).collect(),
+            hot_next: self.hot_next as u64,
+            report: self.report,
+        }
+    }
+
+    /// Restores state captured by [`InjectPlan::snapshot`]. The RNG
+    /// resumes mid-sequence, so the post-restore decision stream is
+    /// bit-for-bit the continuation of the snapshotted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration does not match.
+    pub fn restore(&mut self, snap: &InjectPlanSnapshot) {
+        assert_eq!(self.cfg, snap.cfg, "inject plan snapshot config mismatch");
+        self.rng = SimRng::from_snapshot(snap.rng);
+        self.hot = snap.hot.clone();
+        self.hot_next = snap.hot_next as usize;
+        self.report = snap.report;
+    }
+
     fn burst(&mut self) -> InjectEvent {
         let mut targets = Vec::with_capacity(self.cfg.burst_probes.max(1) as usize);
         for _ in 0..self.cfg.burst_probes.max(1) {
@@ -332,6 +359,22 @@ impl InjectPlan {
         self.report.probe_bursts += 1;
         InjectEvent::ProbeBurst(targets)
     }
+}
+
+/// Full serializable state of an [`InjectPlan`]
+/// (see [`InjectPlan::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectPlanSnapshot {
+    /// Configuration (validated on restore).
+    pub cfg: InjectConfig,
+    /// RNG position mid-sequence.
+    pub rng: RngSnapshot,
+    /// Hot-page ring contents, in storage order.
+    pub hot: Vec<(Asid, Vpn)>,
+    /// Ring replacement cursor.
+    pub hot_next: u64,
+    /// Events injected so far.
+    pub report: InjectReport,
 }
 
 /// Builds an [`InjectPlan`] for a configuration, if injection is
@@ -427,6 +470,25 @@ mod tests {
             p.observe(Asid(0), Vpn::new(i));
         }
         assert!(p.hot.len() <= HOT_RING);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_decision_stream() {
+        let cfg = InjectConfig::uniform(200_000, 13);
+        let mut a = hot_plan(cfg);
+        let mut b = hot_plan(cfg);
+        for _ in 0..100 {
+            a.poll();
+            b.poll();
+        }
+        let snap = a.snapshot();
+        let mut c = InjectPlan::new(cfg);
+        c.restore(&snap);
+        assert_eq!(c.snapshot(), snap, "restore is a fixed point");
+        for i in 0..1000 {
+            assert_eq!(b.poll(), c.poll(), "decision {i} diverged");
+        }
+        assert_eq!(b.report(), c.report());
     }
 
     #[test]

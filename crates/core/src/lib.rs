@@ -79,9 +79,11 @@ pub mod report;
 pub use bitvec::Presence;
 pub use config::{Latencies, MmuDesign, SynonymPolicy, SystemConfig};
 pub use energy::{EnergyEstimate, EnergyModel};
-pub use fbt::{BtEntry, BtIndex, Fbt, FbtConfig, LeadingVa};
+pub use fbt::{BtEntry, BtIndex, Fbt, FbtConfig, FbtSnapshot, LeadingVa};
 pub use hierarchy::coherence::ProbeResponse;
-pub use hierarchy::{AccessFault, AccessResult, Lifetimes, LineAccess, MemorySystem};
-pub use inject::{InjectConfig, InjectEvent, InjectPlan, InjectReport};
-pub use remap::{RemapConfig, RemapTable};
+pub use hierarchy::{
+    AccessFault, AccessResult, Lifetimes, LineAccess, MemSystemSnapshot, MemorySystem,
+};
+pub use inject::{InjectConfig, InjectEvent, InjectPlan, InjectPlanSnapshot, InjectReport};
+pub use remap::{RemapConfig, RemapSnapshot, RemapTable};
 pub use report::{HierCounters, MemReport};

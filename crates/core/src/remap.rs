@@ -33,7 +33,7 @@ impl Default for RemapConfig {
 }
 
 /// Remap-table statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemapStats {
     /// Lookups performed.
     pub lookups: Counter,
@@ -159,6 +159,78 @@ impl RemapTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Captures the table's full state for checkpointing. Entries are
+    /// serialized in storage order — eviction uses `swap_remove`, so
+    /// position affects future victim scans.
+    pub fn snapshot(&self) -> RemapSnapshot {
+        RemapSnapshot {
+            config: self.config,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| RemapEntrySnapshot {
+                    asid: e.asid,
+                    vpn: e.vpn,
+                    leading: e.leading,
+                    last_use: e.last_use,
+                })
+                .collect(),
+            use_clock: self.use_clock,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`RemapTable::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration does not match.
+    pub fn restore(&mut self, snap: &RemapSnapshot) {
+        assert_eq!(
+            self.config, snap.config,
+            "remap table snapshot config mismatch"
+        );
+        self.entries = snap
+            .entries
+            .iter()
+            .map(|e| Entry {
+                asid: e.asid,
+                vpn: e.vpn,
+                leading: e.leading,
+                last_use: e.last_use,
+            })
+            .collect();
+        self.use_clock = snap.use_clock;
+        self.stats = snap.stats;
+    }
+}
+
+/// One entry of a [`RemapSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapEntrySnapshot {
+    /// Non-leading ASID.
+    pub asid: Asid,
+    /// Non-leading virtual page.
+    pub vpn: Vpn,
+    /// The leading name it remaps to.
+    pub leading: LeadingVa,
+    /// LRU timestamp.
+    pub last_use: u64,
+}
+
+/// Full serializable state of a [`RemapTable`]
+/// (see [`RemapTable::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapSnapshot {
+    /// Configuration (validated on restore).
+    pub config: RemapConfig,
+    /// Entries in storage order.
+    pub entries: Vec<RemapEntrySnapshot>,
+    /// LRU clock.
+    pub use_clock: u64,
+    /// Statistics so far.
+    pub stats: RemapStats,
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use gvc_tlb::tlb::TlbStats;
 use serde::{Deserialize, Serialize};
 
 /// Event counters specific to the hierarchy protocols.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierCounters {
     /// Line accesses issued to the memory system.
     pub accesses: Counter,

@@ -60,8 +60,10 @@ pub mod trace;
 pub use event::EventQueue;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use port::{ThroughputPort, TokenPort};
-pub use rng::SimRng;
-pub use stats::{Cdf, Counter, Histogram, IntervalSampler, RunningStats};
+pub use rng::{RngSnapshot, SimRng};
+pub use stats::{
+    Cdf, Counter, Histogram, IntervalSampler, IntervalSummary, RateAccum, RunningStats,
+};
 pub use time::{Cycle, Duration, Frequency};
 pub use trace::{
     RequestAttribution, TraceCause, TraceEvent, TraceEventKind, TraceHandle, TraceSink,

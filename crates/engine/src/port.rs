@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 /// // Once the backlog drains, service is immediate again.
 /// assert_eq!(port.reserve(Cycle::new(100)), Cycle::new(100));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThroughputPort {
     /// Accesses that may begin per cycle; `None` = unlimited.
     width: Option<u32>,
@@ -150,7 +150,7 @@ impl ThroughputPort {
 /// // The pipe is now full for cycle 0; the next line waits a cycle.
 /// assert_eq!(dram.transfer(Cycle::new(0), 128), Cycle::new(1));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TokenPort {
     bytes_per_cycle: u64,
     /// First cycle with any free bandwidth.

@@ -186,7 +186,7 @@ impl RunningStats {
 ///
 /// Bucket `i` covers values in `[2^(i-1), 2^i)`, with bucket 0 covering
 /// exactly zero.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -233,6 +233,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean of recorded values; 0.0 if empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -245,6 +250,44 @@ impl Histogram {
     /// Bucket counts; bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 is 0).
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by nearest rank over the bucket
+    /// boundaries, reported as the *inclusive upper edge* of the bucket
+    /// the rank falls in (`2^i - 1`; bucket 0 reports 0). This makes the
+    /// histogram a bounded, exactly-mergeable quantile sketch: the
+    /// answer is conservative (an upper bound on the true quantile,
+    /// within 2× for nonzero values) and identical no matter how the
+    /// value stream was split and [`Histogram::merge`]d back together.
+    /// Returns 0.0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 {
+                    0.0
+                } else {
+                    ((1u64 << i) - 1) as f64
+                };
+            }
+        }
+        // Unreachable when counts are consistent; be conservative.
+        let top = self.buckets.len();
+        if top == 0 {
+            0.0
+        } else {
+            ((1u64 << top) - 1) as f64
+        }
     }
 }
 
@@ -270,11 +313,16 @@ impl Histogram {
 /// // mean over intervals: (2 + 1) / 2
 /// assert_eq!(r.mean_per_interval(), 1.5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IntervalSampler {
     interval: Duration,
     counts: Vec<u64>,
     total: u64,
+    /// Absolute index of `counts[0]`. Zero until intervals are spilled
+    /// into a [`RateAccum`] via [`IntervalSampler::spill_into`]; spilling
+    /// advances `base` so resident memory stays bounded by the window
+    /// between spills instead of growing with the simulated horizon.
+    base: u64,
 }
 
 impl IntervalSampler {
@@ -289,6 +337,7 @@ impl IntervalSampler {
             interval,
             counts: Vec::new(),
             total: 0,
+            base: 0,
         }
     }
 
@@ -298,13 +347,65 @@ impl IntervalSampler {
     }
 
     /// Records `n` events at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` falls in an interval already spilled via
+    /// [`IntervalSampler::spill_into`] — such an event could no longer
+    /// be counted in the right bucket.
     pub fn record_n(&mut self, at: Cycle, n: u64) {
-        let idx = (at.raw() / self.interval.raw()) as usize;
+        let abs = at.raw() / self.interval.raw();
+        assert!(
+            abs >= self.base,
+            "event at cycle {} precedes the spilled window (interval {abs} < base {})",
+            at.raw(),
+            self.base
+        );
+        let idx = (abs - self.base) as usize;
         if self.counts.len() <= idx {
             self.counts.resize(idx + 1, 0);
         }
         self.counts[idx] += n;
         self.total += n;
+    }
+
+    /// Drains every interval that lies entirely before `up_to` into
+    /// `acc`, including empty ones (they matter for the mean), and
+    /// advances the resident window past them. Returns the number of
+    /// intervals drained.
+    ///
+    /// This is the bounded-memory half of the long-horizon contract:
+    /// calling this periodically keeps `counts` sized by the spill
+    /// cadence while `acc` carries the cumulative summary in O(1) space.
+    /// Spilling at the same boundaries produces the same accumulator no
+    /// matter how the run is split, checkpointed, or resumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` was configured with a different interval length.
+    pub fn spill_into(&mut self, up_to: Cycle, acc: &mut RateAccum) -> u64 {
+        assert_eq!(
+            self.interval.raw(),
+            acc.interval_cycles,
+            "cannot spill into an accumulator with a different interval"
+        );
+        let complete = up_to.raw() / self.interval.raw();
+        if complete <= self.base {
+            return 0;
+        }
+        let drained = complete - self.base;
+        for i in 0..drained {
+            acc.absorb(self.counts.get(i as usize).copied().unwrap_or(0));
+        }
+        let held = (drained as usize).min(self.counts.len());
+        self.counts.drain(..held);
+        self.base = complete;
+        drained
+    }
+
+    /// Absolute index of the first resident (not yet spilled) interval.
+    pub fn window_base(&self) -> u64 {
+        self.base
     }
 
     /// Folds another sampler's events into this one by elementwise
@@ -358,9 +459,14 @@ impl IntervalSampler {
     /// `≥ end` (e.g. a completion that drains past the sampled
     /// horizon). Symmetrically, `end = 0` with no events covers zero
     /// intervals instead of fabricating a phantom empty one.
+    ///
+    /// If intervals have been spilled ([`IntervalSampler::spill_into`]),
+    /// this summarizes only the *resident* window — the spilled history
+    /// lives in the accumulator; long-horizon callers should finalize
+    /// with [`IntervalSampler::finish_into`] instead.
     pub fn finish(&self, end: Cycle) -> IntervalSummary {
-        let covered = end.raw().div_ceil(self.interval.raw()) as usize;
-        let n_intervals = covered.max(self.counts.len());
+        let covered = end.raw().div_ceil(self.interval.raw());
+        let n_intervals = (covered.max(self.base + self.counts.len() as u64) - self.base) as usize;
         let mut stats = RunningStats::new();
         for i in 0..n_intervals {
             let c = self.counts.get(i).copied().unwrap_or(0);
@@ -374,6 +480,30 @@ impl IntervalSampler {
             std_dev: stats.population_std_dev(),
             max: stats.max(),
         }
+    }
+
+    /// Finalizes a long-horizon run: folds the resident window (every
+    /// interval up to `end`, or further if trailing events exist) into a
+    /// copy of `acc` — which carries the spilled history — and
+    /// summarizes the whole horizon. The sampler itself is untouched, so
+    /// the run can keep going after a mid-run peek.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` was configured with a different interval length.
+    pub fn finish_into(&self, end: Cycle, acc: &RateAccum) -> IntervalSummary {
+        assert_eq!(
+            self.interval.raw(),
+            acc.interval_cycles,
+            "cannot finish into an accumulator with a different interval"
+        );
+        let covered = end.raw().div_ceil(self.interval.raw());
+        let resident = (covered.max(self.base + self.counts.len() as u64) - self.base) as usize;
+        let mut whole = acc.clone();
+        for i in 0..resident {
+            whole.absorb(self.counts.get(i).copied().unwrap_or(0));
+        }
+        whole.summary()
     }
 }
 
@@ -428,6 +558,113 @@ impl IntervalSummary {
     /// Max events per cycle among intervals (the paper's red dots).
     pub fn max_per_cycle(&self) -> f64 {
         self.max / self.interval_cycles as f64
+    }
+}
+
+/// O(1)-space integer accumulator for per-interval event rates, fed by
+/// [`IntervalSampler::spill_into`].
+///
+/// Where [`RunningStats`] streams `f64` moments (whose rounding depends
+/// on push order), this keeps exact integer sums — count, total, sum of
+/// squares, max — so two runs that spill the same intervals in the same
+/// epoch order hold bit-identical state, and a run restored from a
+/// checkpoint continues to bit-identical final numbers. The floats in
+/// the final [`IntervalSummary`] are computed once, at the end, from
+/// the integers.
+///
+/// `sum_sq` saturates instead of overflowing; a saturated accumulator
+/// keeps merging deterministically but underestimates the standard
+/// deviation (at u64::MAX that takes ~10^19 squared events — far past
+/// any simulated horizon here).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateAccum {
+    interval_cycles: u64,
+    intervals: u64,
+    total: u64,
+    sum_sq: u64,
+    max: u64,
+}
+
+impl RateAccum {
+    /// Creates an empty accumulator for intervals of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Duration) -> Self {
+        assert!(interval.raw() > 0, "sampling interval must be nonzero");
+        RateAccum {
+            interval_cycles: interval.raw(),
+            intervals: 0,
+            total: 0,
+            sum_sq: 0,
+            max: 0,
+        }
+    }
+
+    /// Absorbs one interval's event count.
+    pub fn absorb(&mut self, count: u64) {
+        self.intervals += 1;
+        self.total += count;
+        self.sum_sq = self.sum_sq.saturating_add(count.saturating_mul(count));
+        self.max = self.max.max(count);
+    }
+
+    /// Folds another accumulator's intervals into this one — equivalent
+    /// to having absorbed both interval streams, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulators were configured with different
+    /// interval lengths.
+    pub fn merge(&mut self, other: &RateAccum) {
+        assert_eq!(
+            self.interval_cycles, other.interval_cycles,
+            "cannot merge accumulators with different intervals"
+        );
+        self.intervals += other.intervals;
+        self.total += other.total;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of intervals absorbed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Total events across absorbed intervals.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest absorbed interval count.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Summarizes the absorbed intervals. Mean and standard deviation
+    /// come from the exact integer sums (`E[x²] − E[x]²`, clamped at
+    /// zero against rounding), so the summary is a pure function of the
+    /// accumulator state.
+    pub fn summary(&self) -> IntervalSummary {
+        let (mean, std_dev) = if self.intervals == 0 {
+            (0.0, 0.0)
+        } else {
+            let n = self.intervals as f64;
+            let mean = self.total as f64 / n;
+            let var = (self.sum_sq as f64 / n - mean * mean).max(0.0);
+            let std = if self.intervals < 2 { 0.0 } else { var.sqrt() };
+            (mean, std)
+        };
+        IntervalSummary {
+            interval_cycles: self.interval_cycles,
+            intervals: self.intervals,
+            total: self.total,
+            mean,
+            std_dev,
+            max: self.max as f64,
+        }
     }
 }
 
@@ -493,6 +730,14 @@ impl Cdf {
     /// Number of NaN samples rejected so far (see [`Cdf::push`]).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The raw samples, in insertion order until a query sorts them.
+    /// Epoch-windowed pipelines use this to spill a window's samples
+    /// into a bounded sketch (e.g. a [`Histogram`]) and then drop the
+    /// window with `std::mem::take`.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
     }
 
     fn ensure_sorted(&mut self) {
@@ -759,6 +1004,134 @@ mod tests {
         let mut a = IntervalSampler::new(Duration::new(100));
         let b = IntervalSampler::new(Duration::new(200));
         a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_quantile_is_bucket_upper_edge() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for v in [0, 0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.25), 0.0); // rank 2 of 6 → bucket 0
+        assert_eq!(h.quantile(0.5), 1.0); // rank 3 → bucket 1, edge 1
+        assert_eq!(h.quantile(0.75), 3.0); // rank 5 → bucket 2, edge 3
+        assert_eq!(h.quantile(1.0), 127.0); // rank 6 → bucket 7, edge 127
+    }
+
+    #[test]
+    fn histogram_quantile_survives_merge_split() {
+        let values: Vec<u64> = (0..200).map(|i| (i * 37) % 500).collect();
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn rate_accum_matches_finish_moments() {
+        let mut s = IntervalSampler::new(Duration::new(100));
+        s.record_n(Cycle::new(10), 5);
+        s.record(Cycle::new(250));
+        let plain = s.finish(Cycle::new(300));
+
+        let mut acc = RateAccum::new(Duration::new(100));
+        let drained = s.spill_into(Cycle::new(300), &mut acc);
+        assert_eq!(drained, 3);
+        assert_eq!(acc.intervals(), 3);
+        assert_eq!(acc.total(), 6);
+        assert_eq!(acc.max(), 5);
+        let r = acc.summary();
+        assert_eq!(r.intervals(), plain.intervals());
+        assert_eq!(r.total(), plain.total());
+        assert!((r.mean_per_interval() - plain.mean_per_interval()).abs() < 1e-12);
+        assert!((r.std_dev_per_interval() - plain.std_dev_per_interval()).abs() < 1e-12);
+        assert_eq!(r.max_per_interval(), plain.max_per_interval());
+    }
+
+    #[test]
+    fn spill_windows_equal_uninterrupted_run() {
+        // The bounded-memory law: spilling at arbitrary epoch boundaries
+        // and finishing through the accumulator gives the same summary
+        // as never spilling at all.
+        let events: Vec<(u64, u64)> = (0..64).map(|i| (i * 97 % 2000, i % 5 + 1)).collect();
+        let mut plain = IntervalSampler::new(Duration::new(100));
+        let mut windowed = IntervalSampler::new(Duration::new(100));
+        let mut acc = RateAccum::new(Duration::new(100));
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        let mut next = 0;
+        for boundary in [0u64, 300, 301, 900, 900, 1500] {
+            while next < sorted.len() && sorted[next].0 < boundary {
+                plain.record_n(Cycle::new(sorted[next].0), sorted[next].1);
+                windowed.record_n(Cycle::new(sorted[next].0), sorted[next].1);
+                next += 1;
+            }
+            windowed.spill_into(Cycle::new(boundary), &mut acc);
+            assert!(
+                windowed.counts().len() <= 1,
+                "resident window stays bounded after each spill"
+            );
+        }
+        while next < sorted.len() {
+            plain.record_n(Cycle::new(sorted[next].0), sorted[next].1);
+            windowed.record_n(Cycle::new(sorted[next].0), sorted[next].1);
+            next += 1;
+        }
+        let end = Cycle::new(2100);
+        let want = plain.finish(end);
+        let got = windowed.finish_into(end, &acc);
+        assert_eq!(got.intervals(), want.intervals());
+        assert_eq!(got.total(), want.total());
+        assert!((got.mean_per_interval() - want.mean_per_interval()).abs() < 1e-9);
+        assert!((got.std_dev_per_interval() - want.std_dev_per_interval()).abs() < 1e-9);
+        assert_eq!(got.max_per_interval(), want.max_per_interval());
+        assert_eq!(windowed.total(), plain.total(), "total stays cumulative");
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the spilled window")]
+    fn spilled_intervals_reject_late_events() {
+        let mut s = IntervalSampler::new(Duration::new(100));
+        let mut acc = RateAccum::new(Duration::new(100));
+        s.spill_into(Cycle::new(500), &mut acc);
+        s.record(Cycle::new(499));
+    }
+
+    #[test]
+    fn rate_accum_merge_matches_single_stream() {
+        let mut whole = RateAccum::new(Duration::new(50));
+        let mut a = RateAccum::new(Duration::new(50));
+        let mut b = RateAccum::new(Duration::new(50));
+        for (i, c) in [3u64, 0, 7, 1, 1, 4, 9, 2].iter().enumerate() {
+            whole.absorb(*c);
+            if i < 3 {
+                a.absorb(*c)
+            } else {
+                b.absorb(*c)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "integer state is bit-identical, not just close");
+    }
+
+    #[test]
+    #[should_panic(expected = "different interval")]
+    fn rate_accum_merge_rejects_mismatched_intervals() {
+        let mut a = RateAccum::new(Duration::new(100));
+        a.merge(&RateAccum::new(Duration::new(200)));
     }
 
     #[test]

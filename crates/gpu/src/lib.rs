@@ -44,8 +44,13 @@ pub mod coalescer;
 pub mod kernel;
 pub mod service;
 pub mod sim;
+pub mod soak;
 
 pub use coalescer::coalesce;
 pub use kernel::{Kernel, KernelBuilder, KernelSource, WaveOp, WaveProgram};
 pub use service::{run_service, ServiceConfig, ServiceReport, TenantStats};
 pub use sim::{GpuConfig, GpuSim, RunReport, Truncation};
+pub use soak::{
+    EpochPoint, SoakCheckpoint, SoakConfig, SoakReport, SoakSim, SoakTenantSnapshot,
+    SoakTenantStats, SOAK_CHECKPOINT_VERSION,
+};

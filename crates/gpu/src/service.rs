@@ -167,7 +167,7 @@ impl ServiceReport {
 
 /// Jain's fairness index over non-negative rates: `(Σx)² / (n·Σx²)`,
 /// 1.0 when all rates are equal, approaching `1/n` under starvation.
-fn jain_index(rates: &[f64]) -> f64 {
+pub(crate) fn jain_index(rates: &[f64]) -> f64 {
     if rates.is_empty() {
         return 1.0;
     }
@@ -182,12 +182,12 @@ fn jain_index(rates: &[f64]) -> f64 {
 /// Per-CU outstanding-request admission (same shape as the run loop's
 /// MSHR limit in [`crate::sim`]).
 #[derive(Debug, Default)]
-struct Outstanding {
+pub(crate) struct Outstanding {
     completions: BinaryHeap<Reverse<Cycle>>,
 }
 
 impl Outstanding {
-    fn admit(&mut self, at: Cycle, cap: usize) -> Cycle {
+    pub(crate) fn admit(&mut self, at: Cycle, cap: usize) -> Cycle {
         while let Some(&Reverse(done)) = self.completions.peek() {
             if done <= at {
                 self.completions.pop();
@@ -203,8 +203,23 @@ impl Outstanding {
         }
     }
 
-    fn track(&mut self, done: Cycle) {
+    pub(crate) fn track(&mut self, done: Cycle) {
         self.completions.push(Reverse(done));
+    }
+
+    /// The outstanding completion times as a sorted vector (for
+    /// checkpointing; the heap is behaviorally a multiset).
+    pub(crate) fn to_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.completions.iter().map(|&Reverse(c)| c.raw()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds the admission heap from checkpointed completion times.
+    pub(crate) fn from_sorted(times: &[u64]) -> Self {
+        Outstanding {
+            completions: times.iter().map(|&t| Reverse(Cycle::new(t))).collect(),
+        }
     }
 }
 
@@ -491,7 +506,7 @@ fn evict_and_respawn(
 
 /// Executes one injected event against the live hierarchy/OS (the
 /// service-layer twin of the run loop's handler in [`crate::sim`]).
-fn apply_inject(
+pub(crate) fn apply_inject(
     ev: InjectEvent,
     plan: &mut InjectPlan,
     os: &mut OsLite,

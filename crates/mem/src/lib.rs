@@ -49,11 +49,13 @@ pub mod phys;
 pub mod space;
 
 pub use addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
-pub use os::{OsLite, ProcessId, Shootdown};
-pub use page_table::{PageTable, WalkOutcome, WalkPath, PAGES_PER_LARGE, PT_LEVELS};
+pub use os::{OsLite, OsSnapshot, ProcessId, Shootdown};
+pub use page_table::{
+    PageTable, PageTableSnapshot, WalkOutcome, WalkPath, PAGES_PER_LARGE, PT_LEVELS,
+};
 pub use perms::Perms;
-pub use phys::PhysMem;
-pub use space::AddressSpace;
+pub use phys::{PhysMem, PhysMemSnapshot};
+pub use space::{AddressSpace, AddressSpaceSnapshot};
 
 use std::fmt;
 

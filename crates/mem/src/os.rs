@@ -11,8 +11,8 @@
 use crate::addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn};
 use crate::page_table::{PageTable, WalkOutcome, WalkPath, PAGES_PER_LARGE};
 use crate::perms::Perms;
-use crate::phys::PhysMem;
-use crate::space::AddressSpace;
+use crate::phys::{PhysMem, PhysMemSnapshot};
+use crate::space::{AddressSpace, AddressSpaceSnapshot};
 use crate::MemError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -498,6 +498,75 @@ impl OsLite {
     pub fn walk_asid(&self, asid: Asid, vpn: Vpn) -> Result<(WalkOutcome, WalkPath), MemError> {
         self.walk(ProcessId(asid.0), vpn)
     }
+
+    /// Captures the kernel's full state — physical memory, every
+    /// address space, ASID recycling, and alias refcounts — for
+    /// checkpointing.
+    pub fn snapshot(&self) -> OsSnapshot {
+        let mut frame_refs: Vec<(Ppn, u32)> =
+            self.frame_refs.iter().map(|(&p, &c)| (p, c)).collect();
+        frame_refs.sort_by_key(|&(p, _)| p.raw());
+        let mut large_regions: Vec<(u16, u64, Ppn)> = self
+            .large_regions
+            .iter()
+            .map(|(&(pid, vpn), &base)| (pid, vpn, base))
+            .collect();
+        large_regions.sort_unstable_by_key(|&(pid, vpn, _)| (pid, vpn));
+        OsSnapshot {
+            phys: self.phys.snapshot(),
+            spaces: self
+                .spaces
+                .iter()
+                .map(|s| s.as_ref().map(AddressSpace::snapshot))
+                .collect(),
+            free_asids: self.free_asids.clone(),
+            frame_refs,
+            large_regions,
+        }
+    }
+
+    /// Restores state captured by [`OsLite::snapshot`]. The free-ASID
+    /// list is restored in stack order — recycling is LIFO, so order
+    /// is part of the observable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's physical memory size does not match.
+    pub fn restore(&mut self, snap: &OsSnapshot) {
+        self.phys.restore(&snap.phys);
+        self.spaces = snap
+            .spaces
+            .iter()
+            .map(|s| s.as_ref().map(AddressSpace::from_snapshot))
+            .collect();
+        self.free_asids.clone_from(&snap.free_asids);
+        self.frame_refs.clear();
+        for &(p, c) in &snap.frame_refs {
+            self.frame_refs.insert(p, c);
+        }
+        self.large_regions.clear();
+        for &(pid, vpn, base) in &snap.large_regions {
+            self.large_regions.insert((pid, vpn), base);
+        }
+    }
+}
+
+/// Full serializable state of an [`OsLite`] kernel
+/// (see [`OsLite::snapshot`]). Hash maps are stored as sorted vectors
+/// so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsSnapshot {
+    /// Physical memory (allocator + page-table frame contents).
+    pub phys: PhysMemSnapshot,
+    /// Address-space slots indexed by ASID; `None` marks a destroyed
+    /// process whose ASID is on the free list.
+    pub spaces: Vec<Option<AddressSpaceSnapshot>>,
+    /// Recycled ASIDs, in stack order.
+    pub free_asids: Vec<u16>,
+    /// Frame refcounts as `(frame, refs)` sorted by frame.
+    pub frame_refs: Vec<(Ppn, u32)>,
+    /// Live 2 MB mappings as `(pid, start vpn, base frame)` sorted.
+    pub large_regions: Vec<(u16, u64, Ppn)>,
 }
 
 #[cfg(test)]
@@ -796,6 +865,67 @@ mod tests {
         os.destroy_process(p1).unwrap();
         // p2's view of the shared frames survives p1's exit.
         assert_eq!(os.translate(p2, shared.start()).unwrap().0, pa);
+    }
+
+    #[test]
+    fn snapshot_restore_is_behaviorally_identical() {
+        // Build a kernel with aliasing, large pages, a destroyed
+        // process (recycled ASID), and a partially-zeroed table frame.
+        let mut os = OsLite::new(64 << 20);
+        let p1 = os.create_process();
+        let p2 = os.create_process();
+        let r1 = os.mmap(p1, 4 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        os.mmap_alias(p1, r1).unwrap();
+        os.mmap_shared(p2, p1, r1).unwrap();
+        os.mmap_large(p2, 1, Perms::READ_ONLY).unwrap();
+        let dead = os.create_process();
+        os.mmap(dead, 2 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        os.destroy_process(dead).unwrap();
+
+        let snap = os.snapshot();
+        let mut restored = OsLite::new(64 << 20);
+        restored.restore(&snap);
+        assert_eq!(restored.snapshot(), snap, "restore is a fixed point");
+
+        // Run the same operations on both kernels in lockstep: ASID
+        // recycling, frame allocation order, refcounted frees, and
+        // translation results must all agree.
+        let reborn_a = os.create_process();
+        let reborn_b = restored.create_process();
+        assert_eq!(reborn_a, reborn_b, "LIFO ASID recycling preserved");
+        let ra = os
+            .mmap(reborn_a, 3 * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let rb = restored
+            .mmap(reborn_b, 3 * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        assert_eq!(ra, rb, "region placement preserved");
+        for vpn in ra.pages() {
+            assert_eq!(
+                os.translate(reborn_a, vpn.base()),
+                restored.translate(reborn_b, vpn.base()),
+                "frame allocation order preserved"
+            );
+        }
+        assert_eq!(os.munmap(reborn_a, ra), restored.munmap(reborn_b, rb));
+        assert_eq!(
+            os.phys().allocated_frames(),
+            restored.phys().allocated_frames()
+        );
+        assert_eq!(
+            os.phys().table_frame_count(),
+            restored.phys().table_frame_count()
+        );
+        assert_eq!(os.snapshot(), restored.snapshot(), "still identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn restore_rejects_mismatched_phys_size() {
+        let os = OsLite::new(8 << 20);
+        let snap = os.snapshot();
+        let mut other = OsLite::new(16 << 20);
+        other.restore(&snap);
     }
 
     #[test]

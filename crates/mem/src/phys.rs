@@ -10,6 +10,7 @@
 use crate::addr::{PAddr, Ppn, PAGE_BYTES};
 use crate::MemError;
 use gvc_engine::FxHashMap;
+use serde::{Deserialize, Serialize};
 
 /// Number of 8-byte entries in one page-table frame.
 pub const ENTRIES_PER_FRAME: usize = (PAGE_BYTES / 8) as usize;
@@ -153,6 +154,79 @@ impl PhysMem {
     pub fn table_frame_count(&self) -> usize {
         self.tables.len()
     }
+
+    /// Captures the allocator and all page-table frame contents for
+    /// checkpointing. Frame storage is stored sparsely (non-zero
+    /// entries only) but frame *existence* is preserved exactly, so
+    /// [`PhysMem::table_frame_count`] round-trips even through frames
+    /// whose every entry was overwritten back to zero.
+    pub fn snapshot(&self) -> PhysMemSnapshot {
+        let mut tables: Vec<(Ppn, Vec<(u32, u64)>)> = self
+            .tables
+            .iter()
+            .map(|(&ppn, frame)| {
+                let entries = frame
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect();
+                (ppn, entries)
+            })
+            .collect();
+        tables.sort_by_key(|&(ppn, _)| ppn.raw());
+        PhysMemSnapshot {
+            total_frames: self.total_frames,
+            next_fresh: self.next_fresh,
+            free_list: self.free_list.clone(),
+            tables,
+            allocated: self.allocated,
+        }
+    }
+
+    /// Restores state captured by [`PhysMem::snapshot`]. The free list
+    /// is restored in order (the allocator recycles LIFO, so ordering
+    /// is part of the observable state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's machine size does not match.
+    pub fn restore(&mut self, snap: &PhysMemSnapshot) {
+        assert_eq!(
+            self.total_frames, snap.total_frames,
+            "physical memory snapshot size mismatch"
+        );
+        self.next_fresh = snap.next_fresh;
+        self.free_list.clone_from(&snap.free_list);
+        self.tables.clear();
+        for (ppn, entries) in &snap.tables {
+            let mut frame = Box::new([0u64; ENTRIES_PER_FRAME]);
+            for &(i, v) in entries {
+                frame[i as usize] = v;
+            }
+            self.tables.insert(*ppn, frame);
+        }
+        self.allocated = snap.allocated;
+    }
+}
+
+/// Full serializable state of a [`PhysMem`] (see
+/// [`PhysMem::snapshot`]). Page-table frames are stored as
+/// `(frame, non-zero entries)` pairs sorted by frame number so the
+/// serialized form is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysMemSnapshot {
+    /// Machine size in frames (validated on restore).
+    pub total_frames: u64,
+    /// Bump-allocator cursor.
+    pub next_fresh: u64,
+    /// Free list, in stack order (recycling is LIFO).
+    pub free_list: Vec<Ppn>,
+    /// Materialized page-table frames: `(frame, [(index, entry)])`
+    /// with only non-zero entries listed, sorted by frame number.
+    pub tables: Vec<(Ppn, Vec<(u32, u64)>)>,
+    /// Frames currently allocated.
+    pub allocated: u64,
 }
 
 #[cfg(test)]

@@ -81,6 +81,41 @@ impl Directory {
     pub fn probes_sent(&self) -> u64 {
         self.probes_sent.get()
     }
+
+    /// Captures the directory's counters for checkpointing.
+    pub fn snapshot(&self) -> DirectorySnapshot {
+        DirectorySnapshot {
+            lookup_latency: self.lookup_latency,
+            fetches: self.fetches,
+            probes_sent: self.probes_sent,
+        }
+    }
+
+    /// Restores state captured by [`Directory::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's lookup latency does not match.
+    pub fn restore(&mut self, snap: &DirectorySnapshot) {
+        assert_eq!(
+            self.lookup_latency, snap.lookup_latency,
+            "directory snapshot latency mismatch"
+        );
+        self.fetches = snap.fetches;
+        self.probes_sent = snap.probes_sent;
+    }
+}
+
+/// Full serializable state of a [`Directory`]
+/// (see [`Directory::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectorySnapshot {
+    /// Lookup latency (validated on restore).
+    pub lookup_latency: Duration,
+    /// GPU-side fetches counted.
+    pub fetches: Counter,
+    /// Probes dispatched.
+    pub probes_sent: Counter,
 }
 
 impl Default for Directory {

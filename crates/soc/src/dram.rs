@@ -97,6 +97,46 @@ impl Dram {
     pub fn bytes_total(&self) -> u64 {
         self.pipe.bytes_total() + self.write_pipe.bytes_total()
     }
+
+    /// Captures the DRAM's full state (both channel backlogs and
+    /// counters) for checkpointing.
+    pub fn snapshot(&self) -> DramSnapshot {
+        DramSnapshot {
+            config: self.config,
+            pipe: self.pipe.clone(),
+            write_pipe: self.write_pipe.clone(),
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Restores state captured by [`Dram::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration does not match.
+    pub fn restore(&mut self, snap: &DramSnapshot) {
+        assert_eq!(self.config, snap.config, "DRAM snapshot config mismatch");
+        self.pipe = snap.pipe.clone();
+        self.write_pipe = snap.write_pipe.clone();
+        self.reads = snap.reads;
+        self.writes = snap.writes;
+    }
+}
+
+/// Full serializable state of a [`Dram`] (see [`Dram::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramSnapshot {
+    /// Configuration (validated on restore).
+    pub config: DramConfig,
+    /// Demand-read channel backlog.
+    pub pipe: TokenPort,
+    /// Write channel backlog.
+    pub write_pipe: TokenPort,
+    /// Lines read.
+    pub reads: Counter,
+    /// Lines written.
+    pub writes: Counter,
 }
 
 #[cfg(test)]

@@ -15,9 +15,9 @@
 use crate::pwc::{Pwc, PwcConfig, PwcStats};
 use crate::tlb::{Tlb, TlbConfig, TlbKey, TlbStats};
 use crate::walker::WalkerPool;
-use gvc_engine::stats::{IntervalSampler, IntervalSummary};
+use gvc_engine::stats::{IntervalSampler, IntervalSummary, RateAccum};
 use gvc_engine::time::{Cycle, Duration};
-use gvc_engine::{Counter, SimRng, ThroughputPort, TraceCause, TraceHandle};
+use gvc_engine::{Counter, RngSnapshot, SimRng, ThroughputPort, TraceCause, TraceHandle};
 use gvc_mem::{Asid, OsLite, Perms, Ppn, Vpn, WalkOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -142,7 +142,7 @@ pub struct IommuResponse {
 }
 
 /// IOMMU counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IommuStats {
     /// Requests received.
     pub requests: Counter,
@@ -280,6 +280,32 @@ impl Iommu {
         self.sampler.finish(end)
     }
 
+    /// Spills completed access-rate intervals before `up_to` into `acc`
+    /// so long-horizon runs keep bounded resident sampler state (see
+    /// [`IntervalSampler::spill_into`]). Returns intervals drained.
+    pub fn spill_access_rate(&mut self, up_to: Cycle, acc: &mut RateAccum) -> u64 {
+        self.sampler.spill_into(up_to, acc)
+    }
+
+    /// Summarizes the access rate over a spilled long-horizon run:
+    /// `acc` carries the spilled history, the resident window is folded
+    /// in (see [`IntervalSampler::finish_into`]).
+    pub fn access_rate_with(&self, end: Cycle, acc: &RateAccum) -> IntervalSummary {
+        self.sampler.finish_into(end, acc)
+    }
+
+    /// Number of resident (unspilled) sampler intervals — the quantity
+    /// the bounded-memory soak contract is about.
+    pub fn resident_rate_intervals(&self) -> usize {
+        self.sampler.counts().len()
+    }
+
+    /// The sampler's interval length, for building a matching
+    /// [`RateAccum`].
+    pub fn sample_interval(&self) -> Duration {
+        self.sampler.interval()
+    }
+
     /// Translates `(asid, vpn)` for a request arriving at `arrival`.
     ///
     /// `second_level`, if provided, is consulted after a shared-TLB
@@ -412,6 +438,65 @@ impl Iommu {
     pub fn tlb(&self) -> &Tlb {
         &self.tlb
     }
+
+    /// Captures the IOMMU's full behavioral state for checkpointing:
+    /// shared TLB, port backlog, walker occupancy, PWC, access-rate
+    /// sampler window, counters, and the injection generator mid-stream.
+    /// The trace handle is observational and not captured.
+    pub fn snapshot(&self) -> IommuSnapshot {
+        IommuSnapshot {
+            config: self.config,
+            tlb: self.tlb.snapshot(),
+            port: self.port.clone(),
+            walkers: self.walkers.snapshot(),
+            pwc: self.pwc.snapshot(),
+            sampler: self.sampler.clone(),
+            stats: self.stats,
+            inject: self.inject.as_ref().map(|i| (i.cfg, i.rng.snapshot())),
+        }
+    }
+
+    /// Restores state captured by [`Iommu::snapshot`]. The IOMMU must
+    /// have been built with the same configuration; afterwards it
+    /// behaves bit-identically to the snapshotted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration does not match.
+    pub fn restore(&mut self, snap: &IommuSnapshot) {
+        assert_eq!(self.config, snap.config, "IOMMU snapshot config mismatch");
+        self.tlb.restore(&snap.tlb);
+        self.port = snap.port.clone();
+        self.walkers.restore(&snap.walkers);
+        self.pwc.restore(&snap.pwc);
+        self.sampler = snap.sampler.clone();
+        self.stats = snap.stats;
+        self.inject = snap.inject.map(|(cfg, rng)| WalkInject {
+            cfg,
+            rng: SimRng::from_snapshot(rng),
+        });
+    }
+}
+
+/// Full serializable state of an [`Iommu`] (see [`Iommu::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IommuSnapshot {
+    /// Configuration (validated on restore).
+    pub config: IommuConfig,
+    /// Shared TLB state.
+    pub tlb: crate::tlb::TlbSnapshot,
+    /// Port backlog state.
+    pub port: ThroughputPort,
+    /// Walker-pool occupancy and stats.
+    pub walkers: crate::walker::WalkerPoolSnapshot,
+    /// Page-walk cache state.
+    pub pwc: crate::pwc::PwcSnapshot,
+    /// Resident access-rate sampler window.
+    pub sampler: IntervalSampler,
+    /// Counters so far.
+    pub stats: IommuStats,
+    /// Injection config and mid-stream generator state, if armed.
+    pub inject: Option<(WalkInjectConfig, RngSnapshot)>,
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ struct PwcSlot {
 }
 
 /// PWC statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PwcStats {
     /// Cacheable-level lookups.
     pub lookups: Counter,
@@ -139,6 +139,77 @@ impl Pwc {
             set.clear();
         }
     }
+
+    /// Captures the PWC's full state (slot order encodes replacement
+    /// bookkeeping) for checkpointing.
+    pub fn snapshot(&self) -> PwcSnapshot {
+        PwcSnapshot {
+            config: self.config,
+            sets: self
+                .sets
+                .iter()
+                .map(|set| {
+                    set.iter()
+                        .map(|s| PwcSlotSnapshot {
+                            tag: s.tag,
+                            last_use: s.last_use,
+                        })
+                        .collect()
+                })
+                .collect(),
+            use_clock: self.use_clock,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Pwc::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's configuration does not match.
+    pub fn restore(&mut self, snap: &PwcSnapshot) {
+        assert_eq!(self.config, snap.config, "PWC snapshot config mismatch");
+        assert_eq!(
+            snap.sets.len(),
+            self.sets.len(),
+            "PWC snapshot set count mismatch"
+        );
+        for (set, slots) in self.sets.iter_mut().zip(&snap.sets) {
+            assert!(
+                slots.len() <= self.config.ways,
+                "PWC snapshot overflows set"
+            );
+            set.clear();
+            set.extend(slots.iter().map(|s| PwcSlot {
+                tag: s.tag,
+                last_use: s.last_use,
+            }));
+        }
+        self.use_clock = snap.use_clock;
+        self.stats = snap.stats;
+    }
+}
+
+/// One resident PWC slot, in set scan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PwcSlotSnapshot {
+    /// The cached PTE address.
+    pub tag: PAddr,
+    /// The slot's LRU clock stamp.
+    pub last_use: u64,
+}
+
+/// Full serializable state of a [`Pwc`] (see [`Pwc::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PwcSnapshot {
+    /// Configuration (validated on restore).
+    pub config: PwcConfig,
+    /// Per-set resident slots, in scan order.
+    pub sets: Vec<Vec<PwcSlotSnapshot>>,
+    /// The LRU use clock.
+    pub use_clock: u64,
+    /// Statistics so far.
+    pub stats: PwcStats,
 }
 
 #[cfg(test)]

@@ -120,7 +120,7 @@ const EMPTY_ENTRY: TlbEntry = TlbEntry {
 };
 
 /// TLB statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbStats {
     /// Lookups performed.
     pub lookups: Counter,
@@ -483,6 +483,105 @@ impl Tlb {
         let unbounded = self.unbounded.iter().map(|(k, e)| (*k, *e));
         bounded.chain(unbounded)
     }
+
+    /// Captures the TLB's full behavioral state for checkpointing:
+    /// resident slots in within-set scan order (which encodes the
+    /// replacement bookkeeping exactly), the LRU clock, and statistics.
+    /// The `last_hit` MRU hint is deliberately omitted — it is a pure
+    /// accelerator whose absence changes no lookup result, recency
+    /// update, or statistic.
+    pub fn snapshot(&self) -> TlbSnapshot {
+        let sets = (0..self.n_sets)
+            .map(|set| {
+                let (base, end) = self.span(set);
+                (base..end)
+                    .map(|i| TlbSlotSnapshot {
+                        key: self.keys[i],
+                        entry: self.entries[i],
+                        last_use: self.last_use[i],
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut unbounded: Vec<(TlbKey, TlbEntry)> =
+            self.unbounded.iter().map(|(k, e)| (*k, *e)).collect();
+        unbounded.sort_by_key(|(k, _)| (k.asid.0, k.vpn.raw()));
+        TlbSnapshot {
+            config: self.config,
+            sets,
+            unbounded,
+            use_clock: self.use_clock,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Tlb::snapshot`] into this TLB,
+    /// which must have been built with the same configuration. After
+    /// this, the TLB behaves bit-identically to the snapshotted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's organization does not match, or a set
+    /// holds more slots than the geometry allows.
+    pub fn restore(&mut self, snap: &TlbSnapshot) {
+        assert_eq!(self.config, snap.config, "TLB snapshot config mismatch");
+        assert_eq!(
+            snap.sets.len(),
+            self.n_sets,
+            "TLB snapshot set count mismatch"
+        );
+        self.occupancy.fill(0);
+        self.unbounded.clear();
+        for (set, slots) in snap.sets.iter().enumerate() {
+            assert!(
+                slots.len() <= self.ways,
+                "TLB snapshot set {set} overflows {} ways",
+                self.ways
+            );
+            let base = set * self.ways;
+            for (w, slot) in slots.iter().enumerate() {
+                self.keys[base + w] = slot.key;
+                self.packed[base + w] = Self::pack(slot.key);
+                self.entries[base + w] = slot.entry;
+                self.last_use[base + w] = slot.last_use;
+            }
+            self.occupancy[set] = slots.len() as u32;
+        }
+        for &(k, e) in &snap.unbounded {
+            self.unbounded.insert(k, e);
+        }
+        self.use_clock = snap.use_clock;
+        self.stats = snap.stats;
+        self.last_hit = None;
+    }
+}
+
+/// One resident bounded-TLB slot, in within-set scan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbSlotSnapshot {
+    /// The slot's key.
+    pub key: TlbKey,
+    /// The slot's translation.
+    pub entry: TlbEntry,
+    /// The slot's LRU clock stamp.
+    pub last_use: u64,
+}
+
+/// Full serializable state of a [`Tlb`] (see [`Tlb::snapshot`]).
+/// Derived maps are rebuilt on restore; the unbounded map is stored as
+/// `(asid, vpn)`-sorted pairs so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbSnapshot {
+    /// Organization the TLB was built with (validated on restore).
+    pub config: TlbConfig,
+    /// Per-set resident slots, in scan order.
+    pub sets: Vec<Vec<TlbSlotSnapshot>>,
+    /// Infinite-organization entries, sorted by `(asid, vpn)`.
+    pub unbounded: Vec<(TlbKey, TlbEntry)>,
+    /// The LRU use clock.
+    pub use_clock: u64,
+    /// Statistics so far.
+    pub stats: TlbStats,
 }
 
 #[cfg(test)]
@@ -712,6 +811,57 @@ mod tests {
         let mut tlb = Tlb::new(TlbConfig::shared(16));
         fill(&mut tlb, 0..5);
         assert_eq!(tlb.iter().count(), 5);
+    }
+
+    #[test]
+    fn snapshot_restore_is_behaviorally_identical() {
+        for config in [
+            TlbConfig::per_cu(4),
+            TlbConfig::shared(16),
+            TlbConfig::infinite(),
+        ] {
+            let mut a = Tlb::new(config);
+            for v in 0..23 {
+                a.insert(
+                    TlbKey::new(Asid((v % 3) as u16), Vpn::new(v * 7)),
+                    Ppn::new(v),
+                    Perms::READ_WRITE,
+                    Cycle::new(v),
+                );
+                a.lookup(TlbKey::new(Asid(0), Vpn::new(v)), Cycle::new(v));
+            }
+            let snap = a.snapshot();
+            let mut b = Tlb::new(config);
+            b.restore(&snap);
+            assert_eq!(b.snapshot(), snap, "snapshot→restore→snapshot fixed point");
+            // Identical op sequence from here must keep the twins in
+            // lockstep, including evictions and stats.
+            for v in 0..17 {
+                let k = TlbKey::new(Asid((v % 2) as u16), Vpn::new(v * 3));
+                assert_eq!(
+                    a.lookup(k, Cycle::new(100 + v)),
+                    b.lookup(k, Cycle::new(100 + v))
+                );
+                let ea = a.insert(k, Ppn::new(v + 50), Perms::READ_ONLY, Cycle::new(100 + v));
+                let eb = b.insert(k, Ppn::new(v + 50), Perms::READ_ONLY, Cycle::new(100 + v));
+                assert_eq!(ea, eb, "evictions diverged ({config:?})");
+            }
+            a.invalidate_asid(Asid(1));
+            b.invalidate_asid(Asid(1));
+            assert_eq!(
+                a.snapshot(),
+                b.snapshot(),
+                "end state diverged ({config:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "config mismatch")]
+    fn restore_rejects_mismatched_geometry() {
+        let a = Tlb::new(TlbConfig::per_cu(4));
+        let mut b = Tlb::new(TlbConfig::per_cu(8));
+        b.restore(&a.snapshot());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use gvc_engine::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// Walker-pool statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WalkerStats {
     /// Walks started.
     pub walks: Counter,
@@ -107,6 +107,49 @@ impl WalkerPool {
     pub fn record_latency(&mut self, cycles: u64) {
         self.stats.latency.record(cycles);
     }
+
+    /// Captures the pool's full state for checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any walker is still acquired — walks acquire and
+    /// release within one translate call, so a checkpoint boundary must
+    /// never observe a busy walker.
+    pub fn snapshot(&self) -> WalkerPoolSnapshot {
+        assert!(
+            self.next_free.iter().all(|&c| c != Cycle::new(u64::MAX)),
+            "cannot snapshot a walker pool with an acquired walker"
+        );
+        WalkerPoolSnapshot {
+            next_free: self.next_free.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores state captured by [`WalkerPool::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's walker count does not match.
+    pub fn restore(&mut self, snap: &WalkerPoolSnapshot) {
+        assert_eq!(
+            snap.next_free.len(),
+            self.next_free.len(),
+            "walker pool snapshot size mismatch"
+        );
+        self.next_free.clone_from(&snap.next_free);
+        self.stats = snap.stats.clone();
+    }
+}
+
+/// Full serializable state of a [`WalkerPool`]
+/// (see [`WalkerPool::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerPoolSnapshot {
+    /// Per-walker next-free times.
+    pub next_free: Vec<Cycle>,
+    /// Statistics so far.
+    pub stats: WalkerStats,
 }
 
 #[cfg(test)]

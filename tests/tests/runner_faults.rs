@@ -60,14 +60,26 @@ fn sweep_survives_panics_and_timeouts_with_structured_errors() {
     let (key1, panicked) = &sweep.results[1];
     assert_eq!(*key1, bad);
     match panicked {
-        Err(RunError::Panicked { message, attempts }) => {
+        Err(RunError::Panicked {
+            message,
+            attempts,
+            retry_budget,
+            backoff_ms,
+        }) => {
             assert!(
                 message.contains("divide"),
                 "panic payload should survive: {message:?}"
             );
             assert_eq!(*attempts, 2, "1 retry = 2 attempts");
+            assert_eq!(*retry_budget, 1, "the configured budget is surfaced");
+            // One retry slept one deterministic backoff: the attempt-1
+            // schedule is base 4 ms jittered into [2, 6) ms.
+            let expected = runner::retry_backoff_ms(&bad, 1);
+            assert_eq!(*backoff_ms, expected, "backoff must be the seeded delay");
+            assert!((2..6).contains(backoff_ms), "attempt-1 jitter window");
             let shown = format!("{}", panicked.as_ref().unwrap_err());
             assert!(shown.contains("panicked"), "Display: {shown}");
+            assert!(shown.contains("retry budget 1"), "Display: {shown}");
         }
         other => panic!("expected Panicked, got {other:?}"),
     }
@@ -98,6 +110,57 @@ fn sweep_survives_panics_and_timeouts_with_structured_errors() {
     let clean = runner::try_run(slow.workload, slow.config, slow.scale, slow.seed)
         .expect("watchdog off: runs to completion");
     assert_eq!(clean.cycles, slow_cycles);
+}
+
+// The backoff and CLI tests below are safe as sibling tests: they are
+// pure functions and touch none of the process-wide runner knobs.
+
+mod retry_backoff {
+    use super::*;
+
+    fn key(seed: u64) -> RunKey {
+        RunKey {
+            workload: WorkloadId::Bfs,
+            config: SystemConfig::baseline_512(),
+            scale: Scale::test(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_key_and_attempt() {
+        for attempt in 1..=8 {
+            assert_eq!(
+                runner::retry_backoff_ms(&key(1), attempt),
+                runner::retry_backoff_ms(&key(1), attempt),
+                "same key + attempt must produce the same delay"
+            );
+        }
+        let first: Vec<u64> = (1..=6)
+            .map(|a| runner::retry_backoff_ms(&key(1), a))
+            .collect();
+        let other: Vec<u64> = (1..=6)
+            .map(|a| runner::retry_backoff_ms(&key(2), a))
+            .collect();
+        assert_ne!(first, other, "distinct keys must decorrelate the schedule");
+    }
+
+    #[test]
+    fn backoff_is_exponential_with_bounded_jitter() {
+        for attempt in 1..=12u32 {
+            let base = (4u64 << (attempt - 1).min(6)).min(256);
+            let d = runner::retry_backoff_ms(&key(3), attempt);
+            assert!(
+                d >= base / 2 && d < base + base / 2,
+                "attempt {attempt}: delay {d} outside [{}, {})",
+                base / 2,
+                base + base / 2
+            );
+        }
+        // The cap: arbitrarily late attempts never sleep longer than
+        // 3/2 × 256 ms.
+        assert!(runner::retry_backoff_ms(&key(3), 1_000) < 384);
+    }
 }
 
 // The CLI tests below are safe as sibling tests: `cli::parse` is a
