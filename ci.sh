@@ -105,6 +105,25 @@ fi
     --state "$soak_dir/state" --checkpoint-every 2 --json "$soak_dir/resumed"
 cmp "$soak_dir/clean/soak.json" "$soak_dir/resumed/soak.json"
 
+echo "== reach figure smoke (release)"
+# Reach-vs-filter figure (DESIGN.md §13): one seeded collection at two
+# --jobs values; the exported JSON must be byte-identical — the huge
+# presets rebuild workloads under the THP placement policy, so any
+# divergence means layout or promotion order leaked host parallelism.
+# Non-finite ratios would also serialize as bare words; grep for them.
+reach_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$tenants_dir" "$soak_dir" "$reach_dir"' EXIT
+./target/release/repro reach --scale test --seed 7 --json "$reach_dir/a" --jobs 1
+./target/release/repro reach --scale test --seed 7 --json "$reach_dir/b" --jobs 4
+cmp "$reach_dir/a/reach.json" "$reach_dir/b/reach.json"
+if grep -E 'NaN|Infinity' "$reach_dir/a/reach.json"; then
+    echo "reach figure contains non-finite values" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$reach_dir/a/reach.json"
+fi
+
 echo "== pinned bench smoke (release)"
 # Validate the committed bench baseline's schema and fail on a >15%
 # throughput regression against BENCH_0.json, the trajectory anchor

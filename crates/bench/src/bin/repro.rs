@@ -168,6 +168,7 @@ fn main() {
             "fig12" => emit(t, &fig12::collect(scale, seed), &json_dir),
             "ablations" => emit(t, &ablations::collect(scale, seed), &json_dir),
             "energy" => emit(t, &energy::collect(scale, seed), &json_dir),
+            "reach" => emit(t, &reach::collect(scale, seed), &json_dir),
             _ => unreachable!("cli::parse validated targets"),
         }
         eprintln!("[{t} took {:.1?}]", t0.elapsed());

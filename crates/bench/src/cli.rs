@@ -15,7 +15,7 @@ use std::fmt;
 use std::num::NonZeroUsize;
 
 /// Figure/table targets the `repro` binary understands.
-pub const TARGETS: [&str; 14] = [
+pub const TARGETS: [&str; 15] = [
     "table1",
     "table2",
     "fig2",
@@ -29,6 +29,7 @@ pub const TARGETS: [&str; 14] = [
     "fig12",
     "ablations",
     "energy",
+    "reach",
     "all",
 ];
 

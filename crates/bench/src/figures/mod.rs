@@ -16,6 +16,7 @@
 //! | [`ablations`] | DESIGN.md §5 — design-choice ablations |
 //! | [`energy`] | §5.3 Takeaway 3 — energy comparison (extension) |
 //! | [`tenants`] | DESIGN.md §11 — multi-tenant service curves (extension) |
+//! | [`reach`] | DESIGN.md §13 — TLB reach vs translation filtering (extension) |
 
 pub mod ablations;
 pub mod energy;
@@ -28,6 +29,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
+pub mod reach;
 pub mod table1;
 pub mod table2;
 pub mod tenants;

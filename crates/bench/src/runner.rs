@@ -272,8 +272,17 @@ fn gpu_config() -> GpuConfig {
 /// Computes one report from scratch. Deterministic in the key alone
 /// (given fixed process-wide force/watchdog settings).
 fn compute(key: &RunKey) -> RunReport {
-    let mut w = gvc_workloads::build(key.workload, key.scale, key.seed);
-    GpuSim::new(gpu_config(), effective_config(key)).run(&mut *w.source, &mut w.os)
+    let cfg = effective_config(key);
+    // The THP placement policy changes the virtual layout, so it must
+    // be decided at build time; non-THP configs keep the historical
+    // layout byte-for-byte.
+    let mut w = gvc_workloads::build_thp(
+        key.workload,
+        key.scale,
+        key.seed,
+        cfg.transparent_huge_pages,
+    );
+    GpuSim::new(gpu_config(), cfg).run(&mut *w.source, &mut w.os)
 }
 
 /// Why a run could not produce a full report. `Clone` so a sweep can

@@ -72,7 +72,7 @@ pub fn collect(
     max_cycles: Option<u64>,
 ) -> TraceArtifacts {
     let handle = TraceHandle::new(TRACE_CAPACITY);
-    let mut w = gvc_workloads::build(workload, scale, seed);
+    let mut w = gvc_workloads::build_thp(workload, scale, seed, config.transparent_huge_pages);
     let gpu = GpuConfig {
         max_cycles,
         ..GpuConfig::default()

@@ -23,7 +23,8 @@
 use crate::config::MmuDesign;
 use crate::hierarchy::{MemorySystem, PHYS};
 use gvc_engine::RequestAttribution;
-use gvc_mem::{Asid, Vpn, LINES_PER_PAGE};
+use gvc_mem::{Asid, Vpn, LINES_PER_PAGE, PAGES_PER_LARGE};
+use gvc_tlb::Tlb;
 use std::collections::{BTreeSet, HashMap};
 
 /// Accesses between full structural sweeps in paranoid mode. The cheap
@@ -106,6 +107,13 @@ impl MemorySystem {
                 s.lookups.get(),
                 "per-CU TLB {cu}: hits+misses != lookups"
             );
+            if let Some(r) = tlb.reach_stats() {
+                assert_eq!(
+                    r.hits.get() + r.misses.get(),
+                    r.lookups.get(),
+                    "per-CU TLB {cu} reach array: hits+misses != lookups"
+                );
+            }
         }
         let io = self.iommu.stats();
         assert_eq!(
@@ -123,6 +131,13 @@ impl MemorySystem {
             iot.lookups.get(),
             "IOMMU TLB: hits+misses != lookups"
         );
+        if let Some(r) = self.iommu.tlb().reach_stats() {
+            assert_eq!(
+                r.hits.get() + r.misses.get(),
+                r.lookups.get(),
+                "IOMMU TLB reach array: hits+misses != lookups"
+            );
+        }
         for (cu, l1) in self.l1.iter().enumerate() {
             let s = l1.stats();
             assert_eq!(
@@ -172,6 +187,7 @@ impl MemorySystem {
     pub fn check_invariants(&self) {
         self.check_conservation();
         self.check_virtual_invariants();
+        self.check_page_size_invariants();
 
         let is_full_virtual = matches!(self.cfg.design, MmuDesign::VirtualHierarchy { .. });
         if is_full_virtual {
@@ -239,6 +255,33 @@ impl MemorySystem {
         }
     }
 
+    /// Page-size invariants for the size-aware (reach) TLBs:
+    ///
+    /// * every reach tag is span-aligned (the sub-array indexes whole
+    ///   blocks, never an interior page);
+    /// * for a huge-span array (≥ [`PAGES_PER_LARGE`]) a 2 MB entry and
+    ///   any of its 4 KB views never coexist — the walker classifies a
+    ///   large-mapped page identically on every fill, and promotion's
+    ///   shootdown evicts stale small views before the first large fill
+    ///   can land;
+    /// * for a coalescing array (span < 2 MB) coexistence is legal —
+    ///   a block can be filled before and after it became contiguous —
+    ///   but the views must agree: the 4 KB entry's translation must be
+    ///   exactly the block translation offset to its page, with equal
+    ///   permissions.
+    ///
+    /// Designs without reach arrays hold this vacuously.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant.
+    pub fn check_page_size_invariants(&self) {
+        for (cu, tlb) in self.tlbs.iter().enumerate() {
+            check_size_aware_tlb(&format!("per-CU TLB {cu}"), tlb);
+        }
+        check_size_aware_tlb("IOMMU TLB", self.iommu.tlb());
+    }
+
     /// Asserts that every CU's invalidation filter agrees *exactly*
     /// with its L1's true per-page residency (count per page and total
     /// occupancy). This implementation counts exactly (fills increment,
@@ -301,11 +344,26 @@ impl MemorySystem {
                     key.vpn
                 );
             }
+            for (key, _) in tlb.iter_reach() {
+                assert_ne!(
+                    key.asid, asid,
+                    "CU {cu}: reach TLB still holds block {:?} for a \
+                     destroyed ASID",
+                    key.vpn
+                );
+            }
         }
         for (key, _) in self.iommu.tlb().iter() {
             assert_ne!(
                 key.asid, asid,
                 "IOMMU TLB still holds {:?} for a destroyed ASID",
+                key.vpn
+            );
+        }
+        for (key, _) in self.iommu.tlb().iter_reach() {
+            assert_ne!(
+                key.asid, asid,
+                "IOMMU reach TLB still holds block {:?} for a destroyed ASID",
                 key.vpn
             );
         }
@@ -389,6 +447,53 @@ impl MemorySystem {
     }
 }
 
+/// The per-array body of [`MemorySystem::check_page_size_invariants`].
+fn check_size_aware_tlb(name: &str, tlb: &Tlb) {
+    let Some(span) = tlb.reach_span() else { return };
+    let mut blocks: HashMap<(Asid, u64), gvc_tlb::TlbEntry> = HashMap::new();
+    for (key, entry) in tlb.iter_reach() {
+        assert_eq!(
+            key.vpn.raw() % span,
+            0,
+            "{name}: reach tag {:?} is not {span}-page aligned",
+            key.vpn
+        );
+        blocks.insert((key.asid, key.vpn.raw()), entry);
+    }
+    if blocks.is_empty() {
+        return;
+    }
+    for (key, entry) in tlb.iter() {
+        let base = key.vpn.raw() - key.vpn.raw() % span;
+        let Some(block) = blocks.get(&(key.asid, base)) else {
+            continue;
+        };
+        let off = key.vpn.raw() - base;
+        if span >= PAGES_PER_LARGE {
+            panic!(
+                "{name}: 2 MB entry for block {base:#x} coexists with its \
+                 4 KB view {:?} (asid {:?}) — a shootdown of one would \
+                 leave the other stale",
+                key.vpn, key.asid
+            );
+        }
+        assert_eq!(
+            entry.ppn.raw(),
+            block.ppn.raw() + off,
+            "{name}: 4 KB view {:?} translates differently from its \
+             coalesced block {base:#x} (asid {:?})",
+            key.vpn,
+            key.asid
+        );
+        assert_eq!(
+            entry.perms, block.perms,
+            "{name}: 4 KB view {:?} and coalesced block {base:#x} disagree \
+             on permissions (asid {:?})",
+            key.vpn, key.asid
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::config::SystemConfig;
@@ -434,9 +539,43 @@ mod tests {
             SystemConfig::vc_without_opt(),
             SystemConfig::vc_with_opt(),
             SystemConfig::l1_only_vc_32(),
+            SystemConfig::huge(),
+            SystemConfig::coalesced(),
         ] {
             let mem = drive(cfg.with_paranoid(), 16, 300);
             mem.check_invariants();
+        }
+    }
+
+    #[test]
+    fn paranoid_run_passes_with_real_huge_pages() {
+        let mut os = OsLite::new(256 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 1, Perms::READ_WRITE).unwrap();
+        let small = os.mmap(pid, 16 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        for cfg in [SystemConfig::huge(), SystemConfig::coalesced()] {
+            let mut mem = MemorySystem::new(cfg.with_paranoid());
+            let mut t = Cycle::ZERO;
+            for i in 0..300u64 {
+                let range = if i % 3 == 0 { &small } else { &r };
+                let res = mem.access(
+                    LineAccess {
+                        cu: (i % 4) as usize,
+                        asid: pid.asid(),
+                        vaddr: range.addr_at((i * 4096 + i * 128) % range.bytes()),
+                        is_write: i % 5 == 0,
+                        at: t,
+                    },
+                    &os,
+                );
+                assert!(res.fault.is_none());
+                t = res.done_at;
+            }
+            mem.check_invariants();
+            assert!(
+                mem.iommu.tlb().reach_len() > 0,
+                "huge mapping never reached the size-aware array"
+            );
         }
     }
 
@@ -472,6 +611,8 @@ mod tests {
             SystemConfig::vc_without_opt(),
             SystemConfig::vc_with_opt(),
             SystemConfig::l1_only_vc_32(),
+            SystemConfig::huge(),
+            SystemConfig::coalesced(),
         ] {
             let (mut os, pid, r) = setup(8);
             let survivor = os.create_process();

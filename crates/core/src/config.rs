@@ -124,6 +124,12 @@ pub struct SystemConfig {
     /// (the default for every preset) injects nothing and leaves
     /// behavior bit-identical to earlier revisions.
     pub inject: Option<InjectConfig>,
+    /// Transparent huge pages: before the workload runs, the OS
+    /// promotes every fully mapped, unaliased, 2 MB-aligned block whose
+    /// relocation target is free to a large page (Mosaic-style), so 2 MB
+    /// TLB sub-arrays see large leaves without workload changes. Off
+    /// for every original preset — behavior there is bit-identical.
+    pub transparent_huge_pages: bool,
 }
 
 impl SystemConfig {
@@ -149,6 +155,7 @@ impl SystemConfig {
             remap: RemapConfig::default(),
             paranoid: false,
             inject: None,
+            transparent_huge_pages: false,
         }
     }
 
@@ -236,6 +243,42 @@ impl SystemConfig {
         }
     }
 
+    /// Table 2 extension "Huge 2M": the baseline plus split 4 KB / 2 MB
+    /// TLB sub-arrays at both levels and transparent huge-page
+    /// promotion — translation *reach* instead of (or, composed onto a
+    /// VC design, alongside) translation *filtering*.
+    pub fn huge() -> Self {
+        Self::baseline_512().with_reach_tlbs(gvc_mem::PAGES_PER_LARGE)
+    }
+
+    /// Table 2 extension "Coalesced": the baseline plus
+    /// subregion-contiguity coalesced TLBs ("Enabling Large-Reach
+    /// TLBs"-style): each reach entry covers an 8-page block the fill
+    /// path proved physically contiguous. No OS cooperation needed.
+    pub fn coalesced() -> Self {
+        Self::baseline_512().with_reach_tlbs(8)
+    }
+
+    /// Adds reach sub-arrays spanning `span` pages to both TLB levels
+    /// (per-CU and shared IOMMU), sizing them so the sub-array's added
+    /// SRAM stays a fraction of the base array's. A 2 MB span also
+    /// turns on transparent huge-page promotion, which the entries
+    /// need to ever fill. Composes with any design — `vc_with_opt()
+    /// .with_reach_tlbs(..)` is the "filter + reach" Table 2 cell.
+    pub fn with_reach_tlbs(mut self, span: u64) -> Self {
+        let (per_cu_entries, shared_entries) = if span >= gvc_mem::PAGES_PER_LARGE {
+            (8, 64)
+        } else {
+            (16, 256)
+        };
+        self.per_cu_tlb = self.per_cu_tlb.with_reach(per_cu_entries, span);
+        self.iommu.tlb = self.iommu.tlb.with_reach(shared_entries, span);
+        if span >= gvc_mem::PAGES_PER_LARGE {
+            self.transparent_huge_pages = true;
+        }
+        self
+    }
+
     /// Sets the per-CU TLB entry count (Figure 2 sweep); `None` means
     /// infinite.
     pub fn with_per_cu_tlb_entries(mut self, entries: Option<usize>) -> Self {
@@ -272,6 +315,13 @@ impl SystemConfig {
 
     /// Short design label for reports.
     pub fn label(&self) -> &'static str {
+        // The reach axis (span-512 "huge" vs smaller "coalesced" sub-
+        // arrays) is orthogonal to the design axis, so labels compose.
+        let reach = match self.iommu.tlb.reach {
+            Some(r) if r.span >= gvc_mem::PAGES_PER_LARGE => Some(true),
+            Some(_) => Some(false),
+            None => None,
+        };
         match self.design {
             MmuDesign::Baseline => {
                 if matches!(
@@ -280,12 +330,20 @@ impl SystemConfig {
                 ) {
                     "IDEAL MMU"
                 } else {
-                    "Baseline"
+                    match reach {
+                        Some(true) => "Huge 2M",
+                        Some(false) => "Coalesced",
+                        None => "Baseline",
+                    }
                 }
             }
             MmuDesign::VirtualHierarchy {
                 fbt_as_second_level: true,
-            } => "VC With OPT",
+            } => match reach {
+                Some(true) => "VC + Huge 2M",
+                Some(false) => "VC + Coalesced",
+                None => "VC With OPT",
+            },
             MmuDesign::VirtualHierarchy {
                 fbt_as_second_level: false,
             } => "VC W/O OPT",
@@ -356,6 +414,35 @@ mod tests {
         assert_eq!(c.l1.bytes, 32 << 10);
         assert_eq!(c.l2_bank.bytes * c.l2_banks as u64, 2 << 20);
         assert_eq!(c.l2_banks, 8);
+    }
+
+    #[test]
+    fn reach_presets_compose_with_designs() {
+        let huge = SystemConfig::huge();
+        assert_eq!(huge.label(), "Huge 2M");
+        assert!(huge.transparent_huge_pages);
+        assert_eq!(huge.iommu.tlb.reach.unwrap().span, gvc_mem::PAGES_PER_LARGE);
+        assert_eq!(
+            huge.per_cu_tlb.reach.unwrap().span,
+            gvc_mem::PAGES_PER_LARGE
+        );
+
+        let co = SystemConfig::coalesced();
+        assert_eq!(co.label(), "Coalesced");
+        assert!(!co.transparent_huge_pages, "coalescing needs no OS help");
+        assert_eq!(co.iommu.tlb.reach.unwrap().span, 8);
+
+        let both = SystemConfig::vc_with_opt().with_reach_tlbs(gvc_mem::PAGES_PER_LARGE);
+        assert_eq!(both.label(), "VC + Huge 2M");
+        assert!(both.transparent_huge_pages);
+        assert_eq!(
+            SystemConfig::vc_with_opt().with_reach_tlbs(8).label(),
+            "VC + Coalesced"
+        );
+        // The original presets are untouched by the new axis.
+        assert_eq!(SystemConfig::baseline_512().iommu.tlb.reach, None);
+        assert_eq!(SystemConfig::baseline_512().per_cu_tlb.reach, None);
+        assert!(!SystemConfig::baseline_512().transparent_huge_pages);
     }
 
     #[test]

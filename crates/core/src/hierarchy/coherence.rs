@@ -56,6 +56,17 @@ impl MemorySystem {
                 }
                 t
             }
+            // Identical per-page protocol to `Pages` — same counters,
+            // same timing — without the O(pages) VPN vector a 2 MB
+            // teardown used to materialize per large page.
+            Shootdown::Range { asid, start, pages } => {
+                let mut t = now;
+                for i in 0..*pages {
+                    self.counters.shootdown_pages.inc();
+                    t = self.shootdown_one(*asid, Vpn::new(start.raw() + i), t);
+                }
+                t
+            }
             Shootdown::AllOf { asid } => {
                 self.iommu.shootdown_asid(*asid);
                 for tlb in &mut self.tlbs {
@@ -351,6 +362,63 @@ mod tests {
         });
         assert!(resp.invalidated);
         assert_eq!(mem.counters().probe_invals.get(), 1);
+    }
+
+    #[test]
+    fn range_shootdown_is_identical_to_enumerated_pages() {
+        // `Shootdown::Range` exists to kill the O(512·N) VPN vectors of
+        // large-page teardown storms; it must be observably identical
+        // to the `Pages` form — same ack time, same counters, same TLB
+        // statistics — in every design.
+        for cfg in [
+            SystemConfig::baseline_512(),
+            SystemConfig::vc_with_opt(),
+            SystemConfig::huge(),
+        ] {
+            let (os, pid, r) = setup(8);
+            let mut a = MemorySystem::new(cfg);
+            let mut b = MemorySystem::new(cfg);
+            let mut t = 0;
+            for p in 0..8u64 {
+                let acc = read(&r, p * PAGE_BYTES, (p % 4) as usize, t);
+                t = a.access(acc, &os).done_at.raw();
+                b.access(acc, &os);
+            }
+            let start = r.start().vpn();
+            let vpns: Vec<Vpn> = (0..8).map(|i| Vpn::new(start.raw() + i)).collect();
+            let ack_pages = a.apply_shootdown(
+                &Shootdown::Pages {
+                    asid: pid.asid(),
+                    vpns,
+                },
+                Cycle::new(t),
+            );
+            let ack_range = b.apply_shootdown(
+                &Shootdown::Range {
+                    asid: pid.asid(),
+                    start,
+                    pages: 8,
+                },
+                Cycle::new(t),
+            );
+            assert_eq!(ack_pages, ack_range, "{}: ack time diverged", cfg.label());
+            assert_eq!(
+                a.counters().shootdown_pages.get(),
+                b.counters().shootdown_pages.get()
+            );
+            assert_eq!(
+                a.per_cu_tlb_stats(),
+                b.per_cu_tlb_stats(),
+                "{}: per-CU invalidation counts diverged",
+                cfg.label()
+            );
+            assert_eq!(
+                a.iommu.tlb_stats(),
+                b.iommu.tlb_stats(),
+                "{}: shared-TLB invalidation counts diverged",
+                cfg.label()
+            );
+        }
     }
 
     #[test]

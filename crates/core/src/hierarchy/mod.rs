@@ -492,7 +492,7 @@ impl MemorySystem {
         };
         let ready = resp.done_at + self.noc.cu_to_iommu();
         self.tr_stage(TraceCause::Noc, ready);
-        if let Some(evicted) = self.tlbs[cu].insert(key, ppn, perms, ready) {
+        if let Some(evicted) = self.tlbs[cu].insert_sized(key, ppn, perms, ready, resp.large) {
             if let Some(lt) = self.lifetimes.as_mut() {
                 lt.tlb.record_cycles(evicted.lifetime());
             }
@@ -518,6 +518,23 @@ impl MemorySystem {
             agg.invalidations.add(s.invalidations.get());
         }
         agg
+    }
+
+    /// Aggregated per-CU reach sub-array statistics, when the per-CU
+    /// TLBs are page-size aware.
+    pub(crate) fn per_cu_tlb_reach_stats(&self) -> Option<TlbStats> {
+        let mut agg = TlbStats::default();
+        let mut any = false;
+        for t in &self.tlbs {
+            let Some(s) = t.reach_stats() else { continue };
+            any = true;
+            agg.lookups.add(s.lookups.get());
+            agg.hits.add(s.hits.get());
+            agg.misses.add(s.misses.get());
+            agg.evictions.add(s.evictions.get());
+            agg.invalidations.add(s.invalidations.get());
+        }
+        any.then_some(agg)
     }
 
     /// Finalizes the run at `end`: flushes resident lifetimes (when
@@ -571,6 +588,8 @@ impl MemorySystem {
             per_cu_tlb: self.per_cu_tlb_stats(),
             iommu: self.iommu.stats(),
             iommu_tlb: self.iommu.tlb_stats(),
+            per_cu_tlb_reach: self.per_cu_tlb_reach_stats(),
+            iommu_tlb_reach: self.iommu.tlb_reach_stats(),
             iommu_rate: self.iommu.access_rate(end),
             pwc: self.iommu.pwc_stats(),
             l1,

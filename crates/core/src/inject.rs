@@ -29,6 +29,10 @@
 //! * **Page remaps** — `OsLite::remap_page` moves a live page to a new
 //!   physical frame mid-kernel and the resulting shootdown is applied,
 //!   the Mosaic-style migration the §4.3 discussion anticipates.
+//! * **Huge-page splinters** — `OsLite::splinter` demotes the 2 MB
+//!   block under a hot page back to 4 KB mappings, the fragmentation
+//!   back-off every transparent-huge-page OS performs; the shootdown
+//!   must purge the block's reach-TLB entry everywhere.
 //! * **Walker faults and latency spikes** — injected inside the IOMMU
 //!   walk path itself (see `gvc_tlb::iommu::WalkInjectConfig`); the
 //!   plan only carries their rates.
@@ -79,6 +83,12 @@ pub struct InjectConfig {
     pub pressure_ppm: u32,
     /// Mid-kernel page-remap rate (ppm per memory instruction).
     pub remap_ppm: u32,
+    /// Huge-page splinter rate (ppm per memory instruction): demotes
+    /// the 2 MB block under a hot page back to 512 discrete 4 KB
+    /// mappings, modelling the OS backing off transparent huge pages
+    /// under memory fragmentation. A hot page that is not part of a
+    /// large mapping is skipped (counted, never fatal).
+    pub splinter_ppm: u32,
     /// Spurious page-fault rate at the IOMMU walker (ppm per walk).
     pub fault_ppm: u32,
     /// Walk-latency-spike rate at the IOMMU walker (ppm per walk).
@@ -96,9 +106,12 @@ pub struct InjectConfig {
 }
 
 impl InjectConfig {
-    /// A config injecting every event class at the same `rate_ppm`,
-    /// with the default shape parameters. This is what
-    /// `repro --inject <rate>` builds.
+    /// A config injecting every legacy event class at the same
+    /// `rate_ppm`, with the default shape parameters. This is what
+    /// `repro --inject <rate>` builds. Splintering defaults to *off*
+    /// here so the decision stream of a given `(rate, seed)` pair is
+    /// unchanged from before huge pages existed; opt in with
+    /// [`InjectConfig::with_splinter`].
     pub fn uniform(rate_ppm: u32, seed: u64) -> Self {
         InjectConfig {
             seed,
@@ -106,6 +119,7 @@ impl InjectConfig {
             probe_ppm: rate_ppm,
             pressure_ppm: rate_ppm,
             remap_ppm: rate_ppm,
+            splinter_ppm: 0,
             fault_ppm: rate_ppm,
             spike_ppm: rate_ppm,
             storm_pages: 4,
@@ -114,6 +128,13 @@ impl InjectConfig {
             pressure_ways: 1,
             spike_cycles: 500,
         }
+    }
+
+    /// Enables fragmentation-driven huge-page splintering at
+    /// `rate_ppm` (see [`InjectConfig::splinter_ppm`]).
+    pub fn with_splinter(mut self, rate_ppm: u32) -> Self {
+        self.splinter_ppm = rate_ppm;
+        self
     }
 
     /// Seed for the plan-level generator (storms, probes, pressure,
@@ -166,6 +187,14 @@ pub enum InjectEvent {
         /// The page to migrate.
         vpn: Vpn,
     },
+    /// Splinter the 2 MB mapping under one hot page back to 4 KB
+    /// pages (skipped if the page is not large-mapped).
+    Splinter {
+        /// Address space of the targeted page.
+        asid: Asid,
+        /// Any page inside the block to demote.
+        vpn: Vpn,
+    },
 }
 
 /// What the plan injected over one run. Walker-level events are
@@ -190,6 +219,11 @@ pub struct InjectReport {
     /// Remap attempts that failed (page gone or part of a large
     /// mapping) — skipped, never fatal.
     pub remaps_failed: u64,
+    /// Huge-page splinters that succeeded (shootdown applied).
+    pub splinters: u64,
+    /// Splinter attempts that found no large mapping under the target
+    /// — skipped, never fatal.
+    pub splinters_failed: u64,
 }
 
 /// The deterministic fault-injection plan: a seeded generator plus a
@@ -268,6 +302,11 @@ impl InjectPlan {
             let (asid, vpn) = self.pick_hot();
             return Some(InjectEvent::Remap { asid, vpn });
         }
+        threshold += self.cfg.splinter_ppm as u64;
+        if u < threshold {
+            let (asid, vpn) = self.pick_hot();
+            return Some(InjectEvent::Splinter { asid, vpn });
+        }
         None
     }
 
@@ -278,6 +317,16 @@ impl InjectPlan {
             self.report.remaps += 1;
         } else {
             self.report.remaps_failed += 1;
+        }
+    }
+
+    /// See [`InjectReport::splinters`] /
+    /// [`InjectReport::splinters_failed`].
+    pub fn record_splinter(&mut self, ok: bool) {
+        if ok {
+            self.report.splinters += 1;
+        } else {
+            self.report.splinters_failed += 1;
         }
     }
 
@@ -381,7 +430,7 @@ pub struct InjectPlanSnapshot {
 /// enabled and any plan-level rate is nonzero.
 pub fn plan_for(cfg: &SystemConfig) -> Option<InjectPlan> {
     let ic = cfg.inject?;
-    let plan_rates = ic.storm_ppm | ic.probe_ppm | ic.pressure_ppm | ic.remap_ppm;
+    let plan_rates = ic.storm_ppm | ic.probe_ppm | ic.pressure_ppm | ic.remap_ppm | ic.splinter_ppm;
     (plan_rates > 0).then(|| InjectPlan::new(ic))
 }
 
@@ -461,6 +510,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn splinters_fire_only_when_opted_in() {
+        let mut off = hot_plan(InjectConfig::uniform(150_000, 3));
+        let mut on = hot_plan(InjectConfig::uniform(150_000, 3).with_splinter(250_000));
+        let mut fired = false;
+        for _ in 0..4096 {
+            off.poll();
+            if let Some(InjectEvent::Splinter { asid, vpn }) = on.poll() {
+                fired = true;
+                assert_eq!(asid, Asid(0));
+                assert!((0x100..0x108).contains(&vpn.raw()), "target not hot");
+            }
+        }
+        assert!(fired, "splinter rate never fired");
+        let legacy = off.report();
+        assert!(legacy.storms > 0 && legacy.probe_bursts > 0);
     }
 
     #[test]

@@ -97,6 +97,12 @@ pub struct MemReport {
     pub iommu: IommuStats,
     /// Shared IOMMU TLB statistics.
     pub iommu_tlb: TlbStats,
+    /// Aggregated per-CU reach (large-span) sub-array statistics, when
+    /// the per-CU TLBs are page-size aware.
+    pub per_cu_tlb_reach: Option<TlbStats>,
+    /// Shared IOMMU reach sub-array statistics, when the shared TLB is
+    /// page-size aware.
+    pub iommu_tlb_reach: Option<TlbStats>,
     /// IOMMU access rate over 1 µs samples (Figures 3 and 8).
     pub iommu_rate: IntervalSummary,
     /// Page-walk-cache statistics.

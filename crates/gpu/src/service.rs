@@ -548,6 +548,16 @@ pub(crate) fn apply_inject(
             };
             plan.record_remap(ok);
         }
+        InjectEvent::Splinter { asid, vpn } => {
+            let ok = match os.splinter(ProcessId(asid.0), vpn) {
+                Ok(sd) => {
+                    mem.apply_shootdown(&sd, at);
+                    true
+                }
+                Err(_) => false,
+            };
+            plan.record_splinter(ok);
+        }
     }
 }
 

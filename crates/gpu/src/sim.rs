@@ -239,6 +239,18 @@ impl GpuSim {
         let workload = source.name().to_string();
         let n_cus = self.mem.config().n_cus;
         let mut now = Cycle::ZERO;
+        if self.mem.config().transparent_huge_pages {
+            // Transparent huge pages: promote every eligible aligned
+            // 512-page block before the first instruction (Mosaic-style
+            // allocation-time coalescing). Promotion order is the OS's
+            // own deterministic space/VA order, so the memo-cache
+            // contract (same config + workload → same report) holds.
+            // The returned shootdowns are applied for coherence
+            // discipline even though the machine is still cold.
+            for sd in os.promote_all() {
+                self.mem.apply_shootdown(&sd, now);
+            }
+        }
         let mut kernels = 0u64;
         let mut mem_instructions = 0u64;
         let mut line_requests = 0u64;
@@ -458,6 +470,16 @@ impl GpuSim {
                     Err(_) => false,
                 };
                 plan.record_remap(ok);
+            }
+            InjectEvent::Splinter { asid, vpn } => {
+                let ok = match os.splinter(ProcessId(asid.0), vpn) {
+                    Ok(sd) => {
+                        self.mem.apply_shootdown(&sd, at);
+                        true
+                    }
+                    Err(_) => false,
+                };
+                plan.record_splinter(ok);
             }
         }
         if self.mem.config().paranoid {
@@ -685,6 +707,46 @@ mod tests {
         };
         assert_eq!(run(5), run(5), "same seed must replay byte-identically");
         assert_ne!(run(5), run(6), "seed does not reach the injectors");
+    }
+
+    #[test]
+    fn transparent_huge_pages_promote_at_run_start() {
+        let (mut os, pid, r) = setup(1024);
+        assert_eq!(os.large_mapping_count(), 0);
+        let k = streaming_kernel(&r, pid.asid(), 8, 10);
+        let rep = GpuSim::new(GpuConfig::default(), SystemConfig::huge().with_paranoid())
+            .run(&mut k.into_source(), &mut os);
+        assert!(
+            os.large_mapping_count() > 0,
+            "a 1024-page region must contain at least one promotable \
+             aligned block"
+        );
+        assert_eq!(rep.faults, 0);
+        let reach = rep
+            .mem
+            .iommu_tlb_reach
+            .expect("huge preset carries a size-aware shared TLB");
+        assert!(
+            reach.lookups.get() > 0,
+            "no translation ever consulted the reach array"
+        );
+        assert!(rep.mem.per_cu_tlb_reach.is_some());
+    }
+
+    #[test]
+    fn splinter_injection_demotes_huge_mappings() {
+        let (mut os, pid, r) = setup(1024);
+        let sys = SystemConfig::huge()
+            .with_paranoid()
+            .with_inject(gvc::InjectConfig::uniform(0, 13).with_splinter(50_000));
+        let k = streaming_kernel(&r, pid.asid(), 16, 40);
+        let rep = GpuSim::new(GpuConfig::default(), sys).run(&mut k.into_source(), &mut os);
+        let inj = rep.injected.expect("splinter rate arms the plan");
+        assert!(
+            inj.splinters > 0,
+            "no splinter landed on the promoted region: {inj:?}"
+        );
+        assert_eq!(rep.faults, 0, "demoted pages must still translate");
     }
 
     #[test]

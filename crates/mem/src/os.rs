@@ -8,7 +8,7 @@
 //! were invalidated via [`Shootdown`] notifications, exactly like an
 //! IOMMU invalidation command from a host OS.
 
-use crate::addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn};
+use crate::addr::{Asid, PAddr, Ppn, VAddr, VRange, Vpn, PAGE_BYTES};
 use crate::page_table::{PageTable, WalkOutcome, WalkPath, PAGES_PER_LARGE};
 use crate::perms::Perms;
 use crate::phys::{PhysMem, PhysMemSnapshot};
@@ -44,11 +44,36 @@ pub enum Shootdown {
         /// The affected virtual pages.
         vpns: Vec<Vpn>,
     },
+    /// Invalidate a contiguous run of pages of one address space.
+    /// Semantically identical to [`Shootdown::Pages`] over
+    /// `start..start + pages`, but carries two words instead of a
+    /// materialized VPN vector — a 2 MB teardown names 512 pages, and
+    /// tenant-churn storms used to allocate O(512·N) VPNs.
+    Range {
+        /// The address space whose pages changed.
+        asid: Asid,
+        /// First affected virtual page.
+        start: Vpn,
+        /// Number of consecutive pages invalidated.
+        pages: u64,
+    },
     /// Invalidate everything for one address space (e.g. exit).
     AllOf {
         /// The address space being torn down.
         asid: Asid,
     },
+}
+
+impl Shootdown {
+    /// Number of individual page invalidations this notification
+    /// demands (`None` for the full-space [`Shootdown::AllOf`]).
+    pub fn page_count(&self) -> Option<u64> {
+        match self {
+            Shootdown::Pages { vpns, .. } => Some(vpns.len() as u64),
+            Shootdown::Range { pages, .. } => Some(*pages),
+            Shootdown::AllOf { .. } => None,
+        }
+    }
 }
 
 /// The OS-lite kernel: owns physical memory and all address spaces.
@@ -70,6 +95,12 @@ pub struct OsLite {
     frame_refs: HashMap<Ppn, u32>,
     /// Live 2 MB mappings: start VPN of each large region.
     large_regions: HashMap<(u16, u64), Ppn>,
+    /// Transparent-huge-page placement policy: when set, `mmap`
+    /// requests of 2 MB or more get a 2 MB-aligned virtual start, so
+    /// the region's interior blocks are eligible for
+    /// [`OsLite::promote`]. Off by default — enabling it changes the
+    /// virtual layout, so it must be decided before any allocation.
+    huge_aligned: bool,
 }
 
 impl OsLite {
@@ -81,7 +112,17 @@ impl OsLite {
             free_asids: Vec::new(),
             frame_refs: HashMap::new(),
             large_regions: HashMap::new(),
+            huge_aligned: false,
         }
+    }
+
+    /// Enables the huge-page placement policy (see the
+    /// `huge_aligned` field): subsequent `mmap` calls of 256 KB or
+    /// more are padded to whole 2 MB blocks and start on a 2 MB
+    /// virtual boundary. Call before allocating — the policy does not
+    /// move existing regions.
+    pub fn set_huge_alignment(&mut self, on: bool) {
+        self.huge_aligned = on;
     }
 
     /// Creates a process with an empty address space and returns its id.
@@ -239,7 +280,26 @@ impl OsLite {
     /// Returns [`MemError::OutOfFrames`] if physical memory is
     /// exhausted, or [`MemError::NoSuchProcess`].
     pub fn mmap(&mut self, pid: ProcessId, bytes: u64, perms: Perms) -> Result<VRange, MemError> {
-        let range = self.space_mut(pid)?.reserve(bytes);
+        // THP placement: allocations of at least 1/8 of a large page
+        // (khugepaged collapses blocks with trailing unmapped PTEs —
+        // `max_ptes_none` — so partially-filled blocks still become
+        // huge on real systems; eager mapping makes that a round-up
+        // here) are padded to a whole number of 2 MB blocks and
+        // started on a 2 MB virtual boundary, making every interior
+        // block eligible for [`OsLite::promote`].
+        const HUGE_ALLOC_MIN_BYTES: u64 = PAGES_PER_LARGE / 8 * PAGE_BYTES;
+        let huge = self.huge_aligned && bytes >= HUGE_ALLOC_MIN_BYTES;
+        let bytes = if huge {
+            bytes.next_multiple_of(PAGES_PER_LARGE * PAGE_BYTES)
+        } else {
+            bytes
+        };
+        let space = self.space_mut(pid)?;
+        let range = if huge {
+            space.reserve_aligned(bytes, PAGES_PER_LARGE)
+        } else {
+            space.reserve(bytes)
+        };
         for vpn in range.pages() {
             let frame = self.phys.alloc_frame()?;
             let (space, phys) = self.space_and_phys(pid)?;
@@ -356,10 +416,11 @@ impl OsLite {
         self.large_regions.remove(&(pid.0, vpn.raw()));
         // Contiguous blocks are not refcounted (no aliasing support);
         // frames are intentionally retired with the mapping.
-        let vpns = (0..PAGES_PER_LARGE)
-            .map(|i| Vpn::new(vpn.raw() + i))
-            .collect();
-        Ok(Shootdown::Pages { asid, vpns })
+        Ok(Shootdown::Range {
+            asid,
+            start: vpn,
+            pages: PAGES_PER_LARGE,
+        })
     }
 
     /// Unmaps a region, freeing frames whose last mapping disappears,
@@ -473,6 +534,181 @@ impl OsLite {
         })
     }
 
+    /// Transparently *promotes* the 2 MB-aligned block containing
+    /// `vpn` into a large page (Mosaic-style THP): all 512 subpages
+    /// must be mapped 4 KB pages with identical permissions and no
+    /// aliases (a shared frame cannot be silently relocated), and 512
+    /// physically contiguous frames must be free — the policy's
+    /// fragmentation gate. The subpages move to a fresh contiguous
+    /// block; the old frames are freed. Returns the shootdown covering
+    /// every relocated subpage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if any subpage is missing,
+    /// [`MemError::BadArgument`] if the block is already large, spans
+    /// mixed permissions, or contains aliased frames, or
+    /// [`MemError::OutOfFrames`] when fragmentation leaves no 2 MB
+    /// contiguous block (the promotion is refused, nothing changes).
+    pub fn promote(&mut self, pid: ProcessId, vpn: Vpn) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let base = Vpn::new(vpn.raw() - vpn.raw() % PAGES_PER_LARGE);
+        if self.large_regions.contains_key(&(pid.0, base.raw())) {
+            return Err(MemError::BadArgument("block is already a large mapping"));
+        }
+        let mut perms = None;
+        for i in 0..PAGES_PER_LARGE {
+            let sub = Vpn::new(base.raw() + i);
+            let (ppn, p) = self
+                .space(pid)?
+                .table()
+                .translate(&self.phys, sub)
+                .ok_or(MemError::NotMapped(sub.base()))?;
+            match perms {
+                None => perms = Some(p),
+                Some(q) if q == p => {}
+                Some(_) => {
+                    return Err(MemError::BadArgument(
+                        "mixed permissions cannot share one large PTE",
+                    ))
+                }
+            }
+            if self.frame_refs.get(&ppn).copied().unwrap_or(0) != 1 {
+                return Err(MemError::BadArgument(
+                    "aliased subpage frames cannot be relocated",
+                ));
+            }
+        }
+        let perms = perms.expect("512 subpages checked");
+        // The fragmentation gate: allocate the destination before
+        // touching the mappings so a refusal leaves everything intact.
+        let block = self.phys.alloc_contiguous(PAGES_PER_LARGE)?;
+        for i in 0..PAGES_PER_LARGE {
+            let sub = Vpn::new(base.raw() + i);
+            let (space, phys) = self.space_and_phys(pid)?;
+            let frame = space
+                .table_mut()
+                .unmap(phys, sub)
+                .expect("subpage checked mapped");
+            let refs = self.frame_refs.get_mut(&frame).expect("refcounted frame");
+            *refs -= 1;
+            if *refs == 0 {
+                self.frame_refs.remove(&frame);
+                self.phys.free_frame(frame);
+            }
+        }
+        let (space, phys) = self.space_and_phys(pid)?;
+        // The vacated leaf table still occupies the level-2 slot;
+        // collapse it so the large leaf can take its place.
+        space
+            .table_mut()
+            .collapse_empty_leaf_table(phys, base)
+            .expect("subpages were just unmapped");
+        let (space, phys) = self.space_and_phys(pid)?;
+        space
+            .table_mut()
+            .map_large(phys, base, block, perms)
+            .expect("slot was just collapsed");
+        self.large_regions.insert((pid.0, base.raw()), block);
+        Ok(Shootdown::Range {
+            asid,
+            start: base,
+            pages: PAGES_PER_LARGE,
+        })
+    }
+
+    /// *Splinters* the large mapping containing `vpn` back into 512
+    /// individual 4 KB PTEs over the same physical frames — the THP
+    /// fragmentation path (driven through the inject subsystem).
+    /// Translations are unchanged (same subframes, same permissions);
+    /// only the page-table shape and TLB reach change, so the hardware
+    /// must still drop any 2 MB-grain cached entries — hence the
+    /// returned shootdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotMapped`] if no large mapping covers
+    /// `vpn`, or [`MemError::NoSuchProcess`].
+    pub fn splinter(&mut self, pid: ProcessId, vpn: Vpn) -> Result<Shootdown, MemError> {
+        let asid = self.space(pid)?.asid();
+        let base = Vpn::new(vpn.raw() - vpn.raw() % PAGES_PER_LARGE);
+        if !self.large_regions.contains_key(&(pid.0, base.raw())) {
+            return Err(MemError::NotMapped(base.base()));
+        }
+        let (space, phys) = self.space_and_phys(pid)?;
+        let (_, perms) = space
+            .table()
+            .translate(phys, base)
+            .expect("tracked large mapping");
+        let block = space
+            .table_mut()
+            .unmap_large(phys, base)
+            .expect("tracked large mapping");
+        for i in 0..PAGES_PER_LARGE {
+            let sub = Vpn::new(base.raw() + i);
+            let frame = Ppn::new(block.raw() + i);
+            let (space, phys) = self.space_and_phys(pid)?;
+            space
+                .table_mut()
+                .map(phys, sub, frame, perms)
+                .expect("slot was just vacated");
+            *self.frame_refs.entry(frame).or_insert(0) += 1;
+        }
+        self.large_regions.remove(&(pid.0, base.raw()));
+        Ok(Shootdown::Range {
+            asid,
+            start: base,
+            pages: PAGES_PER_LARGE,
+        })
+    }
+
+    /// Applies the transparent huge-page policy across every live
+    /// address space: each fully-mapped, alias-free, uniformly-
+    /// permissioned 2 MB-aligned block whose contiguity gate passes is
+    /// promoted. Blocks that fail a precondition are skipped, not
+    /// errors. Returns the shootdowns in deterministic (ASID, VPN)
+    /// order so callers can replay them onto the hardware.
+    pub fn promote_all(&mut self) -> Vec<Shootdown> {
+        let mut out = Vec::new();
+        for slot in 0..self.spaces.len() {
+            let Some(space) = &self.spaces[slot] else {
+                continue;
+            };
+            let pid = ProcessId(slot as u16);
+            // Collect candidate block bases first (borrow discipline):
+            // every 2 MB-aligned block fully inside a mapped region.
+            let mut bases: Vec<u64> = Vec::new();
+            for range in space.regions() {
+                let lo = range.start().vpn().raw().div_ceil(PAGES_PER_LARGE) * PAGES_PER_LARGE;
+                let end = range.start().vpn().raw() + range.page_count();
+                let mut base = lo;
+                while base + PAGES_PER_LARGE <= end {
+                    bases.push(base);
+                    base += PAGES_PER_LARGE;
+                }
+            }
+            bases.sort_unstable();
+            bases.dedup();
+            for base in bases {
+                if let Ok(sd) = self.promote(pid, Vpn::new(base)) {
+                    out.push(sd);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `vpn` currently lies inside a live 2 MB large mapping.
+    pub fn is_large(&self, pid: ProcessId, vpn: Vpn) -> bool {
+        let base = vpn.raw() - vpn.raw() % PAGES_PER_LARGE;
+        self.large_regions.contains_key(&(pid.0, base))
+    }
+
+    /// Number of live 2 MB large mappings across all address spaces.
+    pub fn large_mapping_count(&self) -> usize {
+        self.large_regions.len()
+    }
+
     /// Functionally translates a virtual address (no timing).
     pub fn translate(&self, pid: ProcessId, va: VAddr) -> Option<(PAddr, Perms)> {
         let space = self.space(pid).ok()?;
@@ -499,6 +735,26 @@ impl OsLite {
         self.walk(ProcessId(asid.0), vpn)
     }
 
+    /// Whether the whole `span`-page-aligned block containing `vpn` is
+    /// mapped physically contiguously with uniform permissions — the
+    /// fill-time eligibility probe for coalesced reach-TLB entries
+    /// ("Enabling Large-Reach TLBs"-style subregion contiguity).
+    /// Functional only: a span's PTEs share the cache line the walker
+    /// already fetched, so hardware gets this answer for free.
+    pub fn span_contiguous_asid(&self, asid: Asid, vpn: Vpn, span: u64) -> bool {
+        let Ok(space) = self.space(ProcessId(asid.0)) else {
+            return false;
+        };
+        let base = vpn.raw() - vpn.raw() % span;
+        let Some((ppn0, perms0)) = space.table().translate(&self.phys, Vpn::new(base)) else {
+            return false;
+        };
+        (1..span).all(|i| {
+            space.table().translate(&self.phys, Vpn::new(base + i))
+                == Some((Ppn::new(ppn0.raw() + i), perms0))
+        })
+    }
+
     /// Captures the kernel's full state — physical memory, every
     /// address space, ASID recycling, and alias refcounts — for
     /// checkpointing.
@@ -522,6 +778,7 @@ impl OsLite {
             free_asids: self.free_asids.clone(),
             frame_refs,
             large_regions,
+            huge_aligned: self.huge_aligned,
         }
     }
 
@@ -548,6 +805,7 @@ impl OsLite {
         for &(pid, vpn, base) in &snap.large_regions {
             self.large_regions.insert((pid, vpn), base);
         }
+        self.huge_aligned = snap.huge_aligned;
     }
 }
 
@@ -567,6 +825,8 @@ pub struct OsSnapshot {
     pub frame_refs: Vec<(Ppn, u32)>,
     /// Live 2 MB mappings as `(pid, start vpn, base frame)` sorted.
     pub large_regions: Vec<(u16, u64, Ppn)>,
+    /// Whether the huge-page placement policy was on.
+    pub huge_aligned: bool,
 }
 
 #[cfg(test)]
@@ -731,12 +991,165 @@ mod tests {
         let pid = os.create_process();
         let r = os.mmap_large(pid, 1, Perms::READ_WRITE).unwrap();
         let sd = os.munmap_large(pid, r.start().vpn()).unwrap();
-        match sd {
-            Shootdown::Pages { vpns, .. } => assert_eq!(vpns.len(), PAGES_PER_LARGE as usize),
-            other => panic!("unexpected {other:?}"),
-        }
+        // A compact range, not a 512-entry vector — but covering
+        // exactly the same pages.
+        assert_eq!(
+            sd,
+            Shootdown::Range {
+                asid: pid.asid(),
+                start: r.start().vpn(),
+                pages: PAGES_PER_LARGE
+            }
+        );
+        assert_eq!(sd.page_count(), Some(PAGES_PER_LARGE));
         assert!(os.translate(pid, r.start()).is_none());
         assert!(os.munmap_large(pid, r.start().vpn()).is_err());
+    }
+
+    #[test]
+    fn promote_relocates_to_a_contiguous_block() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os
+            .mmap(pid, PAGES_PER_LARGE * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        // User mappings start at 4 GiB, so the first region is 2 MB
+        // aligned and the whole block is promotable.
+        let base = r.start().vpn();
+        assert_eq!(base.raw() % PAGES_PER_LARGE, 0, "first region is aligned");
+        let sd = os.promote(pid, base).unwrap();
+        assert_eq!(
+            sd,
+            Shootdown::Range {
+                asid: pid.asid(),
+                start: base,
+                pages: PAGES_PER_LARGE
+            }
+        );
+        assert!(os.is_large(pid, Vpn::new(base.raw() + 99)));
+        assert_eq!(os.large_mapping_count(), 1);
+        // Subpages now walk in 3 levels onto one contiguous block.
+        let (out, path) = os.walk(pid, Vpn::new(base.raw() + 37)).unwrap();
+        assert_eq!(path.accesses(), 3);
+        let WalkOutcome::Mapped {
+            ppn, large: true, ..
+        } = out
+        else {
+            panic!("promoted block must walk as a large page, got {out:?}");
+        };
+        let (out0, _) = os.walk(pid, base).unwrap();
+        let WalkOutcome::Mapped { ppn: blk, .. } = out0 else {
+            panic!("mapped")
+        };
+        assert_eq!(ppn.raw(), blk.raw() + 37);
+        assert_eq!(blk.raw() % PAGES_PER_LARGE, 0);
+        // Double promotion refused.
+        assert!(os.promote(pid, base).is_err());
+    }
+
+    #[test]
+    fn promote_refuses_aliased_and_mixed_perm_blocks() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os
+            .mmap(pid, PAGES_PER_LARGE * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let base = r.start().vpn();
+        assert_eq!(base.raw() % PAGES_PER_LARGE, 0, "first region is aligned");
+        // An alias of one subpage pins its frame.
+        let one = VRange::new(base.base(), PAGE_BYTES);
+        os.mmap_alias(pid, one).unwrap();
+        assert!(matches!(
+            os.promote(pid, base),
+            Err(MemError::BadArgument(_))
+        ));
+        // Mixed permissions refuse too.
+        let mut os2 = OsLite::new(64 << 20);
+        let pid2 = os2.create_process();
+        let r2 = os2
+            .mmap(pid2, PAGES_PER_LARGE * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        os2.mprotect(pid2, VRange::new(r2.start(), PAGE_BYTES), Perms::READ_ONLY)
+            .unwrap();
+        assert!(matches!(
+            os2.promote(pid2, r2.start().vpn()),
+            Err(MemError::BadArgument(_))
+        ));
+        // A hole refuses as NotMapped.
+        let mut os3 = OsLite::new(64 << 20);
+        let pid3 = os3.create_process();
+        let r3 = os3
+            .mmap(pid3, PAGES_PER_LARGE * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        os3.munmap(pid3, VRange::new(r3.start(), PAGE_BYTES))
+            .unwrap();
+        assert!(matches!(
+            os3.promote(pid3, r3.start().vpn()),
+            Err(MemError::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn splinter_preserves_every_translation() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 1, Perms::READ_ONLY).unwrap();
+        let base = r.start().vpn();
+        let before: Vec<_> = (0..PAGES_PER_LARGE)
+            .map(|i| os.translate(pid, Vpn::new(base.raw() + i).base()).unwrap())
+            .collect();
+        let sd = os.splinter(pid, Vpn::new(base.raw() + 200)).unwrap();
+        assert_eq!(
+            sd,
+            Shootdown::Range {
+                asid: pid.asid(),
+                start: base,
+                pages: PAGES_PER_LARGE
+            }
+        );
+        assert!(!os.is_large(pid, base));
+        for (i, want) in before.iter().enumerate() {
+            let got = os
+                .translate(pid, Vpn::new(base.raw() + i as u64).base())
+                .unwrap();
+            assert_eq!(&got, want, "splinter must not move subpage {i}");
+        }
+        // Walks now take 4 levels and report base pages.
+        let (out, path) = os.walk(pid, base).unwrap();
+        assert_eq!(path.accesses(), 4);
+        assert!(matches!(out, WalkOutcome::Mapped { large: false, .. }));
+        // Subpages are individually unmappable afterwards (refcounted).
+        let frames = os.phys().allocated_frames();
+        os.munmap(pid, VRange::new(base.base(), PAGE_BYTES))
+            .unwrap();
+        assert_eq!(os.phys().allocated_frames(), frames - 1);
+        // And the block can be re-promoted once contiguity allows.
+        assert!(os.splinter(pid, base).is_err(), "no longer large");
+    }
+
+    #[test]
+    fn promote_then_splinter_roundtrip_keeps_destroy_clean() {
+        let mut os = OsLite::new(128 << 20);
+        let baseline = os.phys().allocated_frames();
+        let pid = os.create_process();
+        os.mmap(pid, PAGES_PER_LARGE * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let sds = os.promote_all();
+        assert_eq!(sds.len(), 1, "one eligible block");
+        assert_eq!(os.large_mapping_count(), 1);
+        let start = match &sds[0] {
+            Shootdown::Range { start, .. } => *start,
+            other => panic!("unexpected {other:?}"),
+        };
+        os.splinter(pid, start).unwrap();
+        assert_eq!(os.large_mapping_count(), 0);
+        os.destroy_process(pid).unwrap();
+        // Splintered frames are refcounted, so teardown frees them all.
+        assert_eq!(
+            os.phys().allocated_frames(),
+            baseline,
+            "no frames leak through a promote/splinter/destroy cycle"
+        );
     }
 
     #[test]

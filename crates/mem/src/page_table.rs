@@ -91,6 +91,10 @@ pub enum WalkOutcome {
         ppn: Ppn,
         /// The page's permissions.
         perms: Perms,
+        /// Whether the translation came from a 2 MB large-page leaf.
+        /// The PPN is still the 4 KB subframe; reach-aware TLBs use
+        /// this to cache the whole 2 MB region from one walk.
+        large: bool,
     },
     /// The walk hit a non-present entry (page fault).
     Fault,
@@ -109,7 +113,7 @@ pub enum WalkOutcome {
 /// let frame = pm.alloc_frame()?;
 /// pt.map(&mut pm, Vpn::new(0x1234), frame, Perms::READ_WRITE)?;
 /// let (outcome, path) = pt.walk(&pm, Vpn::new(0x1234));
-/// assert_eq!(outcome, WalkOutcome::Mapped { ppn: frame, perms: Perms::READ_WRITE });
+/// assert_eq!(outcome, WalkOutcome::Mapped { ppn: frame, perms: Perms::READ_WRITE, large: false });
 /// assert_eq!(path.accesses(), 4); // four levels touched
 /// # Ok::<(), gvc_mem::MemError>(())
 /// ```
@@ -198,6 +202,7 @@ impl PageTable {
                     WalkOutcome::Mapped {
                         ppn: Ppn::new(pte_ppn(pte).raw() + sub),
                         perms: pte_perms(pte),
+                        large: true,
                     },
                     path,
                 );
@@ -207,6 +212,7 @@ impl PageTable {
                     WalkOutcome::Mapped {
                         ppn: pte_ppn(pte),
                         perms: pte_perms(pte),
+                        large: false,
                     },
                     path,
                 );
@@ -290,7 +296,7 @@ impl PageTable {
     /// Convenience: walks and returns the translation, ignoring timing.
     pub fn translate(&self, pm: &PhysMem, vpn: Vpn) -> Option<(Ppn, Perms)> {
         match self.walk(pm, vpn).0 {
-            WalkOutcome::Mapped { ppn, perms } => Some((ppn, perms)),
+            WalkOutcome::Mapped { ppn, perms, .. } => Some((ppn, perms)),
             WalkOutcome::Fault => None,
         }
     }
@@ -315,6 +321,12 @@ impl PageTable {
             let ea = Self::entry_addr(node, Self::index_at(vpn, level));
             let pte = pm.read_u64(ea);
             node = if pte_present(pte) {
+                // A present level-2 large leaf already covers this VPN.
+                // Descending through it would treat a *data* block as a
+                // page-table node and scribble a PTE into it.
+                if level == PT_LEVELS - 2 && pte_large(pte) {
+                    return Err(MemError::AlreadyMapped(vpn.base()));
+                }
                 pte_ppn(pte)
             } else {
                 let fresh = pm.alloc_frame()?;
@@ -391,12 +403,66 @@ impl PageTable {
         free_node(pm, self.root, 0);
     }
 
+    /// Collapses the *empty* level-3 leaf table covering the 2 MB
+    /// block at `vpn`: clears the level-2 entry pointing at it and
+    /// frees its node frame — the final step of a THP promotion, which
+    /// first unmaps all 512 subpages and then installs a large leaf in
+    /// the vacated slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadArgument`] on misalignment,
+    /// [`MemError::NotMapped`] if no leaf table exists there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf table still holds present entries — callers
+    /// must unmap every subpage first.
+    pub(crate) fn collapse_empty_leaf_table(
+        &mut self,
+        pm: &mut PhysMem,
+        vpn: Vpn,
+    ) -> Result<(), MemError> {
+        if !vpn.raw().is_multiple_of(PAGES_PER_LARGE) {
+            return Err(MemError::BadArgument("collapse needs a 2 MB aligned VPN"));
+        }
+        let mut node = self.root;
+        for level in 0..PT_LEVELS - 2 {
+            let ea = Self::entry_addr(node, Self::index_at(vpn, level));
+            let pte = pm.read_u64(ea);
+            if !pte_present(pte) {
+                return Err(MemError::NotMapped(vpn.base()));
+            }
+            node = pte_ppn(pte);
+        }
+        let ea = Self::entry_addr(node, Self::index_at(vpn, PT_LEVELS - 2));
+        let pte = pm.read_u64(ea);
+        if !pte_present(pte) || pte_large(pte) {
+            return Err(MemError::NotMapped(vpn.base()));
+        }
+        let leaf_table = pte_ppn(pte);
+        for i in 0..crate::phys::ENTRIES_PER_FRAME as u64 {
+            assert!(
+                !pte_present(pm.read_u64(Self::entry_addr(leaf_table, i))),
+                "collapsing a leaf table that still maps pages"
+            );
+        }
+        pm.write_u64(ea, 0);
+        pm.free_frame(leaf_table);
+        Ok(())
+    }
+
     fn leaf_addr(&self, pm: &PhysMem, vpn: Vpn) -> Option<PAddr> {
         let mut node = self.root;
         for level in 0..PT_LEVELS - 1 {
             let ea = Self::entry_addr(node, Self::index_at(vpn, level));
             let pte = pm.read_u64(ea);
             if !pte_present(pte) {
+                return None;
+            }
+            // A large leaf has no 4 KB leaf table beneath it; reading
+            // "entries" out of its data block would return garbage.
+            if level == PT_LEVELS - 2 && pte_large(pte) {
                 return None;
             }
             node = pte_ppn(pte);
@@ -426,7 +492,8 @@ mod tests {
             out,
             WalkOutcome::Mapped {
                 ppn: frame,
-                perms: Perms::READ_ONLY
+                perms: Perms::READ_ONLY,
+                large: false
             }
         );
         assert_eq!(path.accesses(), PT_LEVELS);
@@ -524,7 +591,8 @@ mod tests {
             out,
             WalkOutcome::Mapped {
                 ppn: Ppn::new(base.raw() + 37),
-                perms: Perms::READ_WRITE
+                perms: Perms::READ_WRITE,
+                large: true
             }
         );
         let freed = pt.unmap_large(&mut pm, Vpn::new(512)).unwrap();
@@ -563,6 +631,59 @@ mod tests {
         assert_eq!(
             pt.translate(&pm, Vpn::new(1024 + 511)),
             Some((Ppn::new(base.raw() + 511), Perms::READ_ONLY))
+        );
+    }
+
+    #[test]
+    fn map_under_a_large_leaf_is_rejected_not_corrupting() {
+        let (mut pm, mut pt) = setup();
+        let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
+        pt.map_large(&mut pm, Vpn::new(1024), base, Perms::READ_WRITE)
+            .unwrap();
+        let f = pm.alloc_frame().unwrap();
+        // Pre-fix, map() descended *through* the large leaf, treating
+        // the 2 MB data block as a leaf table and writing a PTE into
+        // it. Now the overlap is reported.
+        assert!(matches!(
+            pt.map(&mut pm, Vpn::new(1024 + 7), f, Perms::READ_WRITE),
+            Err(MemError::AlreadyMapped(_))
+        ));
+        // The large mapping is intact and no data frame grew storage.
+        assert_eq!(
+            pt.translate(&pm, Vpn::new(1024 + 7)),
+            Some((Ppn::new(base.raw() + 7), Perms::READ_WRITE))
+        );
+        // Pre-fix the leaf write landed at entry 7 of the data block's
+        // base frame; that word must still read as untouched data.
+        assert_eq!(
+            pm.read_u64(base.base().offset(7 * 8)),
+            0,
+            "data block must not be scribbled with PTEs"
+        );
+    }
+
+    #[test]
+    fn unmap_and_protect_refuse_large_subpages() {
+        let (mut pm, mut pt) = setup();
+        let base = pm.alloc_contiguous(PAGES_PER_LARGE).unwrap();
+        pt.map_large(&mut pm, Vpn::new(512), base, Perms::READ_WRITE)
+            .unwrap();
+        // Pre-fix, leaf_addr() read "PTEs" out of the data block: a
+        // zero word faulted benignly, but any non-zero data word would
+        // have been decoded as a leaf entry. Subpage ops now fail
+        // cleanly (large mappings change only as a unit).
+        assert!(matches!(
+            pt.unmap(&mut pm, Vpn::new(512 + 9)),
+            Err(MemError::NotMapped(_))
+        ));
+        assert!(matches!(
+            pt.protect(&mut pm, Vpn::new(512 + 9), Perms::READ_ONLY),
+            Err(MemError::NotMapped(_))
+        ));
+        assert_eq!(pt.mapped_pages(), PAGES_PER_LARGE);
+        assert_eq!(
+            pt.translate(&pm, Vpn::new(512 + 9)),
+            Some((Ppn::new(base.raw() + 9), Perms::READ_WRITE))
         );
     }
 

@@ -139,6 +139,12 @@ pub struct IommuResponse {
     pub done_at: Cycle,
     /// How it was satisfied.
     pub outcome: IommuOutcome,
+    /// Whether the translation is backed by a reach-granularity
+    /// mapping — a 2 MB large-page leaf, or a subregion the fill path
+    /// proved physically contiguous. Per-CU TLBs with reach sub-arrays
+    /// use this to cache the whole block from one response; always
+    /// `false` on faults and second-level (FBT) hits.
+    pub large: bool,
 }
 
 /// IOMMU counters.
@@ -264,9 +270,14 @@ impl Iommu {
         self.stats
     }
 
-    /// Shared TLB statistics.
+    /// Shared TLB statistics (the base 4 KB array).
     pub fn tlb_stats(&self) -> TlbStats {
         self.tlb.stats()
+    }
+
+    /// Shared TLB reach sub-array statistics, when one is configured.
+    pub fn tlb_reach_stats(&self) -> Option<TlbStats> {
+        self.tlb.reach_stats()
     }
 
     /// PWC statistics.
@@ -329,7 +340,7 @@ impl Iommu {
         self.tr(TraceCause::IommuQueue, service_at);
         self.tr(TraceCause::IommuService, lookup_done);
 
-        if let Some(entry) = self.tlb.lookup(key, service_at) {
+        if let Some((entry, from_reach)) = self.tlb.lookup_tagged(key, service_at) {
             self.stats.tlb_hits.inc();
             return IommuResponse {
                 service_at,
@@ -338,6 +349,7 @@ impl Iommu {
                     ppn: entry.ppn,
                     perms: entry.perms,
                 },
+                large: from_reach,
             };
         }
 
@@ -347,11 +359,15 @@ impl Iommu {
             self.tr(TraceCause::FbtProbe, t);
             if let Some((ppn, perms)) = hook(asid, vpn) {
                 self.stats.second_level_hits.inc();
+                // The FBT tracks 4 KB lines, so its hits fill (and
+                // report) base-page translations even under a large
+                // mapping — conservative but always correct.
                 self.tlb.insert(key, ppn, perms, t);
                 return IommuResponse {
                     service_at,
                     done_at: t,
                     outcome: IommuOutcome::SecondLevelHit { ppn, perms },
+                    large: false,
                 };
             }
         }
@@ -365,9 +381,21 @@ impl Iommu {
                 entries: Vec::new(),
             },
         ));
+        // Charge the walk. The final entry of a *successful* walk is
+        // the leaf PTE, which paging-structure caches never hold: a
+        // 4 KB walk's leaf sits at level 3 (past `max_cached_level`
+        // anyway), but a 2 MB walk's leaf sits at level 2, where the
+        // PWC *would* cache it — so large-page walks must skip the PWC
+        // for their last access and pay memory, or sibling-subpage
+        // walks would be impossibly charged 3 PWC hits. Faulting walks
+        // are charged as before: their last fetched entry is a
+        // non-present interior slot, not a leaf translation.
+        let mapped = matches!(outcome, WalkOutcome::Mapped { .. });
+        let n_accesses = path.entries.len();
         let mut latency = 0u64;
         for (level, pte_addr) in path.entries.iter().enumerate() {
-            latency += if self.pwc.access(*pte_addr, level) {
+            let leaf = mapped && level + 1 == n_accesses;
+            latency += if !leaf && self.pwc.access(*pte_addr, level) {
                 self.config.pwc_hit_cycles
             } else {
                 self.config.memory_access_cycles
@@ -400,14 +428,28 @@ impl Iommu {
                     service_at,
                     done_at: end,
                     outcome: IommuOutcome::Fault,
+                    large: false,
                 }
             }
-            WalkOutcome::Mapped { ppn, perms } => {
-                self.tlb.insert(key, ppn, perms, end);
+            WalkOutcome::Mapped { ppn, perms, large } => {
+                // Reach eligibility of this fill: a 2 MB leaf covers
+                // any span dividing 512 pages; a 4 KB leaf can still
+                // back a *coalesced* (sub-512) span if the whole
+                // span-aligned block around it is contiguous in
+                // physical memory with uniform permissions. The
+                // contiguity probe is free in time: the span's PTEs
+                // share the cache line the walker just fetched.
+                let span_backed = match self.tlb.reach_span() {
+                    Some(span) if span >= gvc_mem::PAGES_PER_LARGE => large,
+                    Some(span) => large || os.span_contiguous_asid(asid, vpn, span),
+                    None => large,
+                };
+                self.tlb.insert_sized(key, ppn, perms, end, span_backed);
                 IommuResponse {
                     service_at,
                     done_at: end,
                     outcome: IommuOutcome::Walked { ppn, perms },
+                    large: span_backed,
                 }
             }
             WalkOutcome::Fault => {
@@ -416,6 +458,7 @@ impl Iommu {
                     service_at,
                     done_at: end,
                     outcome: IommuOutcome::Fault,
+                    large: false,
                 }
             }
         }
@@ -701,6 +744,170 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed must replay identically");
         assert_ne!(run(42), run(43), "seed does not reach the walker");
+    }
+
+    #[test]
+    fn large_page_walk_is_three_accesses_and_its_leaf_bypasses_the_pwc() {
+        // The large-page correctness regression: a GPU access into an
+        // `mmap_large` region must walk exactly 3 levels, return the
+        // right subframe PAddr, and keep the level-2 *leaf* PTE out of
+        // the page-walk cache (paging-structure caches hold interior
+        // nodes only). Pre-fix, the walker charged the leaf as a
+        // cacheable level-2 entry: 3 PWC lookups on the cold walk and
+        // an impossible 3-PWC-hit (6-cycle) sibling walk.
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 1, P::READ_WRITE).unwrap();
+        let base = r.start().vpn().raw();
+        let vpn = gvc_mem::Vpn::new(base + 37);
+
+        // The exact 3-access walk path and outcome, as the walker sees it.
+        let (outcome, path) = os.walk_asid(pid.asid(), vpn).unwrap();
+        assert_eq!(path.entries.len(), 3, "large walk stops at level 2");
+        assert!(matches!(
+            outcome,
+            gvc_mem::WalkOutcome::Mapped { large: true, .. }
+        ));
+
+        let mut iommu = Iommu::new(IommuConfig::small());
+        let cfg = IommuConfig::small();
+        let resp = iommu.translate(pid.asid(), vpn, Cycle::new(0), &os, None);
+        // Cold walk: TLB lookup + 3 memory accesses, nothing cached yet.
+        assert_eq!(
+            resp.done_at,
+            Cycle::new(cfg.tlb_latency + 3 * cfg.memory_access_cycles)
+        );
+        // The returned PAddr is subframe 37 of the contiguous block.
+        let (ppn, _) = resp.outcome.translation().expect("mapped");
+        let (expect, _) = os.translate(pid, vpn.base()).unwrap();
+        assert_eq!(ppn, expect.ppn(), "wrong subframe PPN for a 2 MB page");
+        // Only the two interior levels touched the PWC.
+        assert_eq!(
+            iommu.pwc_stats().lookups.get(),
+            2,
+            "the large-page leaf must bypass the PWC"
+        );
+        // A sibling subpage's walk hits the PWC for levels 0-1 but pays
+        // memory for the leaf: 2 + 2 + 60 cycles, not 2 + 2 + 2.
+        let second = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base + 200),
+            Cycle::new(10_000),
+            &os,
+            None,
+        );
+        assert_eq!(
+            second.done_at.raw() - 10_000,
+            cfg.tlb_latency + 2 * cfg.pwc_hit_cycles + cfg.memory_access_cycles,
+            "sibling large-page walk must pay memory for its leaf"
+        );
+    }
+
+    #[test]
+    fn huge_reach_tlb_covers_the_block_from_one_walk() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        let r = os.mmap_large(pid, 1, P::READ_WRITE).unwrap();
+        let base = r.start().vpn().raw();
+        let mut iommu = Iommu::new(IommuConfig {
+            tlb: TlbConfig::shared(512).with_reach(64, gvc_mem::PAGES_PER_LARGE),
+            ..IommuConfig::small()
+        });
+        let first = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base),
+            Cycle::new(0),
+            &os,
+            None,
+        );
+        assert!(first.large, "a 2 MB walk fills the reach sub-array");
+        // Every sibling subpage now hits the shared TLB's 2 MB entry.
+        let sib = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base + 511),
+            Cycle::new(1000),
+            &os,
+            None,
+        );
+        assert!(matches!(sib.outcome, IommuOutcome::TlbHit { .. }));
+        assert!(sib.large);
+        let (ppn, _) = sib.outcome.translation().unwrap();
+        let (expect, _) = os
+            .translate(pid, gvc_mem::Vpn::new(base + 511).base())
+            .unwrap();
+        assert_eq!(ppn, expect.ppn());
+        assert_eq!(iommu.stats().walks.get(), 1, "one walk covered 512 pages");
+        // Shooting down any subpage kills the whole 2 MB view.
+        iommu.shootdown_page(pid.asid(), gvc_mem::Vpn::new(base + 3));
+        let again = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base),
+            Cycle::new(2000),
+            &os,
+            None,
+        );
+        assert!(matches!(again.outcome, IommuOutcome::Walked { .. }));
+        assert_eq!(iommu.tlb_reach_stats().unwrap().invalidations.get(), 1);
+    }
+
+    #[test]
+    fn coalesced_reach_tlb_requires_actual_contiguity() {
+        let mut os = OsLite::new(64 << 20);
+        let pid = os.create_process();
+        // `mmap` allocates each data frame *before* any page-table node
+        // frames its mapping needs, so the region's first span is split
+        // around the node allocations while later spans come out of the
+        // bump allocator back to back.
+        let r = os.mmap(pid, 64 * PAGE_BYTES, P::READ_WRITE).unwrap();
+        let base = r.start().vpn().raw();
+        assert!(os.span_contiguous_asid(pid.asid(), gvc_mem::Vpn::new(base + 8), 8));
+        let mut iommu = Iommu::new(IommuConfig {
+            tlb: TlbConfig::shared(512).with_reach(64, 8),
+            ..IommuConfig::small()
+        });
+        // Span [0..8): page 0's frame is not adjacent to page 1's.
+        let first = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base),
+            Cycle::new(0),
+            &os,
+            None,
+        );
+        assert!(!first.large, "a fragmented span must not coalesce");
+        // Span [8..16): contiguous, so one walk covers all eight pages.
+        let walked = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base + 8),
+            Cycle::new(100),
+            &os,
+            None,
+        );
+        assert!(walked.large, "a contiguous span must coalesce");
+        let sib = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base + 15),
+            Cycle::new(200),
+            &os,
+            None,
+        );
+        assert!(matches!(sib.outcome, IommuOutcome::TlbHit { .. }));
+        let (ppn, _) = sib.outcome.translation().unwrap();
+        let (expect, _) = os
+            .translate(pid, gvc_mem::Vpn::new(base + 15).base())
+            .unwrap();
+        assert_eq!(ppn, expect.ppn());
+        // Break a later span's contiguity: relocating one page vetoes
+        // coalescing for the whole block.
+        os.remap_page(pid, gvc_mem::Vpn::new(base + 25)).unwrap();
+        let broken = iommu.translate(
+            pid.asid(),
+            gvc_mem::Vpn::new(base + 24),
+            Cycle::new(300),
+            &os,
+            None,
+        );
+        assert!(!broken.large, "a remapped page must veto coalescing");
+        assert!(matches!(broken.outcome, IommuOutcome::Walked { .. }));
     }
 
     #[test]

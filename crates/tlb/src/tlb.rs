@@ -77,11 +77,29 @@ pub enum TlbOrganization {
     Infinite,
 }
 
+/// A page-size-aware *reach* sub-array: a second, separately tagged
+/// array whose entries each cover a whole `span`-page-aligned virtual
+/// block (512 pages = one 2 MB huge page; 8 pages = one coalesced
+/// subregion, after "Enabling Large-Reach TLBs"). Both sub-arrays are
+/// probed on every lookup, as split-page-size TLB hardware does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReachConfig {
+    /// Entries in the reach sub-array (fully associative, true LRU).
+    pub entries: usize,
+    /// Pages covered by one reach entry. Must exceed 1; the covered
+    /// block is `span`-aligned and must be physically contiguous with
+    /// uniform permissions (the inserter's obligation).
+    pub span: u64,
+}
+
 /// TLB configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TlbConfig {
-    /// Size/associativity.
+    /// Size/associativity of the base (4 KB) array.
     pub organization: TlbOrganization,
+    /// Optional page-size-aware reach sub-array; `None` (every
+    /// original preset) reproduces the single-array TLB exactly.
+    pub reach: Option<ReachConfig>,
 }
 
 impl TlbConfig {
@@ -89,6 +107,7 @@ impl TlbConfig {
     pub fn per_cu(entries: usize) -> Self {
         TlbConfig {
             organization: TlbOrganization::FullyAssociative { entries },
+            reach: None,
         }
     }
 
@@ -96,6 +115,7 @@ impl TlbConfig {
     pub fn shared(entries: usize) -> Self {
         TlbConfig {
             organization: TlbOrganization::SetAssociative { entries, ways: 8 },
+            reach: None,
         }
     }
 
@@ -103,7 +123,15 @@ impl TlbConfig {
     pub fn infinite() -> Self {
         TlbConfig {
             organization: TlbOrganization::Infinite,
+            reach: None,
         }
+    }
+
+    /// Adds a reach sub-array of `entries` entries spanning `span`
+    /// pages each (see [`ReachConfig`]).
+    pub fn with_reach(mut self, entries: usize, span: u64) -> Self {
+        self.reach = Some(ReachConfig { entries, span });
+        self
     }
 }
 
@@ -193,6 +221,11 @@ pub struct Tlb {
     ways: usize,
     use_clock: u64,
     stats: TlbStats,
+    /// The reach sub-array, when configured: a nested single-array TLB
+    /// keyed by `(asid, span-aligned base vpn)` whose entries store the
+    /// block's base PPN. Its statistics are the per-size (large-entry)
+    /// half of the split counters.
+    reach: Option<Box<Tlb>>,
 }
 
 impl Tlb {
@@ -200,9 +233,17 @@ impl Tlb {
     ///
     /// # Panics
     ///
-    /// Panics if a bounded organization has zero entries or `ways` does
-    /// not divide `entries`.
+    /// Panics if a bounded organization has zero entries, `ways` does
+    /// not divide `entries`, or a reach sub-array has zero entries or a
+    /// span below 2.
     pub fn new(config: TlbConfig) -> Self {
+        let reach = config.reach.map(|r| {
+            assert!(r.span > 1, "reach span must cover more than one page");
+            Box::new(Tlb::new(TlbConfig {
+                organization: TlbOrganization::FullyAssociative { entries: r.entries },
+                reach: None,
+            }))
+        });
         let (nsets, ways) = match config.organization {
             TlbOrganization::FullyAssociative { entries } => {
                 assert!(entries > 0, "TLB must have entries");
@@ -229,6 +270,7 @@ impl Tlb {
             ways,
             use_clock: 0,
             stats: TlbStats::default(),
+            reach,
         }
     }
 
@@ -237,12 +279,45 @@ impl Tlb {
         self.config
     }
 
-    /// Statistics so far.
+    /// Statistics of the base (4 KB) array. Every lookup first probes
+    /// the reach sub-array (when configured); only lookups that miss it
+    /// reach the base array and are counted here, so base and reach
+    /// statistics each satisfy `hits + misses == lookups` on their own.
     pub fn stats(&self) -> TlbStats {
         self.stats
     }
 
-    /// Number of resident entries.
+    /// Statistics of the reach sub-array (the per-size split's
+    /// large-entry half), if one is configured.
+    pub fn reach_stats(&self) -> Option<TlbStats> {
+        self.reach.as_ref().map(|r| r.stats())
+    }
+
+    /// Pages covered by one reach entry, if a reach sub-array is
+    /// configured.
+    pub fn reach_span(&self) -> Option<u64> {
+        self.config.reach.map(|r| r.span)
+    }
+
+    /// Number of resident reach entries (0 without a reach sub-array).
+    pub fn reach_len(&self) -> usize {
+        self.reach.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// Iterates over resident reach entries; keys hold the span-aligned
+    /// base VPN, entries the block's base PPN.
+    pub fn iter_reach(&self) -> impl Iterator<Item = (TlbKey, TlbEntry)> + '_ {
+        self.reach.iter().flat_map(|r| r.iter())
+    }
+
+    /// The reach key covering `key`, and `key`'s page offset inside it.
+    #[inline]
+    fn reach_key(key: TlbKey, span: u64) -> (TlbKey, u64) {
+        let off = key.vpn.raw() % span;
+        (TlbKey::new(key.asid, Vpn::new(key.vpn.raw() - off)), off)
+    }
+
+    /// Number of resident entries in the base (4 KB) array.
     pub fn len(&self) -> usize {
         if self.is_infinite() {
             self.unbounded.len()
@@ -290,7 +365,34 @@ impl Tlb {
     }
 
     /// Looks up a translation, updating recency on a hit.
-    pub fn lookup(&mut self, key: TlbKey, _now: Cycle) -> Option<TlbEntry> {
+    pub fn lookup(&mut self, key: TlbKey, now: Cycle) -> Option<TlbEntry> {
+        self.lookup_tagged(key, now).map(|(e, _)| e)
+    }
+
+    /// Looks up a translation, additionally reporting whether the hit
+    /// came from the reach sub-array (`true`) or the base array
+    /// (`false`). A reach hit synthesizes the 4 KB view: base PPN plus
+    /// the page's offset within the span.
+    pub fn lookup_tagged(&mut self, key: TlbKey, now: Cycle) -> Option<(TlbEntry, bool)> {
+        if let Some(span) = self.config.reach.map(|r| r.span) {
+            let (rkey, off) = Self::reach_key(key, span);
+            let reach = self.reach.as_mut().expect("reach config implies array");
+            if let Some(e) = reach.lookup(rkey, now) {
+                return Some((
+                    TlbEntry {
+                        ppn: Ppn::new(e.ppn.raw() + off),
+                        perms: e.perms,
+                        inserted_at: e.inserted_at,
+                    },
+                    true,
+                ));
+            }
+        }
+        self.lookup_base(key, now).map(|e| (e, false))
+    }
+
+    /// The base-array half of [`Self::lookup_tagged`].
+    fn lookup_base(&mut self, key: TlbKey, _now: Cycle) -> Option<TlbEntry> {
         self.stats.lookups.inc();
         let found = if self.is_infinite() {
             self.unbounded.get(&key).copied()
@@ -337,8 +439,19 @@ impl Tlb {
         self.stats.misses.inc();
     }
 
-    /// Peeks without updating recency or statistics.
+    /// Peeks without updating recency or statistics. Like
+    /// [`Self::lookup`], the reach sub-array is consulted first.
     pub fn peek(&self, key: TlbKey) -> Option<TlbEntry> {
+        if let Some(span) = self.config.reach.map(|r| r.span) {
+            let (rkey, off) = Self::reach_key(key, span);
+            if let Some(e) = self.reach.as_ref().expect("reach array").peek(rkey) {
+                return Some(TlbEntry {
+                    ppn: Ppn::new(e.ppn.raw() + off),
+                    perms: e.perms,
+                    inserted_at: e.inserted_at,
+                });
+            }
+        }
         if self.is_infinite() {
             self.unbounded.get(&key).copied()
         } else {
@@ -412,6 +525,37 @@ impl Tlb {
         displaced
     }
 
+    /// Inserts a translation, routing it to the reach sub-array when
+    /// `span_backed` and one is configured. `span_backed` is the
+    /// caller's assertion that the whole span-aligned block containing
+    /// `key.vpn` is physically contiguous with uniform permissions (a
+    /// 2 MB leaf, or a subregion the fill path proved contiguous), so
+    /// one fill caches the entire block: `ppn` may be any page of it —
+    /// the block's base PPN is recovered from the in-span offset.
+    /// Without a reach sub-array, or for `span_backed == false`, this
+    /// is exactly [`Self::insert`].
+    pub fn insert_sized(
+        &mut self,
+        key: TlbKey,
+        ppn: Ppn,
+        perms: Perms,
+        now: Cycle,
+        span_backed: bool,
+    ) -> Option<Evicted> {
+        if span_backed {
+            if let Some(span) = self.config.reach.map(|r| r.span) {
+                let (rkey, off) = Self::reach_key(key, span);
+                let base_ppn = Ppn::new(ppn.raw() - off);
+                return self
+                    .reach
+                    .as_mut()
+                    .expect("reach config implies array")
+                    .insert(rkey, base_ppn, perms, now);
+            }
+        }
+        self.insert(key, ppn, perms, now)
+    }
+
     /// Removes every slot of `set` failing `keep`, preserving the
     /// relative order of survivors (`Vec::retain` semantics); returns
     /// how many were removed.
@@ -434,22 +578,38 @@ impl Tlb {
         removed
     }
 
-    /// Invalidates one entry; returns whether it was present.
+    /// Invalidates one entry; returns whether anything was removed.
+    ///
+    /// With a reach sub-array, the reach entry covering `key.vpn` is
+    /// removed too: a single-page shootdown must kill every cached view
+    /// of that page, and the covering large entry *is* such a view (its
+    /// removal in turn drops all of the block's subpage views at once —
+    /// the cross-size shootdown coherence both directions need).
     pub fn invalidate(&mut self, key: TlbKey) -> bool {
-        let removed = if self.is_infinite() {
+        let base_removed = if self.is_infinite() {
             self.unbounded.remove(&key).is_some()
         } else {
             let set = self.set_index(key);
             self.retain_set(set, |k| k != key) != 0
         };
-        if removed {
+        if base_removed {
             self.stats.invalidations.inc();
         }
-        removed
+        let mut reach_removed = false;
+        if let Some(span) = self.config.reach.map(|r| r.span) {
+            let (rkey, _) = Self::reach_key(key, span);
+            reach_removed = self
+                .reach
+                .as_mut()
+                .expect("reach config implies array")
+                .invalidate(rkey);
+        }
+        base_removed || reach_removed
     }
 
     /// Invalidates every entry of one address space (all-entry
-    /// shootdown); returns how many were removed.
+    /// shootdown); returns how many were removed, reach entries
+    /// included.
     pub fn invalidate_asid(&mut self, asid: Asid) -> usize {
         let mut removed = 0;
         if self.is_infinite() {
@@ -462,19 +622,24 @@ impl Tlb {
             }
         }
         self.stats.invalidations.add(removed as u64);
+        if let Some(r) = self.reach.as_mut() {
+            removed += r.invalidate_asid(asid);
+        }
         removed
     }
 
-    /// Drops every entry; returns how many were resident.
+    /// Drops every entry; returns how many were resident, reach entries
+    /// included.
     pub fn flush(&mut self) -> usize {
         let n = self.len();
         self.unbounded.clear();
         self.occupancy.fill(0);
         self.stats.invalidations.add(n as u64);
-        n
+        n + self.reach.as_mut().map_or(0, |r| r.flush())
     }
 
-    /// Iterates over resident entries (diagnostics and invariants).
+    /// Iterates over resident base-array entries (diagnostics and
+    /// invariants); see [`Self::iter_reach`] for the reach sub-array.
     pub fn iter(&self) -> impl Iterator<Item = (TlbKey, TlbEntry)> + '_ {
         let bounded = (0..self.n_sets).flat_map(move |set| {
             let (base, end) = self.span(set);
@@ -512,6 +677,7 @@ impl Tlb {
             unbounded,
             use_clock: self.use_clock,
             stats: self.stats,
+            reach: self.reach.as_ref().map(|r| Box::new(r.snapshot())),
         }
     }
 
@@ -553,6 +719,11 @@ impl Tlb {
         self.use_clock = snap.use_clock;
         self.stats = snap.stats;
         self.last_hit = None;
+        match (self.reach.as_mut(), snap.reach.as_ref()) {
+            (Some(r), Some(s)) => r.restore(s),
+            (None, None) => {}
+            _ => unreachable!("config equality covers the reach sub-array"),
+        }
     }
 }
 
@@ -582,6 +753,9 @@ pub struct TlbSnapshot {
     pub use_clock: u64,
     /// Statistics so far.
     pub stats: TlbStats,
+    /// Reach sub-array state, present exactly when the configuration
+    /// has one (`None` for every original single-array preset).
+    pub reach: Option<Box<TlbSnapshot>>,
 }
 
 #[cfg(test)]
@@ -689,6 +863,7 @@ mod tests {
                 entries: 8,
                 ways: 2,
             },
+            reach: None,
         });
         // Keys 0, 4, 8 share set 0 (4 sets).
         fill(&mut tlb, 0..1);
@@ -865,6 +1040,174 @@ mod tests {
     }
 
     #[test]
+    fn reach_entry_covers_every_subpage_from_one_fill() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(4).with_reach(2, 512));
+        // Fill with subpage 37 of a 512-page span; every other subpage
+        // must hit the reach array with the right synthesized PPN.
+        let base = 512 * 9;
+        tlb.insert_sized(
+            key(base + 37),
+            Ppn::new(7000 + 37),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            true,
+        );
+        assert_eq!(
+            tlb.len(),
+            0,
+            "span-backed fill must not touch the base array"
+        );
+        assert_eq!(tlb.reach_len(), 1);
+        for off in [0u64, 1, 37, 511] {
+            let e = tlb
+                .lookup(key(base + off), Cycle::new(1))
+                .expect("reach hit");
+            assert_eq!(e.ppn, Ppn::new(7000 + off));
+        }
+        // Per-size split: all four lookups landed on the reach side.
+        assert_eq!(tlb.reach_stats().unwrap().hits.get(), 4);
+        assert_eq!(tlb.stats().lookups.get(), 0);
+        // A page outside the span misses both arrays.
+        assert!(tlb.lookup(key(base + 512), Cycle::new(2)).is_none());
+        assert_eq!(tlb.reach_stats().unwrap().misses.get(), 1);
+        assert_eq!(tlb.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn subpage_shootdown_kills_the_whole_reach_entry_and_vice_versa() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(4).with_reach(2, 512));
+        let base = 512 * 3;
+        tlb.insert_sized(
+            key(base),
+            Ppn::new(100),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            true,
+        );
+        // Shooting down one subpage view invalidates the covering 2 MB
+        // entry, so *all* 512 views die with it.
+        assert!(tlb.invalidate(key(base + 200)));
+        assert_eq!(tlb.reach_len(), 0);
+        assert!(tlb.peek(key(base + 1)).is_none());
+        assert_eq!(tlb.reach_stats().unwrap().invalidations.get(), 1);
+        // And the other direction: with a 4 KB view resident, shooting
+        // down via any in-span VPN removes it too.
+        tlb.insert(
+            key(base + 5),
+            Ppn::new(105),
+            Perms::READ_WRITE,
+            Cycle::new(1),
+        );
+        assert!(tlb.invalidate(key(base + 5)));
+        assert!(tlb.peek(key(base + 5)).is_none());
+    }
+
+    #[test]
+    fn reach_asid_ops_and_flush_cover_both_arrays() {
+        let mut tlb = Tlb::new(TlbConfig::shared(16).with_reach(4, 8));
+        tlb.insert_sized(
+            TlbKey::new(Asid(1), Vpn::new(8)),
+            Ppn::new(80),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            true,
+        );
+        tlb.insert_sized(
+            TlbKey::new(Asid(2), Vpn::new(16)),
+            Ppn::new(160),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            true,
+        );
+        tlb.insert(
+            TlbKey::new(Asid(1), Vpn::new(99)),
+            Ppn::new(99),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+        );
+        assert_eq!(tlb.invalidate_asid(Asid(1)), 2, "one base + one reach");
+        assert_eq!(tlb.reach_len(), 1);
+        assert_eq!(tlb.flush(), 1, "the surviving reach entry");
+        assert_eq!(tlb.reach_len(), 0);
+        assert_eq!(tlb.iter_reach().count(), 0);
+    }
+
+    #[test]
+    fn non_span_backed_inserts_use_the_base_array() {
+        let mut tlb = Tlb::new(TlbConfig::per_cu(4).with_reach(2, 8));
+        tlb.insert_sized(
+            key(3),
+            Ppn::new(30),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            false,
+        );
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.reach_len(), 0);
+        let e = tlb.lookup(key(3), Cycle::new(1)).unwrap();
+        assert_eq!(e.ppn, Ppn::new(30));
+        // The probe order is reach first, so the miss there is counted.
+        assert_eq!(tlb.reach_stats().unwrap().misses.get(), 1);
+        assert_eq!(tlb.stats().hits.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_the_reach_array() {
+        let config = TlbConfig::per_cu(4).with_reach(2, 512);
+        let mut a = Tlb::new(config);
+        a.insert_sized(
+            key(512),
+            Ppn::new(1000),
+            Perms::READ_WRITE,
+            Cycle::new(0),
+            true,
+        );
+        a.insert_sized(
+            key(1024),
+            Ppn::new(2000),
+            Perms::READ_ONLY,
+            Cycle::new(1),
+            true,
+        );
+        a.insert(key(7), Ppn::new(70), Perms::READ_WRITE, Cycle::new(2));
+        a.lookup(key(600), Cycle::new(3));
+        let snap = a.snapshot();
+        let mut b = Tlb::new(config);
+        b.restore(&snap);
+        assert_eq!(b.snapshot(), snap, "snapshot→restore→snapshot fixed point");
+        for v in [512u64, 700, 1024, 1500, 7] {
+            assert_eq!(
+                a.lookup(key(v), Cycle::new(10)),
+                b.lookup(key(v), Cycle::new(10))
+            );
+        }
+        assert_eq!(a.reach_stats(), b.reach_stats());
+        // Capacity pressure evicts deterministically in both twins.
+        let ea = a.insert_sized(
+            key(2048),
+            Ppn::new(3000),
+            Perms::READ_WRITE,
+            Cycle::new(11),
+            true,
+        );
+        let eb = b.insert_sized(
+            key(2048),
+            Ppn::new(3000),
+            Perms::READ_WRITE,
+            Cycle::new(11),
+            true,
+        );
+        assert_eq!(ea, eb, "reach evictions diverged");
+        assert!(ea.is_some(), "2-entry reach array at 3 spans must evict");
+    }
+
+    #[test]
+    #[should_panic(expected = "span must cover")]
+    fn reach_span_of_one_rejected() {
+        let _ = Tlb::new(TlbConfig::per_cu(4).with_reach(2, 1));
+    }
+
+    #[test]
     #[should_panic(expected = "ways must divide")]
     fn bad_geometry_rejected() {
         let _ = Tlb::new(TlbConfig {
@@ -872,6 +1215,7 @@ mod tests {
                 entries: 10,
                 ways: 4,
             },
+            reach: None,
         });
     }
 }

@@ -78,12 +78,13 @@ impl KernelSource for FwSource {
 }
 
 /// Builds the workload. `blocked` selects `fw_block`.
-pub fn build(scale: Scale, _seed: u64, blocked: bool) -> Workload {
+pub fn build(scale: Scale, _seed: u64, blocked: bool, thp: bool) -> Workload {
     // Row length of 768 * 4 B = 3 KB: a 32-lane column access spans
     // ~24 pages, reproducing fw's extreme per-instruction divergence.
     let n = scale.apply(768, 64) & !31;
     let pivots = scale.apply(12, 4);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let data = DevArray::alloc(&mut os, pid, n * n, 4);
     Workload {
@@ -104,7 +105,7 @@ mod tests {
     use super::*;
 
     fn kernel_count(blocked: bool) -> (u64, u64) {
-        let mut w = build(Scale::test(), 0, blocked);
+        let mut w = build(Scale::test(), 0, blocked, false);
         let mut kernels = 0;
         let mut mem_ops = 0u64;
         while let Some(k) = w.source.next_kernel() {
@@ -131,7 +132,7 @@ mod tests {
 
     #[test]
     fn tiles_cover_the_matrix() {
-        let mut w = build(Scale::test(), 0, false);
+        let mut w = build(Scale::test(), 0, false, false);
         let k = w.source.next_kernel().unwrap();
         let n = 64u64; // test scale: 768*0.06=46 -> max(64) & !31 = 64
         assert_eq!(k.waves.len() as u64, (n / 32) * (n / 32));

@@ -70,10 +70,11 @@ impl KernelSource for LudSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let n = scale.apply(768, 96) & !31;
     let steps = scale.apply(8, 2);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let data = DevArray::alloc(&mut os, pid, n * n, 4);
     // Diagonal steps sample the factorization's progress evenly.
@@ -96,7 +97,7 @@ mod tests {
 
     #[test]
     fn trailing_submatrix_shrinks() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let mut sizes = Vec::new();
         while let Some(k) = w.source.next_kernel() {
             sizes.push(k.waves.len());

@@ -68,10 +68,11 @@ impl KernelSource for BcSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, seed: u64) -> Workload {
+pub fn build(scale: Scale, seed: u64, thp: bool) -> Workload {
     let n = scale.apply(32 * 1024, 2048) as u32;
     let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
@@ -101,7 +102,7 @@ mod tests {
 
     #[test]
     fn forward_then_backward_phases() {
-        let mut w = build(Scale::test(), 5);
+        let mut w = build(Scale::test(), 5, false);
         let mut names = Vec::new();
         while let Some(k) = w.source.next_kernel() {
             names.push(k.name);

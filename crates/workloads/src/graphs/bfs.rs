@@ -113,10 +113,11 @@ impl KernelSource for BfsSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, seed: u64) -> Workload {
+pub fn build(scale: Scale, seed: u64, thp: bool) -> Workload {
     let n = scale.apply(64 * 1024, 2048) as u32;
     let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
@@ -147,7 +148,7 @@ mod tests {
 
     #[test]
     fn one_kernel_per_level() {
-        let mut w = build(Scale::test(), 3);
+        let mut w = build(Scale::test(), 3, false);
         let mut kernels = 0;
         while let Some(k) = w.source.next_kernel() {
             assert!(k.name.starts_with("bfs_level"));
@@ -159,7 +160,7 @@ mod tests {
 
     #[test]
     fn discovery_writes_appear() {
-        let mut w = build(Scale::test(), 3);
+        let mut w = build(Scale::test(), 3, false);
         let k = w.source.next_kernel().unwrap();
         let writes: usize = k
             .waves

@@ -91,10 +91,11 @@ impl KernelSource for ColorSource {
 }
 
 /// Builds the workload. `maxmin` selects the two-sided variant.
-pub fn build(scale: Scale, seed: u64, maxmin: bool) -> Workload {
+pub fn build(scale: Scale, seed: u64, maxmin: bool, thp: bool) -> Workload {
     let n = scale.apply(32 * 1024, 2048) as u32;
     let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
@@ -125,7 +126,7 @@ mod tests {
 
     #[test]
     fn rounds_shrink_the_active_set() {
-        let mut w = build(Scale::test(), 2, false);
+        let mut w = build(Scale::test(), 2, false, false);
         let mut wave_counts = Vec::new();
         while let Some(k) = w.source.next_kernel() {
             wave_counts.push(k.waves.len());
@@ -141,7 +142,7 @@ mod tests {
     #[test]
     fn maxmin_converges_at_least_as_fast() {
         let rounds = |maxmin| {
-            let mut w = build(Scale::test(), 2, maxmin);
+            let mut w = build(Scale::test(), 2, maxmin, false);
             let mut c = 0;
             while w.source.next_kernel().is_some() {
                 c += 1;

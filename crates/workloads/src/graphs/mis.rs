@@ -103,10 +103,11 @@ impl KernelSource for MisSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, seed: u64) -> Workload {
+pub fn build(scale: Scale, seed: u64, thp: bool) -> Workload {
     let n = scale.apply(32 * 1024, 2048) as u32;
     let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
@@ -137,7 +138,7 @@ mod tests {
 
     #[test]
     fn terminates_with_scattered_writes() {
-        let mut w = build(Scale::test(), 4);
+        let mut w = build(Scale::test(), 4, false);
         let mut rounds = 0;
         let mut scattered = 0usize;
         while let Some(k) = w.source.next_kernel() {

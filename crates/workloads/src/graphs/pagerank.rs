@@ -56,10 +56,11 @@ impl KernelSource for PagerankSource {
 }
 
 /// Builds the workload. `spmv` adds the per-edge matrix-value stream.
-pub fn build(scale: Scale, seed: u64, spmv: bool) -> Workload {
+pub fn build(scale: Scale, seed: u64, spmv: bool, thp: bool) -> Workload {
     let n = scale.apply(32 * 1024, 2048) as u32;
     let graph = Graph::power_law_shared(n, 8, seed);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let offsets = DevArray::alloc(&mut os, pid, n as u64 + 1, 4);
     let targets = DevArray::alloc(&mut os, pid, graph.edges(), 4);
@@ -92,7 +93,7 @@ mod tests {
 
     #[test]
     fn yields_one_kernel_per_sweep() {
-        let mut w = build(Scale::test(), 1, false);
+        let mut w = build(Scale::test(), 1, false, false);
         let k1 = w.source.next_kernel().expect("sweep 1");
         assert!(k1.name.contains("pagerank_sweep1"));
         assert!(!k1.waves.is_empty());
@@ -102,8 +103,8 @@ mod tests {
 
     #[test]
     fn spmv_variant_adds_edge_stream() {
-        let w_plain = build(Scale::test(), 1, false);
-        let w_spmv = build(Scale::test(), 1, true);
+        let w_plain = build(Scale::test(), 1, false, false);
+        let w_spmv = build(Scale::test(), 1, true, false);
         drop(w_plain);
         assert_eq!(w_spmv.source.name(), "pagerank_spmv");
     }

@@ -225,23 +225,34 @@ pub struct Workload {
 
 /// Builds a workload instance. Deterministic in `(id, scale, seed)`.
 pub fn build(id: WorkloadId, scale: Scale, seed: u64) -> Workload {
+    build_thp(id, scale, seed, false)
+}
+
+/// Like [`build`], with the OS's transparent-huge-page placement
+/// policy selectable: with `thp` set, allocations of 2 MB or more get
+/// a 2 MB-aligned virtual start so their interior blocks are
+/// promotable to large mappings (`gvc_mem::OsLite::promote_all`).
+/// Virtual layout — and therefore every downstream address — depends
+/// on the flag, so it is part of the determinism key:
+/// `(id, scale, seed, thp)`.
+pub fn build_thp(id: WorkloadId, scale: Scale, seed: u64, thp: bool) -> Workload {
     use WorkloadId::*;
     match id {
-        Pagerank => graphs::pagerank::build(scale, seed, false),
-        PagerankSpmv => graphs::pagerank::build(scale, seed, true),
-        Bfs => graphs::bfs::build(scale, seed),
-        Bc => graphs::bc::build(scale, seed),
-        ColorMax => graphs::color::build(scale, seed, false),
-        ColorMaxmin => graphs::color::build(scale, seed, true),
-        Mis => graphs::mis::build(scale, seed),
-        Fw => dense::fw::build(scale, seed, false),
-        FwBlock => dense::fw::build(scale, seed, true),
-        Lud => dense::lud::build(scale, seed),
-        Kmeans => rodinia::kmeans::build(scale, seed),
-        Backprop => rodinia::backprop::build(scale, seed),
-        Hotspot => rodinia::hotspot::build(scale, seed),
-        Nw => rodinia::nw::build(scale, seed),
-        Pathfinder => rodinia::pathfinder::build(scale, seed),
+        Pagerank => graphs::pagerank::build(scale, seed, false, thp),
+        PagerankSpmv => graphs::pagerank::build(scale, seed, true, thp),
+        Bfs => graphs::bfs::build(scale, seed, thp),
+        Bc => graphs::bc::build(scale, seed, thp),
+        ColorMax => graphs::color::build(scale, seed, false, thp),
+        ColorMaxmin => graphs::color::build(scale, seed, true, thp),
+        Mis => graphs::mis::build(scale, seed, thp),
+        Fw => dense::fw::build(scale, seed, false, thp),
+        FwBlock => dense::fw::build(scale, seed, true, thp),
+        Lud => dense::lud::build(scale, seed, thp),
+        Kmeans => rodinia::kmeans::build(scale, seed, thp),
+        Backprop => rodinia::backprop::build(scale, seed, thp),
+        Hotspot => rodinia::hotspot::build(scale, seed, thp),
+        Nw => rodinia::nw::build(scale, seed, thp),
+        Pathfinder => rodinia::pathfinder::build(scale, seed, thp),
     }
 }
 

@@ -72,9 +72,10 @@ impl KernelSource for BackpropSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let n = scale.apply(64 * 1024, 4096);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let input = DevArray::alloc(&mut os, pid, n, 4);
     let weights = DevArray::alloc(&mut os, pid, n * HIDDEN, 4);
@@ -98,7 +99,7 @@ mod tests {
 
     #[test]
     fn two_phases() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         assert_eq!(w.source.next_kernel().unwrap().name, "backprop_fwd");
         assert_eq!(w.source.next_kernel().unwrap().name, "backprop_bwd");
         assert!(w.source.next_kernel().is_none());

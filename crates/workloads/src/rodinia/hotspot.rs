@@ -61,9 +61,10 @@ impl KernelSource for HotspotSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let dim = (scale.apply(512, 96) & !31).max(96);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let temp_a = DevArray::alloc(&mut os, pid, dim * dim, 4);
     let temp_b = DevArray::alloc(&mut os, pid, dim * dim, 4);
@@ -87,7 +88,7 @@ mod tests {
 
     #[test]
     fn stencil_shape() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let k = w.source.next_kernel().unwrap();
         // 96x96 grid: (dim-2) rows x dim/32 col blocks.
         assert_eq!(k.waves.len(), 94 * 3);

@@ -62,9 +62,10 @@ impl KernelSource for KmeansSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let n = scale.apply(96 * 1024, 4096);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let points = DevArray::alloc(&mut os, pid, n * FEATURES, 4);
     let centroids = DevArray::alloc(&mut os, pid, CENTROIDS * FEATURES, 4);
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn iterations_and_shape() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let mut kernels = 0;
         while let Some(k) = w.source.next_kernel() {
             kernels += 1;

@@ -73,9 +73,10 @@ impl KernelSource for NwSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let n = (scale.apply(1024, 128) / TILE) * TILE;
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let score = DevArray::alloc(&mut os, pid, n * n, 4);
     let reference = DevArray::alloc(&mut os, pid, n * n, 4);
@@ -97,7 +98,7 @@ mod tests {
 
     #[test]
     fn anti_diagonal_wavefront_grows_then_shrinks() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let mut sizes = Vec::new();
         while let Some(k) = w.source.next_kernel() {
             sizes.push(k.waves.len());
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn tiles_are_scratchpad_heavy() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let k = w.source.next_kernel().unwrap();
         let ops: Vec<_> = k
             .waves

@@ -57,10 +57,11 @@ impl KernelSource for PathfinderSource {
 }
 
 /// Builds the workload.
-pub fn build(scale: Scale, _seed: u64) -> Workload {
+pub fn build(scale: Scale, _seed: u64, thp: bool) -> Workload {
     let cols = scale.apply(64 * 1024, 4096);
     let rows = scale.apply(96, 16);
     let mut os = OsLite::new(512 << 20);
+    os.set_huge_alignment(thp);
     let pid = os.create_process();
     let grid = DevArray::alloc(&mut os, pid, rows * cols, 4);
     let result = DevArray::alloc(&mut os, pid, cols, 4);
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn blocks_cover_all_rows() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let mut blocks = 0;
         while let Some(k) = w.source.next_kernel() {
             blocks += 1;
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn scratch_dominates_ops() {
-        let mut w = build(Scale::test(), 0);
+        let mut w = build(Scale::test(), 0, false);
         let k = w.source.next_kernel().unwrap();
         let ops: Vec<_> = k
             .waves

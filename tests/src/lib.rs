@@ -27,5 +27,7 @@ pub fn all_designs() -> Vec<(&'static str, gvc::SystemConfig)> {
         ("l1_only_128", gvc::SystemConfig::l1_only_vc_128()),
         ("vc_without_opt", gvc::SystemConfig::vc_without_opt()),
         ("vc_with_opt", gvc::SystemConfig::vc_with_opt()),
+        ("huge", gvc::SystemConfig::huge()),
+        ("coalesced", gvc::SystemConfig::coalesced()),
     ]
 }

@@ -21,7 +21,7 @@
 
 use gvc::{AccessFault, LineAccess, MemorySystem, SystemConfig};
 use gvc_engine::Cycle;
-use gvc_mem::{OsLite, Perms, ProcessId, VRange, PAGE_BYTES};
+use gvc_mem::{OsLite, Perms, ProcessId, VRange, Vpn, PAGES_PER_LARGE, PAGE_BYTES};
 use gvc_soc::{Probe, ProbeKind};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -226,21 +226,24 @@ fn replay(cfg: SystemConfig, ops: &[RawOp]) -> (Outcome, BTreeSet<u64>) {
     )
 }
 
-fn presets() -> [(&'static str, SystemConfig); 5] {
+fn presets() -> [(&'static str, SystemConfig); 7] {
     [
         ("IDEAL MMU", SystemConfig::ideal_mmu()),
         ("Baseline 512", SystemConfig::baseline_512()),
         ("Baseline 16K", SystemConfig::baseline_16k()),
         ("VC Without OPT", SystemConfig::vc_without_opt()),
         ("VC With OPT", SystemConfig::vc_with_opt()),
+        ("Huge 2M", SystemConfig::huge()),
+        ("Coalesced", SystemConfig::coalesced()),
     ]
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::default())]
 
-    /// All five Table 2 designs agree on every architectural outcome of
-    /// a randomized trace, and their final write-back state matches the
+    /// All Table 2 designs — plus the huge-page and coalescing reach
+    /// extensions — agree on every architectural outcome of a
+    /// randomized trace, and their final write-back state matches the
     /// trace's ground truth.
     #[test]
     fn designs_agree_on_architectural_state(
@@ -269,6 +272,365 @@ proptest! {
             } else {
                 reference = Some((outcome, expected));
             }
+        }
+    }
+}
+
+const LP_PRIV_PAGES: u64 = 4;
+const LP_ADJ_PAGES: u64 = 4;
+
+/// The large-page layout: two virtually contiguous 2 MB mappings (so
+/// a synonym alias can straddle the internal 2 MB boundary), a 4 KB
+/// region right after them, a doomed 2 MB mapping a trace event may
+/// `munmap_large`, and small private write targets in both processes.
+struct LargeWorld {
+    os: OsLite,
+    p0: ProcessId,
+    p1: ProcessId,
+    priv0: VRange,
+    priv1: VRange,
+    /// Two large pages, virtually contiguous, read-only.
+    huge: VRange,
+    /// 4 KB synonym of the four pages straddling the boundary between
+    /// the two large pages.
+    straddle_alias: VRange,
+    /// 4 KB read-only pages following the huge region (a trace event
+    /// may remap one, proving 4 KB shootdowns adjacent to large
+    /// mappings stay exact).
+    adj: VRange,
+    /// One large page unmapped mid-trace.
+    doomed: VRange,
+}
+
+impl LargeWorld {
+    fn build() -> Self {
+        let mut os = OsLite::new(256 << 20);
+        let p0 = os.create_process();
+        let p1 = os.create_process();
+        let priv0 = os
+            .mmap(p0, LP_PRIV_PAGES * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let priv1 = os
+            .mmap(p1, LP_PRIV_PAGES * PAGE_BYTES, Perms::READ_WRITE)
+            .unwrap();
+        let huge = os.mmap_large(p0, 2, Perms::READ_ONLY).unwrap();
+        let straddle_src = VRange::new(
+            huge.addr_at((PAGES_PER_LARGE - 2) * PAGE_BYTES),
+            4 * PAGE_BYTES,
+        );
+        let straddle_alias = os.mmap_alias(p0, straddle_src).unwrap();
+        let adj = os
+            .mmap(p0, LP_ADJ_PAGES * PAGE_BYTES, Perms::READ_ONLY)
+            .unwrap();
+        let doomed = os.mmap_large(p0, 1, Perms::READ_ONLY).unwrap();
+        LargeWorld {
+            os,
+            p0,
+            p1,
+            priv0,
+            priv1,
+            huge,
+            straddle_alias,
+            adj,
+            doomed,
+        }
+    }
+}
+
+/// Replays `ops` against the large-page layout through one design.
+/// Same contract as [`replay`]: returns the outcome plus the trace's
+/// ground truth of written physical lines.
+fn replay_large(cfg: SystemConfig, ops: &[RawOp]) -> (Outcome, BTreeSet<u64>) {
+    let mut w = LargeWorld::build();
+    let mut mem = MemorySystem::new(cfg.with_paranoid());
+    let mut t = Cycle::ZERO;
+    let mut faults = Vec::with_capacity(ops.len());
+    let mut expected_written = BTreeSet::new();
+    let mut doomed_gone = false;
+    let mut adj_remapped = false;
+
+    for &(kind, page, line, cu) in ops {
+        let cu = cu as usize % 16;
+        let off = |pages: u64| (page % pages) * PAGE_BYTES + (line % 32) * 128;
+        let access = |mem: &mut MemorySystem, t: &mut Cycle, pid: ProcessId, va, is_write| {
+            let r = mem.access(
+                LineAccess {
+                    cu,
+                    asid: pid.asid(),
+                    vaddr: va,
+                    is_write,
+                    at: *t,
+                },
+                &w.os,
+            );
+            *t = r.done_at;
+            r.fault
+        };
+        match kind {
+            // Reads and writes to the private homonym regions — the
+            // only writes any trace performs.
+            0 | 1 => {
+                let (pid, region) = if kind == 0 {
+                    (w.p0, w.priv0)
+                } else {
+                    (w.p1, w.priv1)
+                };
+                let va = region.addr_at(off(LP_PRIV_PAGES));
+                let is_write = line % 2 == 0;
+                if is_write {
+                    let (pa, _) = w.os.translate(pid, va).unwrap();
+                    expected_written.insert(pa.line_index());
+                }
+                faults.push(access(&mut mem, &mut t, pid, va, is_write));
+            }
+            // Synonym reads around the internal 2 MB boundary: through
+            // the large mapping itself, through the straddling 4 KB
+            // alias, or anywhere in the huge region.
+            2 => {
+                let va = match line % 3 {
+                    0 => w
+                        .huge
+                        .addr_at((PAGES_PER_LARGE - 2 + page % 4) * PAGE_BYTES + (line % 32) * 128),
+                    1 => w.straddle_alias.addr_at(off(4)),
+                    _ => w.huge.addr_at(off(2 * PAGES_PER_LARGE)),
+                };
+                faults.push(access(&mut mem, &mut t, w.p0, va, false));
+            }
+            // Doomed large page: reads fault uniformly once it is
+            // unmapped at 2 MB grain.
+            3 => {
+                let va = w.doomed.addr_at(off(PAGES_PER_LARGE));
+                let fault = access(&mut mem, &mut t, w.p0, va, false);
+                if doomed_gone {
+                    assert_eq!(fault, Some(AccessFault::PageFault));
+                }
+                faults.push(fault);
+            }
+            // 4 KB pages adjacent to the large mappings: never fault,
+            // before or after one of them is remapped.
+            4 => {
+                let va = w.adj.addr_at(off(LP_ADJ_PAGES));
+                faults.push(access(&mut mem, &mut t, w.p0, va, false));
+            }
+            // OS / coherence events.
+            _ => match line % 3 {
+                0 if !doomed_gone => {
+                    doomed_gone = true;
+                    let sd = w.os.munmap_large(w.p0, w.doomed.start().vpn()).unwrap();
+                    t = t.max(mem.apply_shootdown(&sd, t));
+                }
+                1 if !adj_remapped => {
+                    adj_remapped = true;
+                    let vpn = Vpn::new(w.adj.start().vpn().raw() + 1);
+                    let sd = w.os.remap_page(w.p0, vpn).unwrap();
+                    t = t.max(mem.apply_shootdown(&sd, t));
+                }
+                _ => {
+                    // Probe a read-only large-mapped page: clean data,
+                    // so invalidation never writes back in any design.
+                    let va = w.huge.addr_at((page % (2 * PAGES_PER_LARGE)) * PAGE_BYTES);
+                    let (pa, _) = w.os.translate(w.p0, va).unwrap();
+                    let resp = mem.handle_probe(Probe {
+                        paddr: pa,
+                        kind: ProbeKind::Invalidate,
+                        at: t,
+                    });
+                    t = t.max(resp.done_at);
+                }
+            },
+        }
+    }
+
+    mem.check_invariants();
+    let dirty = mem.dirty_physical_lines();
+    let report = mem.finish(t);
+    (
+        Outcome {
+            faults,
+            dirty,
+            dram_writes: report.dram_writes,
+        },
+        expected_written,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Every design agrees on every architectural outcome of a
+    /// randomized trace over the large-page layout: 2 MB mappings,
+    /// synonyms straddling a 2 MB boundary, a mid-trace 2 MB unmap,
+    /// and a 4 KB remap adjacent to the large mappings.
+    #[test]
+    fn designs_agree_on_large_page_traces(
+        ops in prop::collection::vec((0u8..6, 0u64..1024, 0u64..96, 0u8..16), 1..160)
+    ) {
+        let mut reference: Option<Outcome> = None;
+        for (name, cfg) in presets() {
+            let (outcome, expected) = replay_large(cfg, &ops);
+            prop_assert_eq!(
+                outcome.dram_writes, 0,
+                "{}: trace must stay small enough to never write back", name
+            );
+            prop_assert_eq!(
+                &outcome.dirty, &expected,
+                "{}: final dirty lines != lines the trace wrote", name
+            );
+            if let Some(ref first) = reference {
+                prop_assert_eq!(
+                    &outcome.faults, &first.faults,
+                    "{}: fault sequence diverged from {}", name, presets()[0].0
+                );
+                prop_assert_eq!(
+                    &outcome.dirty, &first.dirty,
+                    "{}: write-back state diverged from {}", name, presets()[0].0
+                );
+            } else {
+                reference = Some(outcome);
+            }
+        }
+    }
+}
+
+/// A deterministic large-page smoke trace exercising every op kind,
+/// so the oracle path itself is covered even with `PROPTEST_CASES=0`.
+#[test]
+fn large_page_oracle_smoke_trace_agrees() {
+    let ops: Vec<RawOp> = (0u16..192)
+        .map(|i| {
+            (
+                (i % 6) as u8,
+                (i as u64 * 37) % 1024,
+                (i as u64 * 7) % 96,
+                (i % 16) as u8,
+            )
+        })
+        .collect();
+    let mut dirty: Option<BTreeSet<u64>> = None;
+    for (_, cfg) in presets() {
+        let (outcome, expected) = replay_large(cfg, &ops);
+        assert_eq!(outcome.dram_writes, 0);
+        assert_eq!(outcome.dirty, expected);
+        if let Some(d) = &dirty {
+            assert_eq!(&outcome.dirty, d);
+        } else {
+            assert!(
+                !outcome.dirty.is_empty(),
+                "smoke trace must write something"
+            );
+            dirty = Some(outcome.dirty);
+        }
+    }
+}
+
+/// Destroying a process that owns 2 MB mappings must leave no residue
+/// at any grain: warms every level (including the reach sub-arrays,
+/// on designs that have them) with large-mapped translations, evicts,
+/// respawns under the recycled ASID, and asserts the dead mappings
+/// are unreachable. Uniform across every preset.
+#[test]
+fn evict_respawn_with_huge_pages_is_residue_free() {
+    let mut reference: Option<Vec<Option<AccessFault>>> = None;
+    for (name, cfg) in presets() {
+        let mut os = OsLite::new(256 << 20);
+        let p0 = os.create_process();
+        let p1 = os.create_process();
+        // Pad the space so the large mappings sit above the base the
+        // respawned process will allocate from: the dead VAs below
+        // must stay unmapped in the reborn space.
+        let _pad = os.mmap(p0, PAGE_BYTES, Perms::READ_ONLY).unwrap();
+        let huge = os.mmap_large(p0, 2, Perms::READ_ONLY).unwrap();
+        let bystander = os.mmap(p1, 4 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let mut mem = MemorySystem::new(cfg.with_paranoid());
+        let mut t = Cycle::ZERO;
+        // Warm per-CU TLBs, the IOMMU, and any reach arrays with the
+        // victim's large-mapped translations plus the bystander's.
+        for i in 0..64u64 {
+            let (pid, va) = if i % 3 == 2 {
+                (p1, bystander.addr_at((i * 128) % bystander.bytes()))
+            } else {
+                (p0, huge.addr_at((i * 37 * PAGE_BYTES) % huge.bytes()))
+            };
+            let r = mem.access(
+                LineAccess {
+                    cu: (i % 4) as usize,
+                    asid: pid.asid(),
+                    vaddr: va,
+                    is_write: false,
+                    at: t,
+                },
+                &os,
+            );
+            assert_eq!(r.fault, None, "{name}: warmup access faulted");
+            t = r.done_at;
+        }
+        let victim_asid = p0.asid();
+        let sd = os.destroy_process(p0).unwrap();
+        t = t.max(mem.apply_shootdown(&sd, t));
+        mem.assert_no_asid_residue(victim_asid);
+
+        let reborn = os.try_create_process().unwrap();
+        assert_eq!(reborn.asid(), victim_asid, "eviction must recycle the ASID");
+        let fresh = os.mmap(reborn, 4 * PAGE_BYTES, Perms::READ_WRITE).unwrap();
+        let mut faults = Vec::new();
+        // The dead 2 MB mappings must fault under the recycled ASID —
+        // a stale reach entry would let an entire block "hit".
+        for i in 0..4u64 {
+            let r = mem.access(
+                LineAccess {
+                    cu: i as usize % 4,
+                    asid: reborn.asid(),
+                    vaddr: huge.addr_at(i * (PAGES_PER_LARGE / 2) * PAGE_BYTES),
+                    is_write: false,
+                    at: t,
+                },
+                &os,
+            );
+            assert_eq!(
+                r.fault,
+                Some(AccessFault::PageFault),
+                "{name}: respawned tenant resolved a dead large mapping"
+            );
+            faults.push(r.fault);
+            t = r.done_at;
+        }
+        for i in 0..8u64 {
+            let r = mem.access(
+                LineAccess {
+                    cu: (i % 4) as usize,
+                    asid: reborn.asid(),
+                    vaddr: fresh.addr_at((i * 128) % fresh.bytes()),
+                    is_write: i % 4 == 1,
+                    at: t,
+                },
+                &os,
+            );
+            assert_eq!(r.fault, None, "{name}: fresh mapping must be usable");
+            faults.push(r.fault);
+            t = r.done_at;
+        }
+        let r = mem.access(
+            LineAccess {
+                cu: 0,
+                asid: p1.asid(),
+                vaddr: bystander.addr_at(0),
+                is_write: false,
+                at: t,
+            },
+            &os,
+        );
+        assert_eq!(r.fault, None, "{name}: bystander must survive the eviction");
+        faults.push(r.fault);
+        t = r.done_at;
+        mem.check_invariants();
+        mem.finish(t);
+        if let Some(first) = &reference {
+            assert_eq!(
+                &faults, first,
+                "{name}: large-page evict/respawn fault pattern diverged"
+            );
+        } else {
+            reference = Some(faults);
         }
     }
 }

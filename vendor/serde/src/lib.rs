@@ -180,6 +180,12 @@ mod ser {
         }
     }
 
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
     impl<T: Serialize> Serialize for Vec<T> {
         fn to_value(&self) -> Value {
             Value::Seq(self.iter().map(Serialize::to_value).collect())
@@ -323,6 +329,12 @@ mod de {
                 Value::Null => Ok(None),
                 other => T::from_value(other).map(Some),
             }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            T::from_value(v).map(Box::new)
         }
     }
 
